@@ -1,0 +1,50 @@
+// Command grimoires runs the service registry (the Grimoires stand-in)
+// as a standalone web service, pre-populated with the protein
+// compressibility experiment's service descriptions.
+//
+// Usage:
+//
+//	grimoires -addr 127.0.0.1:8735 -codecs gzip,ppmz
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"preserv/internal/experiment"
+	"preserv/internal/registry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8735", "listen address")
+	codecs := flag.String("codecs", "gzip,ppmz", "comma-separated compressor services to describe")
+	empty := flag.Bool("empty", false, "start with no published descriptions")
+	flag.Parse()
+
+	reg := registry.NewRegistry()
+	if !*empty {
+		for _, d := range experiment.Descriptions(strings.Split(*codecs, ",")) {
+			if err := reg.Publish(d); err != nil {
+				log.Fatalf("grimoires: publishing %s: %v", d.Service, err)
+			}
+		}
+	}
+
+	srv, err := registry.Serve(reg, *addr)
+	if err != nil {
+		log.Fatalf("grimoires: %v", err)
+	}
+	log.Printf("grimoires: registry listening on %s (%d services)", srv.URL, len(reg.Services()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("grimoires: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("grimoires: close: %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+// Command preserv runs a PReServ provenance store as a standalone web
+// service.
+//
+// Usage:
+//
+//	preserv -addr 127.0.0.1:8734 -backend kvdb -dir ./provenance
+//
+// Backends: memory (volatile), file (one file per record), kvdb (the
+// embedded database, used for all paper evaluations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"preserv/internal/preserv"
+	"preserv/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8734", "listen address")
+	backendName := flag.String("backend", "kvdb", "storage backend: memory, file or kvdb")
+	dir := flag.String("dir", "./provenance-store", "data directory for persistent backends")
+	statsEvery := flag.Duration("stats", 0, "periodically log service statistics (0 disables)")
+	flag.Parse()
+
+	var backend store.Backend
+	var err error
+	switch *backendName {
+	case "memory":
+		backend = store.NewMemoryBackend()
+	case "file":
+		backend, err = store.NewFileBackend(*dir)
+	case "kvdb":
+		backend, err = store.NewKVBackend(*dir)
+	default:
+		log.Fatalf("preserv: unknown backend %q", *backendName)
+	}
+	if err != nil {
+		log.Fatalf("preserv: opening backend: %v", err)
+	}
+
+	st := store.New(backend)
+	svc := preserv.NewService(st)
+	srv, err := preserv.Serve(svc, *addr)
+	if err != nil {
+		log.Fatalf("preserv: %v", err)
+	}
+	log.Printf("preserv: provenance store listening on %s (backend %s)", srv.URL, backend.Name())
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				s := svc.Stats()
+				cnt, err := st.Count()
+				if err != nil {
+					log.Printf("preserv: count: %v", err)
+					continue
+				}
+				log.Printf("preserv: records=%d interactions=%d recordReqs=%d queryReqs=%d",
+					cnt.Records, cnt.Interactions, s.RecordRequests, s.QueryRequests)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "preserv: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("preserv: close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		log.Printf("preserv: backend close: %v", err)
+	}
+}

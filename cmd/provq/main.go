@@ -1,0 +1,179 @@
+// Command provq queries provenance: it runs the two use cases of the
+// paper against a live provenance store (and registry).
+//
+//	provq -store URL count
+//	provq -store URL categorize
+//	provq -store URL compare -a SESSION -b SESSION
+//	provq -store URL -registry URL validate -session SESSION
+//	provq -store URL lineage -session SESSION -data DATAID
+//	provq -store URL consolidate -from URL1,URL2,...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"preserv/internal/compare"
+	"preserv/internal/ids"
+	"preserv/internal/ontology"
+	"preserv/internal/preserv"
+	"preserv/internal/registry"
+	"preserv/internal/semval"
+	"preserv/internal/trace"
+)
+
+func main() {
+	storeURL := flag.String("store", "http://127.0.0.1:8734", "provenance store URL")
+	registryURL := flag.String("registry", "http://127.0.0.1:8735", "registry URL (validate)")
+	sessionA := flag.String("a", "", "first session id (compare)")
+	sessionB := flag.String("b", "", "second session id (compare)")
+	session := flag.String("session", "", "session id (validate, lineage)")
+	dataID := flag.String("data", "", "data id (lineage)")
+	from := flag.String("from", "", "comma-separated source store URLs (consolidate)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: provq [flags] count|sessions|categorize|compare|validate|lineage|consolidate")
+		os.Exit(2)
+	}
+	client := preserv.NewClient(*storeURL, nil)
+
+	switch flag.Arg(0) {
+	case "count":
+		cnt, err := client.Count()
+		if err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		fmt.Printf("records: %d (interactions %d, actor states %d)\n",
+			cnt.Records, cnt.Interactions, cnt.ActorStates)
+
+	case "sessions":
+		sessions, err := preserv.Sessions(client)
+		if err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		fmt.Printf("%d session(s):\n", len(sessions))
+		for _, s := range sessions {
+			fmt.Printf("  %s\n", s)
+		}
+
+	case "categorize":
+		cat, err := (&compare.Categorizer{Store: client}).Categorize()
+		if err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		fmt.Printf("categorised %d interactions into %d script categories in %.1fms\n",
+			cat.InteractionsScanned, len(cat.Categories()), float64(cat.Elapsed.Microseconds())/1000)
+		for _, c := range cat.Categories() {
+			fmt.Printf("  %s  uses=%-4d  %.60q\n", c.Hash[:12], len(c.Uses), c.Script)
+		}
+
+	case "compare":
+		a, err := ids.Parse(*sessionA)
+		if err != nil {
+			log.Fatalf("provq: -a: %v", err)
+		}
+		b, err := ids.Parse(*sessionB)
+		if err != nil {
+			log.Fatalf("provq: -b: %v", err)
+		}
+		cat, err := (&compare.Categorizer{Store: client}).Categorize()
+		if err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		diffs := cat.SameProcess(a, b)
+		if len(diffs) == 0 {
+			fmt.Println("same process: the two sessions used identical scripts for every service")
+			return
+		}
+		fmt.Printf("process differs in %d service(s):\n", len(diffs))
+		for _, d := range diffs {
+			fmt.Printf("  %s\n", d.Service)
+			for _, h := range d.OnlyInA {
+				if c, ok := cat.Lookup(h); ok {
+					fmt.Printf("    only in A: %.70q\n", c.Script)
+				}
+			}
+			for _, h := range d.OnlyInB {
+				if c, ok := cat.Lookup(h); ok {
+					fmt.Printf("    only in B: %.70q\n", c.Script)
+				}
+			}
+		}
+		os.Exit(1)
+
+	case "validate":
+		s, err := ids.Parse(*session)
+		if err != nil {
+			log.Fatalf("provq: -session: %v", err)
+		}
+		validator := &semval.Validator{
+			Store:    client,
+			Registry: registry.NewClient(*registryURL, nil),
+			Ontology: ontology.Bioinformatics(),
+		}
+		rep, err := validator.ValidateSession(s)
+		if err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		fmt.Printf("validated %d interactions (%d data edges, %d registry calls) in %.1fms\n",
+			rep.Interactions, rep.EdgesChecked, rep.RegistryCalls,
+			float64(rep.Elapsed.Microseconds())/1000)
+		if rep.Valid() {
+			fmt.Println("semantically valid")
+			return
+		}
+		fmt.Printf("%d violation(s):\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		os.Exit(1)
+
+	case "lineage":
+		s, err := ids.Parse(*session)
+		if err != nil {
+			log.Fatalf("provq: -session: %v", err)
+		}
+		d, err := ids.Parse(*dataID)
+		if err != nil {
+			log.Fatalf("provq: -data: %v", err)
+		}
+		g, err := trace.Build(client, s)
+		if err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		anc := g.Lineage(d)
+		fmt.Printf("data %s derives from %d item(s):\n", d.Short(), len(anc))
+		for _, n := range anc {
+			if n.ProducedBy.Valid() {
+				fmt.Printf("  %s  produced by %s (part %q)\n", n.DataID.Short(), n.Producer, n.Part)
+			} else {
+				fmt.Printf("  %s  workflow input\n", n.DataID.Short())
+			}
+		}
+		des := g.Derived(d)
+		fmt.Printf("and %d item(s) derive from it\n", len(des))
+
+	case "consolidate":
+		if *from == "" {
+			log.Fatal("provq: consolidate needs -from URL1,URL2,...")
+		}
+		var sources []*preserv.Client
+		for _, u := range strings.Split(*from, ",") {
+			sources = append(sources, preserv.NewClient(strings.TrimSpace(u), nil))
+		}
+		accepted, err := preserv.Consolidate(client, sources...)
+		if err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		fmt.Printf("consolidated %d records from %d store(s) into %s\n",
+			accepted, len(sources), *storeURL)
+
+	default:
+		fmt.Fprintf(os.Stderr, "provq: unknown command %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}

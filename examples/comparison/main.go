@@ -1,0 +1,101 @@
+// Comparison: the paper's use case 1. A bioinformatician runs the same
+// experiment twice on the same data and gets different results; the
+// provenance store reveals that the gzip service's configuration changed
+// between the runs.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"preserv/internal/compare"
+	"preserv/internal/core"
+	"preserv/internal/experiment"
+	"preserv/internal/preserv"
+	"preserv/internal/store"
+)
+
+func main() {
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	srv, err := preserv.Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	params := experiment.Params{
+		SampleBytes:  4 << 10,
+		Permutations: 4,
+		BatchSize:    2,
+		Seed:         2005, // same data both times
+	}
+	cfg := experiment.Config{
+		Mode:      experiment.RecordSyncExtra, // script provenance recorded
+		StoreURLs: []string{srv.URL},
+	}
+
+	// Run 1: the original configuration.
+	run1, err := experiment.Run(params, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run 1: session %s\n", run1.SessionID.Short())
+
+	// Run 2: someone recompiled the gzip service with a different
+	// compression level. Same data, same workflow — different scripts.
+	params.ScriptConfigs = map[core.ActorID]string{
+		experiment.CompressorService("gzip"): "level=1 (fast mode)",
+	}
+	run2, err := experiment.Run(params, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run 2: session %s\n", run2.SessionID.Short())
+
+	// The reviewer's question: were the two results obtained by the same
+	// scientific process?
+	client := preserv.NewClient(srv.URL, nil)
+	cat, err := (&compare.Categorizer{Store: client}).Categorize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncategorised %d interactions into %d script categories (%.1f ms)\n",
+		cat.InteractionsScanned, len(cat.Categories()),
+		float64(cat.Elapsed.Microseconds())/1000)
+
+	diffs := cat.SameProcess(run1.SessionID, run2.SessionID)
+	if len(diffs) == 0 {
+		fmt.Println("verdict: same process — the result difference must come from elsewhere")
+		return
+	}
+	fmt.Printf("verdict: the process CHANGED between the runs (%d service(s) differ):\n", len(diffs))
+	for _, d := range diffs {
+		fmt.Printf("  service %s:\n", d.Service)
+		for _, h := range d.OnlyInA {
+			c, _ := cat.Lookup(h)
+			fmt.Printf("    run 1 used: %q\n", firstLine(c.Script, 2))
+		}
+		for _, h := range d.OnlyInB {
+			c, _ := cat.Lookup(h)
+			fmt.Printf("    run 2 used: %q\n", firstLine(c.Script, 2))
+		}
+	}
+}
+
+// firstLine extracts the n-th line of a script for compact display.
+func firstLine(script string, n int) string {
+	line := 0
+	start := 0
+	for i, c := range script {
+		if c == '\n' {
+			if line == n {
+				return script[start:i]
+			}
+			line++
+			start = i + 1
+		}
+	}
+	return script[start:]
+}

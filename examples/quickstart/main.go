@@ -1,0 +1,107 @@
+// Quickstart: start an in-process provenance store, record the
+// p-assertions documenting a tiny two-step process, and query them back.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/prep"
+	"preserv/internal/preserv"
+	"preserv/internal/store"
+)
+
+func main() {
+	// 1. A provenance store with an in-memory backend, served over HTTP.
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	srv, err := preserv.Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("provenance store at", srv.URL)
+
+	client := preserv.NewClient(srv.URL, nil)
+
+	// 2. Document a process: a client (the enactor) invokes a greeting
+	// service; both the interaction and the service's internal state are
+	// asserted, grouped under one session.
+	session := ids.New()
+	interaction := core.Interaction{
+		ID:        ids.New(),
+		Sender:    "svc:enactor",
+		Receiver:  "svc:greeter",
+		Operation: "greet",
+	}
+	exchange := core.NewInteractionRecord(&core.InteractionPAssertion{
+		LocalID:     "exchange-1",
+		Asserter:    "svc:enactor",
+		Interaction: interaction,
+		View:        core.SenderView,
+		Request: core.Message{Name: "invoke", Parts: []core.MessagePart{
+			{Name: "name", DataID: ids.New(), Content: core.Bytes("world")},
+		}},
+		Response: core.Message{Name: "result", Parts: []core.MessagePart{
+			{Name: "greeting", DataID: ids.New(), Content: core.Bytes("hello, world")},
+		}},
+		Groups:    []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: 1}},
+		Timestamp: time.Now().UTC(),
+	})
+	// The service documents its own view too — the same interaction,
+	// asserted independently by the receiver.
+	serviceView := core.NewActorStateRecord(&core.ActorStatePAssertion{
+		LocalID:     "state-1",
+		Asserter:    "svc:greeter",
+		Interaction: interaction,
+		View:        core.ReceiverView,
+		StateKind:   core.StateScript,
+		Content: core.Bytes(`#!/bin/sh
+echo "hello, $1"`),
+		Groups:    []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: 1}},
+		Timestamp: time.Now().UTC(),
+	})
+
+	if _, err := client.Record("svc:enactor", []core.Record{*exchange}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.Record("svc:greeter", []core.Record{*serviceView}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Query the session back.
+	records, total, err := client.Query(&prep.Query{SessionID: session})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s holds %d p-assertions:\n", session.Short(), total)
+	for _, r := range records {
+		switch r.Kind {
+		case core.KindInteraction:
+			ip := r.Interaction
+			fmt.Printf("  interaction %s: %s -> %s.%s (%d in, %d out)\n",
+				ip.Interaction.ID.Short(), ip.Interaction.Sender,
+				ip.Interaction.Receiver, ip.Interaction.Operation,
+				len(ip.Request.Parts), len(ip.Response.Parts))
+		case core.KindActorState:
+			as := r.ActorState
+			fmt.Printf("  actor state %s: %s documented %q (%d bytes)\n",
+				as.Interaction.ID.Short(), as.Asserter, as.StateKind, len(as.Content))
+		}
+	}
+
+	// 4. Ask a provenance question: which input produced the greeting?
+	for _, r := range records {
+		if r.Kind != core.KindInteraction {
+			continue
+		}
+		out := r.Interaction.Response.Parts[0]
+		in := r.Interaction.Request.Parts[0]
+		fmt.Printf("data %s (%q) was derived from data %s (%q)\n",
+			out.DataID.Short(), out.Content, in.DataID.Short(), in.Content)
+	}
+}

@@ -1,0 +1,269 @@
+package bio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFASTABasic(t *testing.T) {
+	in := `>sp|P12345| test protein one
+MKVLAT
+RESGW
+>seq2 another one
+ACDEFGHIKLMNPQRSTVWY
+`
+	seqs, err := ParseFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("got %d sequences, want 2", len(seqs))
+	}
+	if seqs[0].ID != "sp|P12345|" {
+		t.Errorf("ID = %q", seqs[0].ID)
+	}
+	if seqs[0].Description != "test protein one" {
+		t.Errorf("Description = %q", seqs[0].Description)
+	}
+	if string(seqs[0].Residues) != "MKVLATRESGW" {
+		t.Errorf("Residues = %q", seqs[0].Residues)
+	}
+	if seqs[1].Len() != 20 {
+		t.Errorf("seq2 length = %d, want 20", seqs[1].Len())
+	}
+}
+
+func TestParseFASTALowercaseAndGaps(t *testing.T) {
+	in := ">s\nmkvl-at*\n"
+	seqs, err := ParseFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seqs[0].Residues) != "MKVLAT" {
+		t.Errorf("Residues = %q, want MKVLAT", seqs[0].Residues)
+	}
+}
+
+func TestParseFASTAErrors(t *testing.T) {
+	cases := map[string]string{
+		"data before header": "MKVL\n>s\nMKVL\n",
+		"empty header":       ">\nMKVL\n",
+		"empty body":         ">s\n>s2\nMKVL\n",
+		"trailing empty":     ">s\nMKVL\n>s2\n",
+		"invalid residue":    ">s\nMK1VL\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseFASTA(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseFASTAEmpty(t *testing.T) {
+	seqs, err := ParseFASTA(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 0 {
+		t.Fatalf("got %d sequences from empty input", len(seqs))
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	g := NewGenerator(1)
+	seqs := g.ProteinSet(5, 50, 300)
+	seqs[0].Description = ""
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, seqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(seqs) {
+		t.Fatalf("got %d sequences, want %d", len(back), len(seqs))
+	}
+	for i := range seqs {
+		if back[i].ID != seqs[i].ID {
+			t.Errorf("seq %d ID %q != %q", i, back[i].ID, seqs[i].ID)
+		}
+		if !bytes.Equal(back[i].Residues, seqs[i].Residues) {
+			t.Errorf("seq %d residues differ", i)
+		}
+	}
+}
+
+func TestGuessKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SeqKind
+	}{
+		{"", KindUnknown},
+		{"ACGT", KindNucleotide},
+		{"ACGTACGTACGT", KindNucleotide},
+		{"MKVLAT", KindProtein},
+		{"ACGTW", KindProtein}, // W breaks the nucleotide subset
+		{"ACGTB", KindUnknown}, // B is neither
+	}
+	for _, c := range cases {
+		if got := GuessKind([]byte(c.in)); got != c.want {
+			t.Errorf("GuessKind(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSeqKindString(t *testing.T) {
+	kinds := []SeqKind{KindUnknown, KindProtein, KindNucleotide, KindGroupEncoded}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty String", k)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(42).Protein("p", 1000)
+	b := NewGenerator(42).Protein("p", 1000)
+	if !bytes.Equal(a.Residues, b.Residues) {
+		t.Error("same seed must generate identical sequences")
+	}
+	c := NewGenerator(43).Protein("p", 1000)
+	if bytes.Equal(a.Residues, c.Residues) {
+		t.Error("different seeds should generate different sequences")
+	}
+}
+
+func TestGeneratorAlphabet(t *testing.T) {
+	seq := NewGenerator(7).Protein("p", 5000)
+	for i, r := range seq.Residues {
+		if !strings.ContainsRune(AminoAcids, rune(r)) {
+			t.Fatalf("residue %q at %d outside amino-acid alphabet", r, i)
+		}
+	}
+	nuc := NewGenerator(7).Nucleotide("n", 5000)
+	for i, r := range nuc.Residues {
+		if !strings.ContainsRune(Nucleotides, rune(r)) {
+			t.Fatalf("residue %q at %d outside nucleotide alphabet", r, i)
+		}
+	}
+}
+
+func TestGeneratorComposition(t *testing.T) {
+	// Leucine (L) should be the most common residue by a visible margin
+	// over tryptophan (W), matching microbial composition.
+	seq := NewGenerator(8).Protein("p", 200000)
+	var counts [256]int
+	for _, r := range seq.Residues {
+		counts[r]++
+	}
+	if counts['L'] <= counts['W']*3 {
+		t.Errorf("L count %d vs W count %d: composition not realistic", counts['L'], counts['W'])
+	}
+}
+
+func TestProteinSetLengths(t *testing.T) {
+	seqs := NewGenerator(9).ProteinSet(20, 100, 200)
+	if len(seqs) != 20 {
+		t.Fatalf("got %d sequences", len(seqs))
+	}
+	ids := make(map[string]bool)
+	for _, s := range seqs {
+		if s.Len() < 100 || s.Len() > 200 {
+			t.Errorf("length %d outside [100,200]", s.Len())
+		}
+		if ids[s.ID] {
+			t.Errorf("duplicate ID %s", s.ID)
+		}
+		ids[s.ID] = true
+	}
+}
+
+func TestCollateSample(t *testing.T) {
+	g := NewGenerator(10)
+	seqs := g.ProteinSet(50, 1000, 2000)
+	sample, err := CollateSample(seqs, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 10000 {
+		t.Fatalf("sample length %d, want 10000", len(sample))
+	}
+	// The sample must be a prefix of the concatenation.
+	var concat []byte
+	for _, s := range seqs {
+		concat = append(concat, s.Residues...)
+	}
+	if !bytes.Equal(sample, concat[:10000]) {
+		t.Error("sample is not the prefix of the concatenation")
+	}
+}
+
+func TestCollateSampleErrors(t *testing.T) {
+	g := NewGenerator(11)
+	seqs := g.ProteinSet(2, 10, 20)
+	if _, err := CollateSample(seqs, 1<<20); err == nil {
+		t.Error("oversized target should error")
+	}
+	if _, err := CollateSample(seqs, 0); err == nil {
+		t.Error("zero target should error")
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	data := []byte("MKVLATRESGWMKVLATRESGW")
+	shuf := Shuffle(data, 99)
+	if len(shuf) != len(data) {
+		t.Fatalf("length changed: %d -> %d", len(data), len(shuf))
+	}
+	var want, got [256]int
+	for i := range data {
+		want[data[i]]++
+		got[shuf[i]]++
+	}
+	if want != got {
+		t.Error("shuffle is not a permutation")
+	}
+}
+
+func TestShuffleDeterministicBySeed(t *testing.T) {
+	data := []byte(strings.Repeat("ACDEFG", 100))
+	a := Shuffle(data, 5)
+	b := Shuffle(data, 5)
+	c := Shuffle(data, 6)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed must give same permutation")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds should give different permutations")
+	}
+}
+
+func TestShuffleDoesNotMutate(t *testing.T) {
+	data := []byte("ABCDEFGH")
+	orig := append([]byte(nil), data...)
+	Shuffle(data, 1)
+	if !bytes.Equal(data, orig) {
+		t.Error("Shuffle mutated its input")
+	}
+}
+
+func TestQuickShufflePermutation(t *testing.T) {
+	f := func(data []byte, seed int64) bool {
+		shuf := Shuffle(data, seed)
+		if len(shuf) != len(data) {
+			return false
+		}
+		var want, got [256]int
+		for i := range data {
+			want[data[i]]++
+			got[shuf[i]]++
+		}
+		return want == got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package bio
+
+import "math"
+
+// Entropy returns the zero-order Shannon entropy of data in bits per
+// symbol. The paper's compressibility measure is an upper bound relative
+// to a compression method; zero-order entropy is the corresponding
+// model-free reference ("estimating DNA sequence entropy" is the cited
+// baseline technique), used in reports to contextualise compression
+// ratios.
+func Entropy(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	n := float64(len(data))
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// EntropyRatio returns Entropy(data)/8, the fraction of its raw length
+// an ideal zero-order coder would need — directly comparable to the
+// compression ratios the Measure workflow reports.
+func EntropyRatio(data []byte) float64 {
+	return Entropy(data) / 8
+}

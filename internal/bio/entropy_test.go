@@ -1,0 +1,101 @@
+package bio
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropyKnownValues(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"", 0},
+		{"aaaa", 0},     // single symbol: no uncertainty
+		{"abab", 1},     // two equiprobable symbols: 1 bit
+		{"abcdabcd", 2}, // four equiprobable: 2 bits
+		{strings.Repeat("ACGT", 100), 2},
+	}
+	for _, c := range cases {
+		if got := Entropy([]byte(c.in)); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Entropy(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEntropySkewedBelowUniform(t *testing.T) {
+	skewed := []byte(strings.Repeat("a", 90) + strings.Repeat("b", 10))
+	uniform := []byte(strings.Repeat("ab", 50))
+	if Entropy(skewed) >= Entropy(uniform) {
+		t.Errorf("skewed entropy %.3f should be below uniform %.3f",
+			Entropy(skewed), Entropy(uniform))
+	}
+}
+
+func TestEntropyRatio(t *testing.T) {
+	data := []byte(strings.Repeat("ACGT", 64))
+	if got := EntropyRatio(data); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("EntropyRatio of 2-bit source = %v, want 0.25", got)
+	}
+}
+
+func TestEntropyOfGeneratedProteinRealistic(t *testing.T) {
+	// Microbial proteomes sit around 4.1-4.2 bits/residue; our
+	// generator's motif structure lowers zero-order entropy slightly but
+	// it must stay in the biologically plausible band.
+	seq := NewGenerator(5).Protein("p", 100000)
+	h := Entropy(seq.Residues)
+	if h < 3.2 || h > 4.4 {
+		t.Errorf("generated protein entropy = %.3f bits/residue, want 3.2-4.4", h)
+	}
+}
+
+func TestGroupEncodingReducesEntropy(t *testing.T) {
+	seq := NewGenerator(6).Protein("p", 50000)
+	enc, err := Hydropathy4().Encode(seq.Residues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Entropy(enc) >= Entropy(seq.Residues) {
+		t.Errorf("4-group encoding entropy %.3f should be below 20-letter entropy %.3f",
+			Entropy(enc), Entropy(seq.Residues))
+	}
+	if Entropy(enc) > 2.0 {
+		t.Errorf("4-symbol alphabet entropy = %.3f, cannot exceed 2 bits", Entropy(enc))
+	}
+}
+
+// Property: entropy is permutation-invariant (zero-order statistics),
+// which is exactly why the experiment uses shuffled permutations as its
+// standard of comparison.
+func TestQuickEntropyShuffleInvariant(t *testing.T) {
+	f := func(data []byte, seed int64) bool {
+		return math.Abs(Entropy(data)-Entropy(Shuffle(data, seed))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: entropy is bounded by log2(distinct symbols).
+func TestQuickEntropyBound(t *testing.T) {
+	f := func(data []byte) bool {
+		distinct := make(map[byte]bool)
+		for _, b := range data {
+			distinct[b] = true
+		}
+		if len(data) == 0 {
+			return Entropy(data) == 0
+		}
+		bound := math.Log2(float64(len(distinct)))
+		if len(distinct) == 1 {
+			bound = 0
+		}
+		return Entropy(data) <= bound+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

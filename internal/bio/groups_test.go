@@ -1,0 +1,188 @@
+package bio
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltInGroupingsValid(t *testing.T) {
+	for name, g := range Groupings() {
+		if g.Name() != name {
+			t.Errorf("grouping registered as %q has name %q", name, g.Name())
+		}
+		if g.NumGroups() < 1 {
+			t.Errorf("%s has no groups", name)
+		}
+		if g.Spec() == "" {
+			t.Errorf("%s has empty spec", name)
+		}
+	}
+}
+
+func TestHydropathyEncode(t *testing.T) {
+	g := Hydropathy4()
+	out, err := g.Encode([]byte("AILD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A, I, L are hydrophobic (H); D is charged-negative group (C).
+	if string(out) != "HHHC" {
+		t.Errorf("Encode(AILD) = %q, want HHHC", out)
+	}
+}
+
+func TestEncodeCoversFullAlphabet(t *testing.T) {
+	for name, g := range Groupings() {
+		out, err := g.Encode([]byte(AminoAcids))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) != len(AminoAcids) {
+			t.Fatalf("%s: output length %d", name, len(out))
+		}
+		// Every output symbol must be one of the grouping's symbols.
+		syms := string(g.Symbols())
+		for _, c := range out {
+			if !strings.ContainsRune(syms, rune(c)) {
+				t.Errorf("%s: output symbol %q not in group symbols %q", name, c, syms)
+			}
+		}
+	}
+}
+
+func TestEncodeReducesAlphabet(t *testing.T) {
+	g := Hydropathy4()
+	seq := NewGenerator(3).Protein("p", 10000)
+	out, err := g.Encode(seq.Residues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[byte]bool)
+	for _, c := range out {
+		distinct[c] = true
+	}
+	if len(distinct) > 4 {
+		t.Errorf("hydropathy4 output has %d distinct symbols, want <= 4", len(distinct))
+	}
+}
+
+func TestNucleotideTrap(t *testing.T) {
+	// Use case 2's core subtlety: nucleotide sequences encode without
+	// error because ACGT ⊂ amino-acid alphabet.
+	g := Hydropathy4()
+	nuc := NewGenerator(4).Nucleotide("n", 1000)
+	if _, err := g.Encode(nuc.Residues); err != nil {
+		t.Fatalf("nucleotide sequence must encode silently (the use-case-2 trap): %v", err)
+	}
+}
+
+func TestEncodeRejectsNonResidues(t *testing.T) {
+	g := Hydropathy4()
+	if _, err := g.Encode([]byte("MKV1")); err == nil {
+		t.Error("digit should be rejected")
+	}
+	if _, err := g.Encode([]byte("MKB")); err == nil {
+		t.Error("B is not an amino acid; should be rejected")
+	}
+}
+
+func TestIdentity20IsIdentity(t *testing.T) {
+	g := Identity20()
+	in := []byte(AminoAcids)
+	out, err := g.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != AminoAcids {
+		t.Errorf("identity20 changed the sequence: %q", out)
+	}
+}
+
+func TestNewGroupingValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		groups  []string
+		symbols []byte
+	}{
+		{"", []string{AminoAcids}, []byte("X")},                    // empty name
+		{"g", []string{}, []byte{}},                                // no groups
+		{"g", []string{AminoAcids}, []byte("XY")},                  // mismatched lengths
+		{"g", []string{"", AminoAcids}, []byte("XY")},              // empty group
+		{"g", []string{"ACDEFGHIKLMNPQRSTVW"}, []byte("X")},        // missing Y
+		{"g", []string{"AA" + AminoAcids[2:]}, []byte("X")},        // duplicate residue
+		{"g", []string{"ACDEFGHIKL", "MNPQRSTVWY"}, []byte("XX")},  // duplicate symbol
+		{"g", []string{"ACDEFGHIKLMNPQRSTVWY1"}, []byte("X")},      // non-amino residue
+		{"g", []string{"ACDEFGHIKLZ", "MNPQRSTVWY"}, []byte("XY")}, // Z invalid
+	}
+	for i, c := range cases {
+		if _, err := NewGrouping(c.name, c.groups, c.symbols); err == nil {
+			t.Errorf("case %d: NewGrouping succeeded, want error", i)
+		}
+	}
+}
+
+func TestSpecIsCanonical(t *testing.T) {
+	// Residue order within a group must not change the spec.
+	g1, err := NewGrouping("g", []string{"AILMFWV", "CGPSTY", "DENQ", "HKR"}, []byte("1234"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGrouping("g", []string{"VWFMLIA", "YTSPGC", "QNED", "RKH"}, []byte("1234"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Spec() != g2.Spec() {
+		t.Errorf("specs differ:\n%s\n%s", g1.Spec(), g2.Spec())
+	}
+}
+
+func TestSymbolsIsCopy(t *testing.T) {
+	g := Hydropathy4()
+	s := g.Symbols()
+	s[0] = 'Z'
+	if g.Symbols()[0] == 'Z' {
+		t.Error("Symbols must return a copy")
+	}
+}
+
+// Property: encoding any generated protein sequence succeeds and
+// output length equals input length.
+func TestQuickEncodeTotalOnProteins(t *testing.T) {
+	g := Hydropathy4()
+	f := func(seed int64, n16 uint16) bool {
+		n := int(n16)%2000 + 1
+		seq := NewGenerator(seed).Protein("p", n)
+		out, err := g.Encode(seq.Residues)
+		return err == nil && len(out) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Encode commutes with Shuffle up to multiset equality — the
+// encoded shuffle has the same symbol histogram as the shuffled encode.
+func TestQuickEncodeShuffleHistogram(t *testing.T) {
+	g := SampathLike8()
+	f := func(seed int64) bool {
+		seq := NewGenerator(seed).Protein("p", 500)
+		enc, err := g.Encode(seq.Residues)
+		if err != nil {
+			return false
+		}
+		shufThenEnc, err := g.Encode(Shuffle(seq.Residues, seed))
+		if err != nil {
+			return false
+		}
+		var a, b [256]int
+		for i := range enc {
+			a[enc[i]]++
+			b[shufThenEnc[i]]++
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

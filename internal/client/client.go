@@ -1,0 +1,302 @@
+// Package client provides the actor-side recording API for PReP. The
+// protocol specifies how p-assertions are recorded but deliberately not
+// when; this package implements the strategies the paper evaluates in
+// Figure 4:
+//
+//   - NullRecorder: no recording (the baseline);
+//   - SyncRecorder: each p-assertion is shipped to the store by a web
+//     service invocation as execution proceeds;
+//   - AsyncRecorder: p-assertions are accumulated locally in a file and
+//     shipped to the store after execution, in batches — the strategy
+//     whose overhead the paper reports as staying under 10%.
+//
+// An AsyncRecorder may ship to several store endpoints round-robin,
+// which implements the paper's future-work "distributed PReServ" and is
+// measured by experiment E8.
+package client
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"preserv/internal/core"
+	"preserv/internal/preserv"
+)
+
+// Recorder accepts p-assertions from an actor. Implementations must be
+// safe for concurrent use by the workflow engine's parallel activities.
+type Recorder interface {
+	// Record accepts p-assertions for eventual storage.
+	Record(records ...core.Record) error
+	// Flush ships anything pending and blocks until it is stored.
+	Flush() error
+	// Close flushes and releases resources.
+	Close() error
+}
+
+// Stats reports how much a recorder has processed.
+type Stats struct {
+	// Recorded counts p-assertions accepted by Record.
+	Recorded int64
+	// Shipped counts p-assertions confirmed stored.
+	Shipped int64
+}
+
+// StatsReporter is implemented by recorders that track Stats.
+type StatsReporter interface {
+	Stats() Stats
+}
+
+// ErrRejected is returned when the store refuses records.
+var ErrRejected = errors.New("client: store rejected records")
+
+// NullRecorder drops all records: the paper's "without recording
+// p-assertions" configuration.
+type NullRecorder struct{}
+
+// Record implements Recorder.
+func (NullRecorder) Record(...core.Record) error { return nil }
+
+// Flush implements Recorder.
+func (NullRecorder) Flush() error { return nil }
+
+// Close implements Recorder.
+func (NullRecorder) Close() error { return nil }
+
+// SyncRecorder ships every Record call immediately by direct service
+// invocation of the provenance store.
+type SyncRecorder struct {
+	client   *preserv.Client
+	asserter core.ActorID
+	recorded atomic.Int64
+	shipped  atomic.Int64
+}
+
+// NewSyncRecorder returns a synchronous recorder for the given asserter.
+func NewSyncRecorder(c *preserv.Client, asserter core.ActorID) *SyncRecorder {
+	return &SyncRecorder{client: c, asserter: asserter}
+}
+
+// Record implements Recorder.
+func (r *SyncRecorder) Record(records ...core.Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	r.recorded.Add(int64(len(records)))
+	resp, err := r.client.Record(r.asserter, records)
+	if err != nil {
+		return err
+	}
+	r.shipped.Add(int64(resp.Accepted))
+	if len(resp.Rejects) > 0 {
+		return fmt.Errorf("%w: %d rejects, first: %s", ErrRejected, len(resp.Rejects), resp.Rejects[0].Reason)
+	}
+	return nil
+}
+
+// Flush implements Recorder (synchronous recording has nothing pending).
+func (r *SyncRecorder) Flush() error { return nil }
+
+// Close implements Recorder.
+func (r *SyncRecorder) Close() error { return nil }
+
+// Stats implements StatsReporter.
+func (r *SyncRecorder) Stats() Stats {
+	return Stats{Recorded: r.recorded.Load(), Shipped: r.shipped.Load()}
+}
+
+// DefaultBatchSize is how many p-assertions an AsyncRecorder ships per
+// store invocation during Flush.
+const DefaultBatchSize = 100
+
+// AsyncRecorder accumulates p-assertions in a local journal file and
+// ships them on Flush. Record is cheap — "p-assertion recording may
+// require just a few milliseconds to prepare a record to be temporarily
+// stored in a file and submitted asynchronously".
+type AsyncRecorder struct {
+	mu        sync.Mutex
+	asserter  core.ActorID
+	clients   []*preserv.Client
+	journal   *os.File
+	bw        *bufio.Writer
+	enc       *gob.Encoder
+	path      string
+	batchSize int
+	pending   int64
+	recorded  atomic.Int64
+	shipped   atomic.Int64
+	closed    bool
+}
+
+// NewAsyncRecorder creates an asynchronous recorder journaling to
+// journalPath and shipping to the given endpoints (at least one).
+// batchSize <= 0 selects DefaultBatchSize.
+func NewAsyncRecorder(asserter core.ActorID, journalPath string, batchSize int, clients ...*preserv.Client) (*AsyncRecorder, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("client: async recorder needs at least one store endpoint")
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	f, err := os.OpenFile(journalPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("client: opening journal: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	return &AsyncRecorder{
+		asserter:  asserter,
+		clients:   clients,
+		journal:   f,
+		bw:        bw,
+		enc:       gob.NewEncoder(bw),
+		path:      journalPath,
+		batchSize: batchSize,
+	}, nil
+}
+
+// Record implements Recorder: it only appends to the local journal.
+func (r *AsyncRecorder) Record(records ...core.Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return errors.New("client: recorder closed")
+	}
+	for i := range records {
+		if err := r.enc.Encode(&records[i]); err != nil {
+			return fmt.Errorf("client: journaling record: %w", err)
+		}
+	}
+	r.pending += int64(len(records))
+	r.recorded.Add(int64(len(records)))
+	return nil
+}
+
+// Flush ships all journaled records to the configured endpoints in
+// batches, striped round-robin when several endpoints are configured,
+// then truncates the journal.
+func (r *AsyncRecorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushLocked()
+}
+
+func (r *AsyncRecorder) flushLocked() error {
+	if r.pending == 0 {
+		return nil
+	}
+	if err := r.bw.Flush(); err != nil {
+		return fmt.Errorf("client: flushing journal buffer: %w", err)
+	}
+	if _, err := r.journal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("client: rewinding journal: %w", err)
+	}
+	dec := gob.NewDecoder(bufio.NewReaderSize(r.journal, 64<<10))
+	var batches [][]core.Record
+	var batch []core.Record
+	for {
+		var rec core.Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("client: reading journal: %w", err)
+		}
+		batch = append(batch, rec)
+		if len(batch) >= r.batchSize {
+			batches = append(batches, batch)
+			batch = nil
+		}
+	}
+	if len(batch) > 0 {
+		batches = append(batches, batch)
+	}
+
+	// Stripe batches across endpoints; each endpoint ships its share
+	// sequentially, endpoints proceed in parallel (E8's distributed
+	// submission).
+	perClient := make([][][]core.Record, len(r.clients))
+	for i, b := range batches {
+		ci := i % len(r.clients)
+		perClient[ci] = append(perClient[ci], b)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(r.clients))
+	for ci := range r.clients {
+		if len(perClient[ci]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			for _, b := range perClient[ci] {
+				resp, err := r.clients[ci].Record(r.asserter, b)
+				if err != nil {
+					errs[ci] = err
+					return
+				}
+				r.shipped.Add(int64(resp.Accepted))
+				if len(resp.Rejects) > 0 {
+					errs[ci] = fmt.Errorf("%w: %d rejects, first: %s",
+						ErrRejected, len(resp.Rejects), resp.Rejects[0].Reason)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// All shipped: reset the journal.
+	if err := r.journal.Truncate(0); err != nil {
+		return fmt.Errorf("client: truncating journal: %w", err)
+	}
+	if _, err := r.journal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("client: rewinding journal: %w", err)
+	}
+	r.bw.Reset(r.journal)
+	r.enc = gob.NewEncoder(r.bw)
+	r.pending = 0
+	return nil
+}
+
+// Pending reports how many records await shipping.
+func (r *AsyncRecorder) Pending() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending
+}
+
+// Close flushes, closes and removes the journal.
+func (r *AsyncRecorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	flushErr := r.flushLocked()
+	r.closed = true
+	closeErr := r.journal.Close()
+	os.Remove(r.path)
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Stats implements StatsReporter.
+func (r *AsyncRecorder) Stats() Stats {
+	return Stats{Recorded: r.recorded.Load(), Shipped: r.shipped.Load()}
+}

@@ -1,0 +1,220 @@
+package compare
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/preserv"
+	"preserv/internal/store"
+)
+
+var seq = &ids.SeqSource{Prefix: 0xA1}
+
+func startStore(t *testing.T) *preserv.Client {
+	t.Helper()
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	srv, err := preserv.Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return preserv.NewClient(srv.URL, nil)
+}
+
+// populate records one activity (interaction + script) for service in
+// session.
+func populate(t *testing.T, c *preserv.Client, session ids.ID, service core.ActorID, script string, n uint64) {
+	t.Helper()
+	in := core.Interaction{ID: seq.NewID(), Sender: "svc:enactor", Receiver: service, Operation: "run"}
+	inter := *core.NewInteractionRecord(&core.InteractionPAssertion{
+		LocalID:     fmt.Sprintf("e%d", n),
+		Asserter:    "svc:enactor",
+		Interaction: in,
+		View:        core.SenderView,
+		Request:     core.Message{Name: "invoke"},
+		Response:    core.Message{Name: "result"},
+		Groups:      []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: n}},
+		Timestamp:   time.Now().UTC(),
+	})
+	scriptRec := *core.NewActorStateRecord(&core.ActorStatePAssertion{
+		LocalID:     fmt.Sprintf("s%d", n),
+		Asserter:    "svc:enactor",
+		Interaction: in,
+		View:        core.SenderView,
+		StateKind:   core.StateScript,
+		Content:     core.Bytes(script),
+		Groups:      []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: n}},
+		Timestamp:   time.Now().UTC(),
+	})
+	if _, err := c.Record("svc:enactor", []core.Record{inter, scriptRec}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategorizeGroupsIdenticalScripts(t *testing.T) {
+	c := startStore(t)
+	session := seq.NewID()
+	populate(t, c, session, "svc:gzip", "gzip -9", 1)
+	populate(t, c, session, "svc:gzip", "gzip -9", 2)
+	populate(t, c, session, "svc:ppmz", "ppmz -o3", 3)
+
+	cat, err := (&Categorizer{Store: c}).Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := cat.Categories()
+	if len(cats) != 2 {
+		t.Fatalf("got %d categories, want 2", len(cats))
+	}
+	if cat.InteractionsScanned != 3 {
+		t.Errorf("scanned %d interactions, want 3", cat.InteractionsScanned)
+	}
+	// One query to list + one per interaction.
+	if cat.StoreCalls != 4 {
+		t.Errorf("store calls = %d, want 4", cat.StoreCalls)
+	}
+	// The gzip category must record two uses.
+	var gzipCat *Category
+	for _, entry := range cats {
+		if entry.Script == "gzip -9" {
+			gzipCat = entry
+		}
+	}
+	if gzipCat == nil || len(gzipCat.Uses) != 2 {
+		t.Fatalf("gzip category = %+v", gzipCat)
+	}
+}
+
+func TestSameProcessIdenticalRuns(t *testing.T) {
+	c := startStore(t)
+	s1, s2 := seq.NewID(), seq.NewID()
+	for i, session := range []ids.ID{s1, s2} {
+		populate(t, c, session, "svc:gzip", "gzip -9", uint64(i*10+1))
+		populate(t, c, session, "svc:ppmz", "ppmz -o3", uint64(i*10+2))
+	}
+	cat, err := (&Categorizer{Store: c}).Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := cat.SameProcess(s1, s2); len(diffs) != 0 {
+		t.Errorf("identical runs reported different: %+v", diffs)
+	}
+}
+
+func TestSameProcessDetectsChangedScript(t *testing.T) {
+	// Use case 1's scenario: the compression algorithm was reconfigured
+	// between two runs of the same experiment.
+	c := startStore(t)
+	s1, s2 := seq.NewID(), seq.NewID()
+	populate(t, c, s1, "svc:gzip", "gzip -1", 1)
+	populate(t, c, s1, "svc:ppmz", "ppmz -o3", 2)
+	populate(t, c, s2, "svc:gzip", "gzip -9", 11) // changed configuration
+	populate(t, c, s2, "svc:ppmz", "ppmz -o3", 12)
+
+	cat, err := (&Categorizer{Store: c}).Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := cat.SameProcess(s1, s2)
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %+v, want exactly one (gzip)", diffs)
+	}
+	if diffs[0].Service != "svc:gzip" {
+		t.Errorf("changed service = %s", diffs[0].Service)
+	}
+	if len(diffs[0].OnlyInA) != 1 || len(diffs[0].OnlyInB) != 1 {
+		t.Errorf("expected one exclusive script on each side: %+v", diffs[0])
+	}
+	// The hashes must map back to the script contents.
+	a, ok := cat.Lookup(diffs[0].OnlyInA[0])
+	if !ok || a.Script != "gzip -1" {
+		t.Errorf("OnlyInA resolves to %+v", a)
+	}
+	b, ok := cat.Lookup(diffs[0].OnlyInB[0])
+	if !ok || b.Script != "gzip -9" {
+		t.Errorf("OnlyInB resolves to %+v", b)
+	}
+}
+
+func TestSameProcessServiceMissingFromOneRun(t *testing.T) {
+	c := startStore(t)
+	s1, s2 := seq.NewID(), seq.NewID()
+	populate(t, c, s1, "svc:gzip", "gzip -9", 1)
+	populate(t, c, s1, "svc:extra", "extra step", 2)
+	populate(t, c, s2, "svc:gzip", "gzip -9", 11)
+
+	cat, err := (&Categorizer{Store: c}).Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := cat.SameProcess(s1, s2)
+	if len(diffs) != 1 || diffs[0].Service != "svc:extra" {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	if len(diffs[0].OnlyInA) != 1 || len(diffs[0].OnlyInB) != 0 {
+		t.Errorf("diff shape = %+v", diffs[0])
+	}
+}
+
+func TestScriptsFor(t *testing.T) {
+	c := startStore(t)
+	session := seq.NewID()
+	populate(t, c, session, "svc:gzip", "A", 1)
+	populate(t, c, session, "svc:gzip", "B", 2)
+	cat, err := (&Categorizer{Store: c}).Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := cat.ScriptsFor("svc:gzip", session)
+	if len(hashes) != 2 {
+		t.Fatalf("ScriptsFor = %v", hashes)
+	}
+	if len(cat.ScriptsFor("svc:none", session)) != 0 {
+		t.Error("unknown service should have no scripts")
+	}
+}
+
+func TestCategorizeEmptyStore(t *testing.T) {
+	c := startStore(t)
+	cat, err := (&Categorizer{Store: c}).Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Categories()) != 0 || cat.InteractionsScanned != 0 {
+		t.Errorf("empty store categorisation: %+v", cat)
+	}
+	if diffs := cat.SameProcess(seq.NewID(), seq.NewID()); len(diffs) != 0 {
+		t.Errorf("empty diffs = %+v", diffs)
+	}
+}
+
+func TestCategorizeLinearStoreCalls(t *testing.T) {
+	// The cost model behind Figure 5: categorisation performs one store
+	// call per interaction record (plus the initial listing).
+	c := startStore(t)
+	session := seq.NewID()
+	const n = 25
+	for i := 0; i < n; i++ {
+		populate(t, c, session, "svc:gzip", "gzip -9", uint64(i+1))
+	}
+	cat, err := (&Categorizer{Store: c}).Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.StoreCalls != n+1 {
+		t.Errorf("store calls = %d, want %d", cat.StoreCalls, n+1)
+	}
+	if cat.Elapsed <= 0 {
+		t.Error("elapsed not measured")
+	}
+}
+
+func TestCategorizeDeadStore(t *testing.T) {
+	dead := preserv.NewClient("http://127.0.0.1:1", nil)
+	if _, err := (&Categorizer{Store: dead}).Categorize(); err == nil {
+		t.Error("dead store should fail")
+	}
+}

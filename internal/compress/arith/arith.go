@@ -1,0 +1,192 @@
+// Package arith implements a byte-oriented binary range coder (in the
+// style of Subbotin's carry-aware range coder) used as the entropy stage
+// of the PPM compressor. A symbol is described to the coder by its
+// cumulative frequency interval [cumLow, cumHigh) within a model total;
+// the coder is completely model-agnostic, which is what lets the PPM
+// layer switch between context orders and escape distributions freely.
+package arith
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxTotal is the largest cumulative total a model may present to the
+// coder. Keeping totals at or below 1<<16 guarantees at least 8 bits of
+// precision per renormalised range step.
+const MaxTotal = 1 << 16
+
+const topValue = 1 << 24 // renormalisation threshold
+
+// ErrBadInterval is returned when a caller presents an invalid
+// cumulative-frequency interval.
+var ErrBadInterval = errors.New("arith: invalid cumulative frequency interval")
+
+func checkInterval(cumLow, cumHigh, total uint32) error {
+	if total == 0 || total > MaxTotal || cumLow >= cumHigh || cumHigh > total {
+		return fmt.Errorf("%w: [%d,%d)/%d", ErrBadInterval, cumLow, cumHigh, total)
+	}
+	return nil
+}
+
+// Encoder entropy-codes a stream of cumulative-frequency intervals.
+type Encoder struct {
+	w     *bufio.Writer
+	low   uint64
+	rng   uint32
+	cache byte
+	csz   int64 // bytes pending carry propagation
+	err   error
+}
+
+// NewEncoder returns an Encoder writing compressed bytes to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w), rng: 0xFFFFFFFF, csz: 1}
+}
+
+// Encode narrows the coding interval to [cumLow, cumHigh) of total.
+// The final symbol interval of a distribution (cumHigh == total) absorbs
+// the division remainder, which the decoder mirrors exactly.
+func (e *Encoder) Encode(cumLow, cumHigh, total uint32) error {
+	if e.err != nil {
+		return e.err
+	}
+	if err := checkInterval(cumLow, cumHigh, total); err != nil {
+		e.err = err
+		return err
+	}
+	r := e.rng / total
+	e.low += uint64(r) * uint64(cumLow)
+	if cumHigh == total {
+		e.rng -= r * cumLow
+	} else {
+		e.rng = r * (cumHigh - cumLow)
+	}
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+	return e.err
+}
+
+func (e *Encoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || (e.low>>32) != 0 {
+		carry := byte(e.low >> 32)
+		temp := e.cache
+		for {
+			e.writeByte(temp + carry)
+			temp = 0xFF
+			e.csz--
+			if e.csz == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.csz++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+func (e *Encoder) writeByte(b byte) {
+	if e.err != nil {
+		return
+	}
+	if err := e.w.WriteByte(b); err != nil {
+		e.err = err
+	}
+}
+
+// Close flushes the coder state. The Encoder must not be used afterwards.
+func (e *Encoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// Decoder mirrors Encoder.
+type Decoder struct {
+	r    *bufio.Reader
+	rng  uint32
+	code uint32
+	rdiv uint32 // range/total stashed between DecodeFreq and Update
+	err  error
+}
+
+// NewDecoder returns a Decoder reading the compressed stream from r.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	d := &Decoder{r: bufio.NewReader(r), rng: 0xFFFFFFFF}
+	// The encoder's first shifted byte is always the initial zero cache;
+	// consume it together with the first four code bytes.
+	for i := 0; i < 5; i++ {
+		b, err := d.r.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("arith: reading coder preamble: %w", err)
+		}
+		d.code = d.code<<8 | uint32(b)
+	}
+	return d, nil
+}
+
+// DecodeFreq returns the scaled frequency target of the next symbol under
+// a model with the given cumulative total. The caller locates the symbol
+// whose interval contains the target and then calls Update with it.
+func (d *Decoder) DecodeFreq(total uint32) (uint32, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	if total == 0 || total > MaxTotal {
+		d.err = fmt.Errorf("%w: total %d", ErrBadInterval, total)
+		return 0, d.err
+	}
+	d.rdiv = d.rng / total
+	f := d.code / d.rdiv
+	if f >= total {
+		f = total - 1 // remainder region belongs to the final symbol
+	}
+	return f, nil
+}
+
+// Update consumes the symbol interval located by the caller after
+// DecodeFreq. The interval must use the same total passed to DecodeFreq.
+func (d *Decoder) Update(cumLow, cumHigh, total uint32) error {
+	if d.err != nil {
+		return d.err
+	}
+	if err := checkInterval(cumLow, cumHigh, total); err != nil {
+		d.err = err
+		return err
+	}
+	d.code -= d.rdiv * cumLow
+	if cumHigh == total {
+		d.rng -= d.rdiv * cumLow
+	} else {
+		d.rng = d.rdiv * (cumHigh - cumLow)
+	}
+	for d.rng < topValue {
+		b, err := d.r.ReadByte()
+		if err != nil {
+			// The encoder flushes five trailing bytes, so a clean stream
+			// never runs dry mid-symbol; treat EOF as corruption.
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			d.err = fmt.Errorf("arith: stream truncated: %w", err)
+			return d.err
+		}
+		d.code = d.code<<8 | uint32(b)
+		d.rng <<= 8
+	}
+	return nil
+}

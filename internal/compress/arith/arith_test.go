@@ -1,0 +1,314 @@
+package arith
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// staticModel is a fixed distribution over a small alphabet for tests.
+type staticModel struct {
+	cum []uint32 // cum[i], cum[i+1] bound symbol i; cum[len-1] is the total
+}
+
+func newStaticModel(freqs []uint32) *staticModel {
+	cum := make([]uint32, len(freqs)+1)
+	for i, f := range freqs {
+		cum[i+1] = cum[i] + f
+	}
+	return &staticModel{cum: cum}
+}
+
+func (m *staticModel) total() uint32 { return m.cum[len(m.cum)-1] }
+
+func (m *staticModel) interval(sym int) (uint32, uint32) {
+	return m.cum[sym], m.cum[sym+1]
+}
+
+func (m *staticModel) find(f uint32) int {
+	for i := 0; i < len(m.cum)-1; i++ {
+		if f < m.cum[i+1] {
+			return i
+		}
+	}
+	return len(m.cum) - 2
+}
+
+func encodeAll(t *testing.T, m *staticModel, syms []int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	for _, s := range syms {
+		lo, hi := m.interval(s)
+		if err := e.Encode(lo, hi, m.total()); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func decodeAll(t *testing.T, m *staticModel, data []byte, n int) []int {
+	t.Helper()
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		f, err := d.DecodeFreq(m.total())
+		if err != nil {
+			t.Fatalf("DecodeFreq %d: %v", i, err)
+		}
+		s := m.find(f)
+		lo, hi := m.interval(s)
+		if err := d.Update(lo, hi, m.total()); err != nil {
+			t.Fatalf("Update %d: %v", i, err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestRoundTripUniform(t *testing.T) {
+	m := newStaticModel([]uint32{1, 1, 1, 1})
+	syms := []int{0, 1, 2, 3, 3, 2, 1, 0, 2, 2, 2, 0}
+	data := encodeAll(t, m, syms)
+	got := decodeAll(t, m, data, len(syms))
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, got[i], syms[i])
+		}
+	}
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	// Heavily skewed distribution exercises the remainder-absorbing
+	// final interval and long renormalisation runs.
+	m := newStaticModel([]uint32{1000, 1, 1, 30000})
+	rng := rand.New(rand.NewSource(42))
+	syms := make([]int, 5000)
+	for i := range syms {
+		switch r := rng.Intn(100); {
+		case r < 50:
+			syms[i] = 0
+		case r < 51:
+			syms[i] = 1
+		case r < 52:
+			syms[i] = 2
+		default:
+			syms[i] = 3
+		}
+	}
+	data := encodeAll(t, m, syms)
+	got := decodeAll(t, m, data, len(syms))
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, got[i], syms[i])
+		}
+	}
+}
+
+func TestSkewedBeatsUniformLength(t *testing.T) {
+	// Entropy coding sanity: a skewed source coded with the matching
+	// model must compress below 2 bits/symbol (uniform 4-ary cost).
+	m := newStaticModel([]uint32{97, 1, 1, 1})
+	syms := make([]int, 10000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range syms {
+		if rng.Intn(100) < 97 {
+			syms[i] = 0
+		} else {
+			syms[i] = 1 + rng.Intn(3)
+		}
+	}
+	data := encodeAll(t, m, syms)
+	bitsPerSym := float64(len(data)*8) / float64(len(syms))
+	if bitsPerSym > 0.6 {
+		t.Errorf("skewed source coded at %.3f bits/sym, want < 0.6", bitsPerSym)
+	}
+	got := decodeAll(t, m, data, len(syms))
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d mismatch", i)
+		}
+	}
+}
+
+func TestAdaptiveModelRoundTrip(t *testing.T) {
+	// Encoder and decoder evolve an identical adaptive model; this is
+	// exactly how the PPM layer drives the coder.
+	const alpha = 16
+	freqs := make([]uint32, alpha)
+	for i := range freqs {
+		freqs[i] = 1
+	}
+	model := func() *staticModel { return newStaticModel(freqs) }
+
+	rng := rand.New(rand.NewSource(99))
+	syms := make([]int, 3000)
+	for i := range syms {
+		syms[i] = rng.Intn(alpha) % alpha
+	}
+
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	for _, s := range syms {
+		m := model()
+		lo, hi := m.interval(s)
+		if err := e.Encode(lo, hi, m.total()); err != nil {
+			t.Fatal(err)
+		}
+		freqs[s] += 3
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range freqs {
+		freqs[i] = 1
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range syms {
+		m := model()
+		f, err := d.DecodeFreq(m.total())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := m.find(f)
+		lo, hi := m.interval(s)
+		if err := d.Update(lo, hi, m.total()); err != nil {
+			t.Fatal(err)
+		}
+		if s != want {
+			t.Fatalf("adaptive symbol %d: got %d want %d", i, s, want)
+		}
+		freqs[s] += 3
+	}
+}
+
+func TestEncodeBadIntervals(t *testing.T) {
+	cases := []struct{ lo, hi, total uint32 }{
+		{0, 0, 10},           // empty interval
+		{5, 4, 10},           // inverted
+		{0, 11, 10},          // beyond total
+		{0, 1, 0},            // zero total
+		{0, 1, MaxTotal * 2}, // total too large
+	}
+	for _, c := range cases {
+		e := NewEncoder(io.Discard)
+		if err := e.Encode(c.lo, c.hi, c.total); err == nil {
+			t.Errorf("Encode(%d,%d,%d) succeeded, want error", c.lo, c.hi, c.total)
+		}
+	}
+}
+
+func TestDecoderTruncatedStream(t *testing.T) {
+	if _, err := NewDecoder(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("NewDecoder on 2-byte input should fail")
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	m := newStaticModel([]uint32{1, 1})
+	data := encodeAll(t, m, []int{0, 1, 0, 1})
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Update(0, 0, 2); err == nil {
+		t.Fatal("bad Update should fail")
+	}
+	if _, err := d.DecodeFreq(2); err == nil {
+		t.Fatal("decoder should stay failed after an error")
+	}
+}
+
+func TestSingleSymbolAlphabet(t *testing.T) {
+	// Degenerate single-symbol model: every symbol spans the whole total.
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	for i := 0; i < 100; i++ {
+		if err := e.Encode(0, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		f, err := d.DecodeFreq(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != 0 {
+			t.Fatalf("freq = %d, want 0", f)
+		}
+		if err := d.Update(0, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: random symbol streams under random (positive) frequency
+// tables round-trip exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n8 uint8, alpha8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := int(alpha8)%12 + 2
+		n := int(n8) + 1
+		freqs := make([]uint32, alpha)
+		for i := range freqs {
+			freqs[i] = uint32(rng.Intn(500) + 1)
+		}
+		m := newStaticModel(freqs)
+		syms := make([]int, n)
+		for i := range syms {
+			syms[i] = rng.Intn(alpha)
+		}
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		for _, s := range syms {
+			lo, hi := m.interval(s)
+			if e.Encode(lo, hi, m.total()) != nil {
+				return false
+			}
+		}
+		if e.Close() != nil {
+			return false
+		}
+		d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		for _, want := range syms {
+			fr, err := d.DecodeFreq(m.total())
+			if err != nil {
+				return false
+			}
+			s := m.find(fr)
+			lo, hi := m.interval(s)
+			if d.Update(lo, hi, m.total()) != nil {
+				return false
+			}
+			if s != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

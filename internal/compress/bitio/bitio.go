@@ -1,0 +1,193 @@
+// Package bitio provides MSB-first bit-level readers and writers used by
+// the entropy coders (Huffman, and the compressed block headers of the
+// BWT pipeline). The bit order matches the conventional presentation of
+// canonical Huffman codes: the first bit written is the most significant
+// bit of the first output byte.
+package bitio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrTooManyBits is returned when a single read or write requests more
+// than 64 bits.
+var ErrTooManyBits = errors.New("bitio: more than 64 bits in one operation")
+
+// Writer accumulates bits MSB-first and flushes whole bytes to an
+// underlying io.Writer.
+type Writer struct {
+	w    io.Writer
+	acc  uint64 // bits pending, left-aligned within nacc bits
+	nacc uint   // number of pending bits (< 8 after flushes)
+	buf  []byte
+	err  error
+	// BitsWritten counts all bits accepted so far, including pending ones.
+	bitsWritten int64
+}
+
+// NewWriter returns a bit writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// WriteBits writes the n least-significant bits of v, most significant
+// first. n may be 0, in which case nothing is written.
+func (bw *Writer) WriteBits(v uint64, n uint) error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if n > 64 {
+		bw.err = ErrTooManyBits
+		return bw.err
+	}
+	if n == 0 {
+		return nil
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	bw.bitsWritten += int64(n)
+	for n > 0 {
+		space := 8 - bw.nacc%8
+		take := n
+		if take > space {
+			take = space
+		}
+		chunk := (v >> (n - take)) & ((1 << take) - 1)
+		bw.acc = bw.acc<<take | chunk
+		bw.nacc += take
+		n -= take
+		if bw.nacc%8 == 0 {
+			bw.buf = append(bw.buf, byte(bw.acc))
+			bw.acc = 0
+			bw.nacc = 0
+			if len(bw.buf) >= cap(bw.buf) {
+				bw.flushBuf()
+			}
+		}
+	}
+	return bw.err
+}
+
+// WriteBit writes a single bit (any non-zero v writes 1).
+func (bw *Writer) WriteBit(v uint) error {
+	if v != 0 {
+		v = 1
+	}
+	return bw.WriteBits(uint64(v), 1)
+}
+
+func (bw *Writer) flushBuf() {
+	if bw.err != nil || len(bw.buf) == 0 {
+		return
+	}
+	if _, err := bw.w.Write(bw.buf); err != nil {
+		bw.err = err
+	}
+	bw.buf = bw.buf[:0]
+}
+
+// BitsWritten reports the total number of bits accepted so far.
+func (bw *Writer) BitsWritten() int64 { return bw.bitsWritten }
+
+// Close pads the final partial byte with zero bits and flushes.
+// The Writer must not be used afterwards.
+func (bw *Writer) Close() error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if bw.nacc > 0 {
+		pad := 8 - bw.nacc
+		bw.acc <<= pad
+		bw.buf = append(bw.buf, byte(bw.acc))
+		bw.acc = 0
+		bw.nacc = 0
+	}
+	bw.flushBuf()
+	return bw.err
+}
+
+// Reader reads bits MSB-first from an underlying io.Reader.
+type Reader struct {
+	r    io.Reader
+	buf  []byte
+	pos  int  // index of next unread byte in buf
+	cur  byte // current byte being consumed
+	nbit uint // bits remaining in cur
+	err  error
+	// bitsRead counts bits successfully delivered.
+	bitsRead int64
+}
+
+// NewReader returns a bit reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, buf: make([]byte, 0, 4096)}
+}
+
+func (br *Reader) nextByte() (byte, error) {
+	if br.pos >= len(br.buf) {
+		if br.err != nil {
+			return 0, br.err
+		}
+		n, err := br.r.Read(br.buf[:cap(br.buf)])
+		br.buf = br.buf[:n]
+		br.pos = 0
+		if n == 0 {
+			if err == nil {
+				err = io.ErrNoProgress
+			}
+			br.err = err
+			return 0, err
+		}
+		// Defer a non-nil error until the buffered bytes are consumed.
+		if err != nil && err != io.EOF {
+			br.err = err
+		}
+	}
+	b := br.buf[br.pos]
+	br.pos++
+	return b, nil
+}
+
+// ReadBits reads n bits (MSB-first) and returns them in the n
+// least-significant bits of the result. Reading past the end of input
+// returns io.EOF (or io.ErrUnexpectedEOF when the input ends mid-read).
+func (br *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, ErrTooManyBits
+	}
+	var v uint64
+	got := uint(0)
+	for got < n {
+		if br.nbit == 0 {
+			b, err := br.nextByte()
+			if err != nil {
+				if got > 0 && err == io.EOF {
+					return 0, io.ErrUnexpectedEOF
+				}
+				return 0, err
+			}
+			br.cur = b
+			br.nbit = 8
+		}
+		take := n - got
+		if take > br.nbit {
+			take = br.nbit
+		}
+		v = v<<take | uint64(br.cur>>(br.nbit-take))&((1<<take)-1)
+		br.nbit -= take
+		got += take
+	}
+	br.bitsRead += int64(n)
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (br *Reader) ReadBit() (uint, error) {
+	v, err := br.ReadBits(1)
+	return uint(v), err
+}
+
+// BitsRead reports the number of bits successfully delivered so far.
+func (br *Reader) BitsRead() int64 { return br.bitsRead }

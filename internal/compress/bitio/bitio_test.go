@@ -1,0 +1,237 @@
+package bitio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		if err := w.WriteBit(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMSBFirstLayout(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// 0b10110000 written as 4 bits 1011, then pad.
+	if err := w.WriteBits(0b1011, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); len(got) != 1 || got[0] != 0b10110000 {
+		t.Fatalf("bytes = %08b, want 10110000", got)
+	}
+}
+
+func TestWriteBitsAcrossByteBoundaries(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteBits(0xABCDE, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBits(0x3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	v, err := r.ReadBits(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xABCDE {
+		t.Fatalf("got %x want ABCDE", v)
+	}
+	v, err = r.ReadBits(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("got %x want 3", v)
+	}
+}
+
+func TestZeroBitWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteBits(0xFF, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("zero-bit write produced %d bytes", buf.Len())
+	}
+}
+
+func Test64BitValues(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const v = uint64(0xDEADBEEFCAFEF00D)
+	if err := w.WriteBits(v, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, err := r.ReadBits(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("got %x want %x", got, v)
+	}
+}
+
+func TestTooManyBits(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteBits(0, 65); err != ErrTooManyBits {
+		t.Fatalf("write 65 bits: err = %v, want ErrTooManyBits", err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.ReadBits(65); err != ErrTooManyBits {
+		t.Fatalf("read 65 bits: err = %v, want ErrTooManyBits", err)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0xFF}))
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadTruncatedMidValue(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0xFF}))
+	if _, err := r.ReadBits(12); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestBitCounters(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteBits(0x7, 3)
+	w.WriteBits(0x1, 9)
+	if w.BitsWritten() != 12 {
+		t.Fatalf("BitsWritten = %d, want 12", w.BitsWritten())
+	}
+	w.Close()
+	r := NewReader(&buf)
+	r.ReadBits(5)
+	if r.BitsRead() != 5 {
+		t.Fatalf("BitsRead = %d, want 5", r.BitsRead())
+	}
+}
+
+func TestHighBitsMasked(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// Bits above n must be ignored.
+	if err := w.WriteBits(0xFFF0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	v, err := r.ReadBits(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("got %x, want 0 (high bits must be masked)", v)
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%64 + 1
+		widths := make([]uint, n)
+		values := make([]uint64, n)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i := 0; i < n; i++ {
+			widths[i] = uint(rng.Intn(64) + 1)
+			values[i] = rng.Uint64() & ((1 << widths[i]) - 1)
+			if widths[i] == 64 {
+				values[i] = rng.Uint64()
+			}
+			if err := w.WriteBits(values[i], widths[i]); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		for i := 0; i < n; i++ {
+			v, err := r.ReadBits(widths[i])
+			if err != nil || v != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeStreamFlush(t *testing.T) {
+	// Exceed the internal buffer to exercise flushBuf mid-stream.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := w.WriteBits(uint64(i), 13); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i := 0; i < n; i++ {
+		v, err := r.ReadBits(13)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if v != uint64(i)&0x1FFF {
+			t.Fatalf("read %d = %d, want %d", i, v, uint64(i)&0x1FFF)
+		}
+	}
+}

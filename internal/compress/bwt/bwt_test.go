@@ -1,0 +1,280 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformKnownVector(t *testing.T) {
+	// The classic example: BWT of "banana" over cyclic rotations.
+	// Rotations sorted: abanan, anaban, ananab, banana, nabana, nanaba
+	// Last column: nnbaaa, primary index = row of "banana" = 3.
+	out, primary := Transform([]byte("banana"))
+	if string(out) != "nnbaaa" {
+		t.Errorf("Transform(banana) = %q, want nnbaaa", out)
+	}
+	if primary != 3 {
+		t.Errorf("primary = %d, want 3", primary)
+	}
+}
+
+func TestTransformInverse(t *testing.T) {
+	cases := []string{
+		"",
+		"a",
+		"ab",
+		"aaaaaaaa",
+		"banana",
+		"abracadabra",
+		"the quick brown fox jumps over the lazy dog",
+		strings.Repeat("MKVLAT", 100),
+	}
+	for _, c := range cases {
+		out, primary := Transform([]byte(c))
+		back := Inverse(out, primary)
+		if string(back) != c {
+			t.Errorf("inverse(transform(%q)) = %q", c, back)
+		}
+	}
+}
+
+func TestInverseBadPrimary(t *testing.T) {
+	out, _ := Transform([]byte("hello"))
+	if Inverse(out, -1) != nil {
+		t.Error("negative primary should return nil")
+	}
+	if Inverse(out, len(out)) != nil {
+		t.Error("out-of-range primary should return nil")
+	}
+}
+
+func TestInverseEmpty(t *testing.T) {
+	if got := Inverse(nil, 0); len(got) != 0 {
+		t.Errorf("Inverse(nil) = %v", got)
+	}
+}
+
+func TestTransformIsPermutation(t *testing.T) {
+	data := []byte("mississippi river delta")
+	out, _ := Transform(data)
+	var want, got [256]int
+	for _, b := range data {
+		want[b]++
+	}
+	for _, b := range out {
+		got[b]++
+	}
+	if want != got {
+		t.Error("BWT output is not a permutation of its input")
+	}
+}
+
+func TestMTFRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0},
+		{255, 0, 255, 0},
+		[]byte("abcabcabc"),
+		[]byte(strings.Repeat("z", 1000)),
+	}
+	for _, c := range cases {
+		enc := MTFEncode(c)
+		dec := MTFDecode(enc)
+		if !bytes.Equal(dec, c) {
+			t.Errorf("MTF round trip failed for %v", c)
+		}
+	}
+}
+
+func TestMTFRunsBecomeZeros(t *testing.T) {
+	enc := MTFEncode([]byte("aaaaaa"))
+	for i, v := range enc[1:] {
+		if v != 0 {
+			t.Errorf("MTF of run: position %d = %d, want 0", i+1, v)
+		}
+	}
+}
+
+func TestRLE0RoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0},
+		{0, 0},
+		{0, 0, 0, 0, 0, 0, 0},
+		{1, 2, 3},
+		{0, 1, 0, 0, 2, 0, 0, 0},
+		bytes.Repeat([]byte{0}, 1000),
+	}
+	for _, c := range cases {
+		syms := RLE0Encode(c)
+		back := RLE0Decode(syms)
+		if !bytes.Equal(back, c) {
+			t.Errorf("RLE0 round trip failed: in %v out %v", c, back)
+		}
+	}
+}
+
+func TestRLE0CompressesZeroRuns(t *testing.T) {
+	run := bytes.Repeat([]byte{0}, 1<<12)
+	syms := RLE0Encode(run)
+	if len(syms) > 16 {
+		t.Errorf("4096-zero run encoded as %d symbols, want ≈12", len(syms))
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{42},
+		[]byte("hello world"),
+		bytes.Repeat([]byte("AGCT"), 5000),
+		[]byte(strings.Repeat("MKVLATRESGW", 2000)),
+	}
+	for _, c := range cases {
+		comp, err := Compress(c)
+		if err != nil {
+			t.Fatalf("Compress: %v", err)
+		}
+		back, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("Decompress: %v", err)
+		}
+		if !bytes.Equal(back, c) {
+			t.Fatalf("round trip failed for %d-byte input", len(c))
+		}
+	}
+}
+
+func TestCompressMultiBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(rng.Intn(20)) // small alphabet, like protein groups
+	}
+	comp, err := CompressBlockSize(data, 1024) // force ~10 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("multi-block round trip failed")
+	}
+}
+
+func TestCompressBadBlockSize(t *testing.T) {
+	if _, err := CompressBlockSize([]byte("x"), 0); err == nil {
+		t.Error("zero block size should error")
+	}
+	if _, err := CompressBlockSize([]byte("x"), -5); err == nil {
+		t.Error("negative block size should error")
+	}
+}
+
+func TestCompressionRatioOnRepetitiveInput(t *testing.T) {
+	data := bytes.Repeat([]byte("ABCDEFGH"), 4096) // 32 KiB highly structured
+	comp, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) > len(data)/10 {
+		t.Errorf("compressed %d bytes to %d; want at least 10x on repetitive input",
+			len(data), len(comp))
+	}
+}
+
+func TestStructuredBeatsShuffled(t *testing.T) {
+	// The heart of the paper's experiment: a structured sequence must
+	// compress better than its random permutation.
+	structured := bytes.Repeat([]byte("MKVLATMKVLAT"), 1000)
+	shuffled := append([]byte(nil), structured...)
+	rng := rand.New(rand.NewSource(4))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	cs, err := Compress(structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := Compress(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) >= len(cr) {
+		t.Errorf("structured compressed to %d, shuffled to %d; structured should be smaller",
+			len(cs), len(cr))
+	}
+}
+
+func TestDecompressCorruptInputs(t *testing.T) {
+	comp, err := Compress([]byte("some sample data for corruption tests"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     comp[:4],
+		"bad magic": append([]byte("XXXX"), comp[4:]...),
+		"truncated": comp[:len(comp)-5],
+	}
+	for name, data := range cases {
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("%s: Decompress succeeded, want error", name)
+		}
+	}
+}
+
+func TestQuickTransformInverse(t *testing.T) {
+	f := func(data []byte) bool {
+		out, primary := Transform(data)
+		return bytes.Equal(Inverse(out, primary), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMTFRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(MTFDecode(MTFEncode(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRLE0RoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		// Bias toward zeros, the RLE0 interesting case.
+		biased := make([]byte, len(data))
+		for i, b := range data {
+			if b < 180 {
+				biased[i] = 0
+			} else {
+				biased[i] = b
+			}
+		}
+		return bytes.Equal(RLE0Decode(RLE0Encode(biased)), biased)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompressRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		comp, err := Compress(data)
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(comp)
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package compress presents the compression methods of the experiment
+// behind one uniform Codec interface, mirroring the paper's setup where
+// "compression methods such as gzip or ppmz can run directly from the
+// command line [or] be available as Web Services". The experiment code
+// selects codecs by name, exactly as the workflow description names its
+// compression activities.
+package compress
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"preserv/internal/compress/bwt"
+	"preserv/internal/compress/ppm"
+)
+
+// Codec is a lossless byte-stream compressor.
+type Codec interface {
+	// Name returns the codec's registry name (e.g. "gzip", "ppmz").
+	Name() string
+	// Compress returns a self-contained compressed representation.
+	Compress(data []byte) ([]byte, error)
+	// Decompress reverses Compress.
+	Decompress(data []byte) ([]byte, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Codec)
+)
+
+// Register makes a codec available by name. Registering a duplicate name
+// panics: codec identity matters for provenance (use case 1 hinges on
+// knowing exactly which algorithm produced a result).
+func Register(c Codec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[c.Name()]; dup {
+		panic("compress: duplicate codec " + c.Name())
+	}
+	registry[c.Name()] = c
+}
+
+// Lookup returns the codec registered under name.
+func Lookup(name string) (Codec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// Names returns the registered codec names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Gzip is the standard-library DEFLATE codec, the paper's fast baseline
+// compressor.
+type Gzip struct {
+	// Level is the gzip compression level; 0 means gzip.DefaultCompression.
+	Level int
+}
+
+// Name implements Codec.
+func (Gzip) Name() string { return "gzip" }
+
+// Compress implements Codec.
+func (g Gzip) Compress(data []byte) ([]byte, error) {
+	level := g.Level
+	if level == 0 {
+		level = gzip.DefaultCompression
+	}
+	var buf bytes.Buffer
+	w, err := gzip.NewWriterLevel(&buf, level)
+	if err != nil {
+		return nil, fmt.Errorf("compress: gzip: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("compress: gzip write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("compress: gzip close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress implements Codec.
+func (Gzip) Decompress(data []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("compress: gunzip: %w", err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("compress: gunzip read: %w", err)
+	}
+	return out, nil
+}
+
+// PPMZ is the strong adaptive-context codec (the paper's ppmz stand-in).
+type PPMZ struct {
+	// Order is the context order; 0 means ppm.DefaultOrder.
+	Order int
+}
+
+// Name implements Codec.
+func (PPMZ) Name() string { return "ppmz" }
+
+// Compress implements Codec.
+func (p PPMZ) Compress(data []byte) ([]byte, error) {
+	order := p.Order
+	if order == 0 {
+		order = ppm.DefaultOrder
+	}
+	return ppm.CompressOrder(data, order)
+}
+
+// Decompress implements Codec.
+func (PPMZ) Decompress(data []byte) ([]byte, error) { return ppm.Decompress(data) }
+
+// BZip2 is the block-sorting codec (BWT+MTF+RLE+Huffman), the paper's
+// bzip2 option.
+type BZip2 struct{}
+
+// Name implements Codec.
+func (BZip2) Name() string { return "bzip2" }
+
+// Compress implements Codec.
+func (BZip2) Compress(data []byte) ([]byte, error) { return bwt.Compress(data) }
+
+// Decompress implements Codec.
+func (BZip2) Decompress(data []byte) ([]byte, error) { return bwt.Decompress(data) }
+
+// Identity copies its input unchanged; it exists for tests and for
+// measuring harness overhead in the benchmarks.
+type Identity struct{}
+
+// Name implements Codec.
+func (Identity) Name() string { return "identity" }
+
+// Compress implements Codec.
+func (Identity) Compress(data []byte) ([]byte, error) {
+	return append([]byte(nil), data...), nil
+}
+
+// Decompress implements Codec.
+func (Identity) Decompress(data []byte) ([]byte, error) {
+	return append([]byte(nil), data...), nil
+}
+
+func init() {
+	Register(Gzip{})
+	Register(PPMZ{})
+	Register(BZip2{})
+	Register(Identity{})
+}
+
+// Ratio returns compressedLen/originalLen, the "fraction of its original
+// length to which a sequence can be losslessly compressed" that the
+// paper uses as the (upper bound on the) compressibility measure.
+func Ratio(originalLen, compressedLen int) float64 {
+	if originalLen == 0 {
+		return 0
+	}
+	return float64(compressedLen) / float64(originalLen)
+}

@@ -1,0 +1,200 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func allCodecs(t *testing.T) []Codec {
+	t.Helper()
+	var cs []Codec
+	for _, name := range Names() {
+		c, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+func TestRegistryContainsPaperCodecs(t *testing.T) {
+	for _, want := range []string{"gzip", "ppmz", "bzip2"} {
+		if _, err := Lookup(want); err != nil {
+			t.Errorf("codec %q missing: %v", want, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("zpaq"); err == nil {
+		t.Error("unknown codec lookup should fail")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	Register(Gzip{})
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestAllCodecsRoundTrip(t *testing.T) {
+	inputs := [][]byte{
+		{},
+		[]byte("x"),
+		[]byte("hello hello hello hello"),
+		bytes.Repeat([]byte("ACDEFGHIKLMNPQRSTVWY"), 500),
+	}
+	for _, c := range allCodecs(t) {
+		for _, in := range inputs {
+			comp, err := c.Compress(in)
+			if err != nil {
+				t.Fatalf("%s.Compress(%d bytes): %v", c.Name(), len(in), err)
+			}
+			back, err := c.Decompress(comp)
+			if err != nil {
+				t.Fatalf("%s.Decompress: %v", c.Name(), err)
+			}
+			if !bytes.Equal(back, in) {
+				t.Fatalf("%s round trip failed for %d-byte input", c.Name(), len(in))
+			}
+		}
+	}
+}
+
+func TestRealCodecsCompressStructuredInput(t *testing.T) {
+	data := []byte(strings.Repeat("MKVLATRESGWMKVLATRESGW", 2000))
+	for _, name := range []string{"gzip", "ppmz", "bzip2"} {
+		c, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := c.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(comp) >= len(data)/4 {
+			t.Errorf("%s: %d -> %d bytes; structured input should shrink 4x+",
+				name, len(data), len(comp))
+		}
+	}
+}
+
+func TestPPMBeatsGzipOnSmallAlphabet(t *testing.T) {
+	// The motivation for using ppmz in the paper: stronger context
+	// modelling discovers more structure than LZ77 on biosequences.
+	rng := rand.New(rand.NewSource(20))
+	groups := []byte("ABCD")
+	data := make([]byte, 100000)
+	// First-order Markov source: strong context structure.
+	state := 0
+	for i := range data {
+		if rng.Intn(100) < 80 {
+			state = (state + 1) % len(groups)
+		} else {
+			state = rng.Intn(len(groups))
+		}
+		data[i] = groups[state]
+	}
+	g, _ := Lookup("gzip")
+	p, _ := Lookup("ppmz")
+	cg, err := g.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := p.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp) >= len(cg) {
+		t.Errorf("ppmz (%d) should beat gzip (%d) on Markov small-alphabet source",
+			len(cp), len(cg))
+	}
+}
+
+func TestGzipLevels(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 1000)
+	fast := Gzip{Level: 1}
+	best := Gzip{Level: 9}
+	cf, err := fast.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := best.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][]byte{cf, cb} {
+		back, err := fast.Decompress(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("gzip level round trip failed")
+		}
+	}
+}
+
+func TestGzipDecompressGarbage(t *testing.T) {
+	g := Gzip{}
+	if _, err := g.Decompress([]byte("definitely not gzip")); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+func TestIdentityIsCopy(t *testing.T) {
+	in := []byte("data")
+	c := Identity{}
+	out, err := c.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[0] = 'X'
+	if in[0] != 'd' {
+		t.Error("Identity.Compress must copy, not alias")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(100, 25); got != 0.25 {
+		t.Errorf("Ratio = %v, want 0.25", got)
+	}
+	if got := Ratio(0, 10); got != 0 {
+		t.Errorf("Ratio with zero original = %v, want 0", got)
+	}
+}
+
+func TestQuickEveryCodecRoundTrips(t *testing.T) {
+	codecs := allCodecs(t)
+	f := func(data []byte) bool {
+		for _, c := range codecs {
+			comp, err := c.Compress(data)
+			if err != nil {
+				return false
+			}
+			back, err := c.Decompress(comp)
+			if err != nil || !bytes.Equal(back, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package huffman implements length-limited canonical Huffman coding
+// over an arbitrary integer alphabet. It is the entropy stage of the
+// BWT compression pipeline (the repository's bzip2 stand-in).
+//
+// Codes are canonical: they are fully determined by the per-symbol code
+// lengths, so only the length table is serialised in block headers.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"preserv/internal/compress/bitio"
+)
+
+// MaxBits is the longest code length the package will produce or accept.
+const MaxBits = 20
+
+// ErrBadLengths is returned when a decoder is asked to build a table from
+// an invalid (non-Kraft) code-length assignment.
+var ErrBadLengths = errors.New("huffman: invalid code length table")
+
+// ErrBadSymbol is returned when encoding a symbol that had zero frequency
+// at build time.
+var ErrBadSymbol = errors.New("huffman: symbol has no code")
+
+type node struct {
+	freq        uint64
+	sym         int // valid for leaves
+	left, right int // node indices, -1 for leaves
+}
+
+type nodeHeap struct {
+	idx   []int
+	nodes []node
+}
+
+func (h nodeHeap) Len() int { return len(h.idx) }
+func (h nodeHeap) Less(i, j int) bool {
+	a, b := h.nodes[h.idx[i]], h.nodes[h.idx[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return h.idx[i] < h.idx[j] // deterministic tie-break
+}
+func (h nodeHeap) Swap(i, j int)       { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// BuildLengths computes canonical code lengths (<= MaxBits) for the given
+// symbol frequencies. Symbols with zero frequency receive length 0 (no
+// code). If only one symbol has non-zero frequency it receives length 1.
+// When the natural Huffman tree exceeds MaxBits the frequencies are
+// repeatedly flattened (halved, floored at 1) until the limit is met;
+// this is the same pragmatic strategy production coders use.
+func BuildLengths(freqs []uint64) ([]uint8, error) {
+	if len(freqs) == 0 {
+		return nil, errors.New("huffman: empty alphabet")
+	}
+	work := append([]uint64(nil), freqs...)
+	for attempt := 0; ; attempt++ {
+		lengths, maxLen := buildOnce(work)
+		if maxLen <= MaxBits {
+			return lengths, nil
+		}
+		if attempt > 64 {
+			return nil, errors.New("huffman: unable to limit code lengths")
+		}
+		for i, f := range work {
+			if f > 1 {
+				work[i] = f / 2
+			}
+		}
+	}
+}
+
+func buildOnce(freqs []uint64) ([]uint8, int) {
+	lengths := make([]uint8, len(freqs))
+	nodes := make([]node, 0, 2*len(freqs))
+	h := &nodeHeap{nodes: nil}
+	for sym, f := range freqs {
+		if f == 0 {
+			continue
+		}
+		nodes = append(nodes, node{freq: f, sym: sym, left: -1, right: -1})
+	}
+	switch len(nodes) {
+	case 0:
+		return lengths, 0
+	case 1:
+		lengths[nodes[0].sym] = 1
+		return lengths, 1
+	}
+	h.nodes = nodes
+	for i := range nodes {
+		h.idx = append(h.idx, i)
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		h.nodes = append(h.nodes, node{
+			freq: h.nodes[a].freq + h.nodes[b].freq,
+			left: a, right: b, sym: -1,
+		})
+		heap.Push(h, len(h.nodes)-1)
+	}
+	root := h.idx[0]
+	maxLen := 0
+	// Iterative depth-first traversal assigning depths.
+	type frame struct{ idx, depth int }
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := h.nodes[fr.idx]
+		if n.left == -1 {
+			lengths[n.sym] = uint8(fr.depth)
+			if fr.depth > maxLen {
+				maxLen = fr.depth
+			}
+			continue
+		}
+		stack = append(stack, frame{n.left, fr.depth + 1}, frame{n.right, fr.depth + 1})
+	}
+	return lengths, maxLen
+}
+
+// canonicalCodes assigns canonical code values given lengths.
+// Returns codes indexed by symbol (only meaningful where length > 0).
+func canonicalCodes(lengths []uint8) ([]uint32, error) {
+	var blCount [MaxBits + 1]int
+	for _, l := range lengths {
+		if l > MaxBits {
+			return nil, fmt.Errorf("%w: length %d > %d", ErrBadLengths, l, MaxBits)
+		}
+		if l > 0 {
+			blCount[l]++
+		}
+	}
+	// Kraft check: sum 2^-l <= 1, with equality required for a complete
+	// code when more than one symbol exists.
+	var kraft uint64
+	nSyms := 0
+	maxL := 0
+	for l := 1; l <= MaxBits; l++ {
+		if blCount[l] > 0 {
+			nSyms += blCount[l]
+			maxL = l
+		}
+		kraft += uint64(blCount[l]) << uint(MaxBits-l)
+	}
+	if nSyms == 0 {
+		return make([]uint32, len(lengths)), nil
+	}
+	full := uint64(1) << MaxBits
+	if nSyms == 1 {
+		// Single symbol with length 1 — half the code space, accepted.
+		if kraft > full {
+			return nil, fmt.Errorf("%w: oversubscribed", ErrBadLengths)
+		}
+	} else if kraft != full {
+		return nil, fmt.Errorf("%w: kraft sum %d/%d with %d symbols", ErrBadLengths, kraft, full, nSyms)
+	}
+	nextCode := make([]uint32, maxL+2)
+	code := uint32(0)
+	for l := 1; l <= maxL; l++ {
+		code = (code + uint32(blCount[l-1])) << 1
+		nextCode[l] = code
+	}
+	codes := make([]uint32, len(lengths))
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		codes[sym] = nextCode[l]
+		nextCode[l]++
+	}
+	return codes, nil
+}
+
+// Encoder writes symbols as canonical Huffman codes to a bit writer.
+type Encoder struct {
+	lengths []uint8
+	codes   []uint32
+	bw      *bitio.Writer
+}
+
+// NewEncoder builds an encoder for the given code lengths, writing to bw.
+func NewEncoder(lengths []uint8, bw *bitio.Writer) (*Encoder, error) {
+	codes, err := canonicalCodes(lengths)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{lengths: append([]uint8(nil), lengths...), codes: codes, bw: bw}, nil
+}
+
+// Encode writes one symbol.
+func (e *Encoder) Encode(sym int) error {
+	if sym < 0 || sym >= len(e.lengths) || e.lengths[sym] == 0 {
+		return fmt.Errorf("%w: %d", ErrBadSymbol, sym)
+	}
+	return e.bw.WriteBits(uint64(e.codes[sym]), uint(e.lengths[sym]))
+}
+
+// Decoder reads canonical Huffman codes from a bit reader.
+type Decoder struct {
+	// Canonical decoding tables per length.
+	firstCode   [MaxBits + 1]uint32
+	firstSymIdx [MaxBits + 1]int
+	count       [MaxBits + 1]int
+	symbols     []int // symbols sorted by (length, symbol)
+	maxLen      int
+	br          *bitio.Reader
+}
+
+// NewDecoder builds a decoder for the given code lengths, reading from br.
+func NewDecoder(lengths []uint8, br *bitio.Reader) (*Decoder, error) {
+	if _, err := canonicalCodes(lengths); err != nil {
+		return nil, err
+	}
+	d := &Decoder{br: br}
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		d.count[l]++
+		if int(l) > d.maxLen {
+			d.maxLen = int(l)
+		}
+		_ = sym
+	}
+	// Symbols ordered by (length, symbol) — the canonical order. The
+	// first code of each length follows the RFC 1951 recurrence.
+	idx := 0
+	d.symbols = make([]int, 0)
+	code := uint32(0)
+	for l := 1; l <= d.maxLen; l++ {
+		code = (code + uint32(d.count[l-1])) << 1
+		d.firstCode[l] = code
+		d.firstSymIdx[l] = idx
+		for sym, sl := range lengths {
+			if int(sl) == l {
+				d.symbols = append(d.symbols, sym)
+				idx++
+			}
+		}
+	}
+	return d, nil
+}
+
+// Decode reads one symbol.
+func (d *Decoder) Decode() (int, error) {
+	code := uint32(0)
+	for l := 1; l <= d.maxLen; l++ {
+		bit, err := d.br.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(bit)
+		if d.count[l] > 0 && code >= d.firstCode[l] && code < d.firstCode[l]+uint32(d.count[l]) {
+			return d.symbols[d.firstSymIdx[l]+int(code-d.firstCode[l])], nil
+		}
+	}
+	return 0, fmt.Errorf("huffman: invalid code in stream")
+}
+
+// WriteLengths serialises a code-length table compactly: alphabet size as
+// 16 bits, then for each symbol a 5-bit length with a simple zero-run
+// escape (0 followed by 8-bit run count) since most alphabets are sparse.
+func WriteLengths(lengths []uint8, bw *bitio.Writer) error {
+	if len(lengths) > 1<<16 {
+		return fmt.Errorf("huffman: alphabet too large: %d", len(lengths))
+	}
+	if err := bw.WriteBits(uint64(len(lengths)), 16); err != nil {
+		return err
+	}
+	for i := 0; i < len(lengths); {
+		l := lengths[i]
+		if l == 0 {
+			run := 0
+			for i+run < len(lengths) && lengths[i+run] == 0 && run < 255 {
+				run++
+			}
+			if err := bw.WriteBits(0, 5); err != nil {
+				return err
+			}
+			if err := bw.WriteBits(uint64(run), 8); err != nil {
+				return err
+			}
+			i += run
+			continue
+		}
+		if err := bw.WriteBits(uint64(l), 5); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+// ReadLengths reads a table written by WriteLengths.
+func ReadLengths(br *bitio.Reader) ([]uint8, error) {
+	n, err := br.ReadBits(16)
+	if err != nil {
+		return nil, err
+	}
+	lengths := make([]uint8, n)
+	for i := 0; i < int(n); {
+		v, err := br.ReadBits(5)
+		if err != nil {
+			return nil, err
+		}
+		if v == 0 {
+			run, err := br.ReadBits(8)
+			if err != nil {
+				return nil, err
+			}
+			if run == 0 || i+int(run) > int(n) {
+				return nil, fmt.Errorf("%w: bad zero run", ErrBadLengths)
+			}
+			i += int(run)
+			continue
+		}
+		if v > MaxBits {
+			return nil, fmt.Errorf("%w: length %d", ErrBadLengths, v)
+		}
+		lengths[i] = uint8(v)
+		i++
+	}
+	return lengths, nil
+}

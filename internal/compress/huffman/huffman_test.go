@@ -1,0 +1,313 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"preserv/internal/compress/bitio"
+)
+
+func roundTrip(t *testing.T, freqs []uint64, syms []int) {
+	t.Helper()
+	lengths, err := BuildLengths(freqs)
+	if err != nil {
+		t.Fatalf("BuildLengths: %v", err)
+	}
+	var buf bytes.Buffer
+	bw := bitio.NewWriter(&buf)
+	if err := WriteLengths(lengths, bw); err != nil {
+		t.Fatalf("WriteLengths: %v", err)
+	}
+	enc, err := NewEncoder(lengths, bw)
+	if err != nil {
+		t.Fatalf("NewEncoder: %v", err)
+	}
+	for _, s := range syms {
+		if err := enc.Encode(s); err != nil {
+			t.Fatalf("Encode(%d): %v", s, err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	br := bitio.NewReader(&buf)
+	gotLengths, err := ReadLengths(br)
+	if err != nil {
+		t.Fatalf("ReadLengths: %v", err)
+	}
+	if len(gotLengths) != len(lengths) {
+		t.Fatalf("lengths table size %d, want %d", len(gotLengths), len(lengths))
+	}
+	for i := range lengths {
+		if gotLengths[i] != lengths[i] {
+			t.Fatalf("length[%d] = %d, want %d", i, gotLengths[i], lengths[i])
+		}
+	}
+	dec, err := NewDecoder(gotLengths, br)
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	for i, want := range syms {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("Decode %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("Decode %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	freqs := []uint64{5, 9, 12, 13, 16, 45}
+	syms := []int{0, 1, 2, 3, 4, 5, 5, 5, 0, 2, 4}
+	roundTrip(t, freqs, syms)
+}
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	freqs := []uint64{0, 0, 7, 0}
+	syms := []int{2, 2, 2, 2, 2}
+	roundTrip(t, freqs, syms)
+}
+
+func TestRoundTripTwoSymbols(t *testing.T) {
+	roundTrip(t, []uint64{1, 1}, []int{0, 1, 1, 0, 0, 1})
+}
+
+func TestRoundTripLargeAlphabet(t *testing.T) {
+	// 300-symbol alphabet (as used by the BWT pipeline's RLE0 stage).
+	freqs := make([]uint64, 300)
+	rng := rand.New(rand.NewSource(1))
+	for i := range freqs {
+		freqs[i] = uint64(rng.Intn(1000))
+	}
+	freqs[0] = 100000 // very skewed
+	var syms []int
+	for i := 0; i < 2000; i++ {
+		s := rng.Intn(300)
+		for freqs[s] == 0 {
+			s = (s + 1) % 300
+		}
+		syms = append(syms, s)
+	}
+	roundTrip(t, freqs, syms)
+}
+
+func TestOptimality(t *testing.T) {
+	// The most frequent symbol must get the shortest code.
+	freqs := []uint64{1, 2, 4, 8, 16, 32, 64, 1000}
+	lengths, err := BuildLengths(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if lengths[7] > lengths[i] {
+			t.Errorf("most frequent symbol has length %d > length %d of symbol %d",
+				lengths[7], lengths[i], i)
+		}
+	}
+}
+
+func TestKraftEquality(t *testing.T) {
+	freqs := []uint64{3, 9, 1, 7, 0, 22, 5, 5, 5}
+	lengths, err := BuildLengths(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kraft float64
+	n := 0
+	for _, l := range lengths {
+		if l > 0 {
+			kraft += 1 / float64(uint64(1)<<l)
+			n++
+		}
+	}
+	if n > 1 && kraft != 1.0 {
+		t.Errorf("Kraft sum = %v, want exactly 1", kraft)
+	}
+}
+
+func TestLengthLimiting(t *testing.T) {
+	// Fibonacci-like frequencies force deep trees; lengths must be
+	// clamped to MaxBits.
+	freqs := make([]uint64, 40)
+	a, b := uint64(1), uint64(1)
+	for i := range freqs {
+		freqs[i] = a
+		a, b = b, a+b
+	}
+	lengths, err := BuildLengths(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range lengths {
+		if l > MaxBits {
+			t.Fatalf("length[%d] = %d exceeds MaxBits", i, l)
+		}
+	}
+	// And the resulting table must still be decodable.
+	syms := []int{0, 5, 39, 20, 1}
+	roundTrip(t, freqs, syms)
+}
+
+func TestEncodeUnknownSymbol(t *testing.T) {
+	lengths, _ := BuildLengths([]uint64{1, 1, 0})
+	var buf bytes.Buffer
+	enc, err := NewEncoder(lengths, bitio.NewWriter(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(2); err == nil {
+		t.Error("encoding zero-frequency symbol should fail")
+	}
+	if err := enc.Encode(-1); err == nil {
+		t.Error("encoding negative symbol should fail")
+	}
+	if err := enc.Encode(99); err == nil {
+		t.Error("encoding out-of-range symbol should fail")
+	}
+}
+
+func TestBadLengthTables(t *testing.T) {
+	cases := [][]uint8{
+		{1, 1, 1},        // oversubscribed
+		{2, 2, 2, 2, 2},  // oversubscribed
+		{1, 2},           // incomplete (Kraft < 1 with 2 symbols)
+		{MaxBits + 1, 1}, // over the limit
+	}
+	for _, lengths := range cases {
+		if _, err := NewDecoder(lengths, bitio.NewReader(bytes.NewReader(nil))); err == nil {
+			t.Errorf("NewDecoder(%v) succeeded, want error", lengths)
+		}
+	}
+}
+
+func TestEmptyAlphabet(t *testing.T) {
+	if _, err := BuildLengths(nil); err == nil {
+		t.Error("empty alphabet should error")
+	}
+}
+
+func TestAllZeroFrequencies(t *testing.T) {
+	lengths, err := BuildLengths([]uint64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range lengths {
+		if l != 0 {
+			t.Errorf("length[%d] = %d, want 0", i, l)
+		}
+	}
+}
+
+func TestCompressionBeatsFixedWidth(t *testing.T) {
+	// Skewed text must code below 8 bits/symbol.
+	rng := rand.New(rand.NewSource(2))
+	data := make([]int, 50000)
+	freqs := make([]uint64, 256)
+	for i := range data {
+		var s int
+		if rng.Intn(100) < 90 {
+			s = rng.Intn(4)
+		} else {
+			s = rng.Intn(256)
+		}
+		data[i] = s
+		freqs[s]++
+	}
+	lengths, err := BuildLengths(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bw := bitio.NewWriter(&buf)
+	enc, err := NewEncoder(lengths, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range data {
+		if err := enc.Encode(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw.Close()
+	bitsPerSym := float64(buf.Len()*8) / float64(len(data))
+	if bitsPerSym > 4.5 {
+		t.Errorf("coded at %.2f bits/sym, want well below 8", bitsPerSym)
+	}
+}
+
+// Property: for random frequency tables, encode-then-decode of random
+// conforming symbol streams is the identity.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, alpha8, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := int(alpha8)%60 + 2
+		n := int(n8)%100 + 1
+		freqs := make([]uint64, alpha)
+		nonZero := 0
+		for i := range freqs {
+			freqs[i] = uint64(rng.Intn(50))
+			if freqs[i] > 0 {
+				nonZero++
+			}
+		}
+		if nonZero == 0 {
+			freqs[0] = 1
+			nonZero = 1
+		}
+		lengths, err := BuildLengths(freqs)
+		if err != nil {
+			return false
+		}
+		var pool []int
+		for s, f := range freqs {
+			if f > 0 {
+				pool = append(pool, s)
+			}
+		}
+		syms := make([]int, n)
+		for i := range syms {
+			syms[i] = pool[rng.Intn(len(pool))]
+		}
+		var buf bytes.Buffer
+		bw := bitio.NewWriter(&buf)
+		if WriteLengths(lengths, bw) != nil {
+			return false
+		}
+		enc, err := NewEncoder(lengths, bw)
+		if err != nil {
+			return false
+		}
+		for _, s := range syms {
+			if enc.Encode(s) != nil {
+				return false
+			}
+		}
+		if bw.Close() != nil {
+			return false
+		}
+		br := bitio.NewReader(&buf)
+		gotLengths, err := ReadLengths(br)
+		if err != nil {
+			return false
+		}
+		dec, err := NewDecoder(gotLengths, br)
+		if err != nil {
+			return false
+		}
+		for _, want := range syms {
+			got, err := dec.Decode()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package ppm implements an adaptive Prediction-by-Partial-Matching
+// compressor (PPM with escape method C, symbol exclusion and update
+// exclusion) over the arithmetic range coder in internal/compress/arith.
+//
+// The paper's Measure workflow compresses every permuted sample with
+// both gzip and ppmz. ppmz is a closed-source context-mixing compressor;
+// this package is the from-scratch substitute in the same algorithmic
+// family — a strong, slow, adaptive context model — so the experiment's
+// "expensive compressor" code path is exercised faithfully.
+package ppm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"preserv/internal/compress/arith"
+)
+
+// MaxOrder is the highest supported context order.
+const MaxOrder = 6
+
+// DefaultOrder is the context order used by Compress. Order 3 is the
+// classic PPMC configuration: strong on protein-sized samples while
+// keeping model memory modest.
+const DefaultOrder = 3
+
+const (
+	magic        = "PPM1"
+	rescaleLimit = 4096 // halve context counts beyond this total
+	countIncr    = 1    // PPMC increments matched counts by one
+)
+
+// ErrCorrupt is returned when a compressed stream fails validation.
+var ErrCorrupt = errors.New("ppm: corrupt stream")
+
+type symCount struct {
+	sym byte
+	cnt uint16
+}
+
+type context struct {
+	syms []symCount
+}
+
+// model holds the adaptive state shared (by construction, not by
+// reference) between encoder and decoder.
+type model struct {
+	order   int
+	ctxs    map[uint64]*context
+	last    [MaxOrder]byte // most recent bytes, last[MaxOrder-1] newest
+	n       int            // bytes processed so far
+	excl    [256]bool
+	exclSet []byte   // symbols currently excluded, for cheap reset
+	visited []uint64 // context keys walked during the current symbol
+}
+
+func newModel(order int) *model {
+	return &model{
+		order: order,
+		ctxs:  make(map[uint64]*context, 1<<12),
+	}
+}
+
+func (m *model) clearExcl() {
+	for _, s := range m.exclSet {
+		m.excl[s] = false
+	}
+	m.exclSet = m.exclSet[:0]
+}
+
+func (m *model) exclude(s byte) {
+	if !m.excl[s] {
+		m.excl[s] = true
+		m.exclSet = append(m.exclSet, s)
+	}
+}
+
+func (m *model) push(b byte) {
+	copy(m.last[:MaxOrder-1], m.last[1:])
+	m.last[MaxOrder-1] = b
+	m.n++
+}
+
+func (m *model) maxK() int {
+	if m.n < m.order {
+		return m.n
+	}
+	return m.order
+}
+
+// key packs a context of the given order into a single map key:
+// the order tag in the top bits, the context bytes below.
+func (m *model) key(k int) uint64 {
+	key := uint64(k+1) << 48
+	for i := MaxOrder - k; i < MaxOrder; i++ {
+		key = key<<8 | uint64(m.last[i])
+	}
+	return key
+}
+
+// stats returns the cumulative total of unexcluded counts and the number
+// of distinct unexcluded symbols in ctx.
+func (m *model) stats(ctx *context) (total, distinct uint32) {
+	for _, sc := range ctx.syms {
+		if !m.excl[sc.sym] {
+			total += uint32(sc.cnt)
+			distinct++
+		}
+	}
+	return total, distinct
+}
+
+// update applies update exclusion: the coded symbol's count is bumped in
+// every context visited during coding (the found context and all
+// higher-order contexts that escaped or were absent), but not in
+// lower-order contexts that were never consulted.
+func (m *model) update(b byte) {
+	for _, key := range m.visited {
+		ctx := m.ctxs[key]
+		if ctx == nil {
+			ctx = &context{}
+			m.ctxs[key] = ctx
+		}
+		found := false
+		total := uint32(0)
+		for i := range ctx.syms {
+			total += uint32(ctx.syms[i].cnt)
+			if ctx.syms[i].sym == b {
+				ctx.syms[i].cnt += countIncr
+				total += countIncr
+				found = true
+			}
+		}
+		if !found {
+			ctx.syms = append(ctx.syms, symCount{sym: b, cnt: countIncr})
+			total += countIncr
+		}
+		if total > rescaleLimit {
+			rescale(ctx)
+		}
+	}
+}
+
+func rescale(ctx *context) {
+	out := ctx.syms[:0]
+	for _, sc := range ctx.syms {
+		sc.cnt /= 2
+		if sc.cnt > 0 {
+			out = append(out, sc)
+		}
+	}
+	ctx.syms = out
+}
+
+// encodeSym codes one byte against the model and then updates it.
+func (m *model) encodeSym(e *arith.Encoder, b byte) error {
+	m.clearExcl()
+	m.visited = m.visited[:0]
+	found := false
+	for k := m.maxK(); k >= 0; k-- {
+		key := m.key(k)
+		m.visited = append(m.visited, key)
+		ctx := m.ctxs[key]
+		if ctx == nil {
+			continue
+		}
+		total, distinct := m.stats(ctx)
+		if distinct == 0 {
+			continue
+		}
+		grand := total + distinct // escape count = distinct (method C)
+		var cum uint32
+		var lo, hi uint32
+		foundHere := false
+		for _, sc := range ctx.syms {
+			if m.excl[sc.sym] {
+				continue
+			}
+			if sc.sym == b {
+				lo, hi = cum, cum+uint32(sc.cnt)
+				foundHere = true
+				break
+			}
+			cum += uint32(sc.cnt)
+		}
+		if foundHere {
+			if err := e.Encode(lo, hi, grand); err != nil {
+				return err
+			}
+			found = true
+			break
+		}
+		// Escape occupies the top of the range.
+		if err := e.Encode(total, grand, grand); err != nil {
+			return err
+		}
+		for _, sc := range ctx.syms {
+			m.exclude(sc.sym)
+		}
+	}
+	if !found {
+		// Order -1: uniform over the unexcluded byte values. The coded
+		// symbol can never itself be excluded (an excluded symbol would
+		// have been coded in the context that excluded it).
+		var lo, total uint32
+		seen := false
+		for s := 0; s < 256; s++ {
+			if m.excl[byte(s)] {
+				continue
+			}
+			if byte(s) == b {
+				lo = total
+				seen = true
+			}
+			total++
+		}
+		if !seen {
+			return fmt.Errorf("ppm: internal error: symbol %d excluded at order -1", b)
+		}
+		if err := e.Encode(lo, lo+1, total); err != nil {
+			return err
+		}
+	}
+	m.update(b)
+	m.push(b)
+	return nil
+}
+
+// decodeSym mirrors encodeSym exactly.
+func (m *model) decodeSym(d *arith.Decoder) (byte, error) {
+	m.clearExcl()
+	m.visited = m.visited[:0]
+	for k := m.maxK(); k >= 0; k-- {
+		key := m.key(k)
+		m.visited = append(m.visited, key)
+		ctx := m.ctxs[key]
+		if ctx == nil {
+			continue
+		}
+		total, distinct := m.stats(ctx)
+		if distinct == 0 {
+			continue
+		}
+		grand := total + distinct
+		f, err := d.DecodeFreq(grand)
+		if err != nil {
+			return 0, err
+		}
+		if f >= total {
+			if err := d.Update(total, grand, grand); err != nil {
+				return 0, err
+			}
+			for _, sc := range ctx.syms {
+				m.exclude(sc.sym)
+			}
+			continue
+		}
+		var cum uint32
+		for _, sc := range ctx.syms {
+			if m.excl[sc.sym] {
+				continue
+			}
+			next := cum + uint32(sc.cnt)
+			if f < next {
+				if err := d.Update(cum, next, grand); err != nil {
+					return 0, err
+				}
+				b := sc.sym
+				m.update(b)
+				m.push(b)
+				return b, nil
+			}
+			cum = next
+		}
+		return 0, fmt.Errorf("%w: frequency %d outside context", ErrCorrupt, f)
+	}
+	// Order -1.
+	var total uint32
+	for s := 0; s < 256; s++ {
+		if !m.excl[byte(s)] {
+			total++
+		}
+	}
+	f, err := d.DecodeFreq(total)
+	if err != nil {
+		return 0, err
+	}
+	var idx uint32
+	for s := 0; s < 256; s++ {
+		if m.excl[byte(s)] {
+			continue
+		}
+		if idx == f {
+			if err := d.Update(f, f+1, total); err != nil {
+				return 0, err
+			}
+			b := byte(s)
+			m.update(b)
+			m.push(b)
+			return b, nil
+		}
+		idx++
+	}
+	return 0, fmt.Errorf("%w: order -1 frequency %d out of range", ErrCorrupt, f)
+}
+
+// Compress compresses data with the default context order.
+func Compress(data []byte) ([]byte, error) {
+	return CompressOrder(data, DefaultOrder)
+}
+
+// CompressOrder compresses data with an explicit context order in
+// [1, MaxOrder]. Higher orders trade memory and speed for ratio.
+func CompressOrder(data []byte, order int) ([]byte, error) {
+	if order < 1 || order > MaxOrder {
+		return nil, fmt.Errorf("ppm: order %d out of range [1,%d]", order, MaxOrder)
+	}
+	var out bytes.Buffer
+	out.WriteString(magic)
+	out.WriteByte(byte(order))
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(data)))
+	out.Write(hdr[:])
+
+	m := newModel(order)
+	e := arith.NewEncoder(&out)
+	for _, b := range data {
+		if err := m.encodeSym(e, b); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Decompress reverses Compress / CompressOrder.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) < len(magic)+1+8 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	order := int(data[len(magic)])
+	if order < 1 || order > MaxOrder {
+		return nil, fmt.Errorf("%w: order %d", ErrCorrupt, order)
+	}
+	n := binary.BigEndian.Uint64(data[len(magic)+1:])
+	payload := data[len(magic)+1+8:]
+	if n == 0 {
+		return []byte{}, nil
+	}
+	d, err := arith.NewDecoder(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	m := newModel(order)
+	out := make([]byte, 0, n)
+	for uint64(len(out)) < n {
+		b, err := m.decodeSym(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

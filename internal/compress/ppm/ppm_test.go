@@ -1,0 +1,254 @@
+package ppm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripBasic(t *testing.T) {
+	cases := []string{
+		"",
+		"a",
+		"ab",
+		"aaaaaaaaaaaaaaaa",
+		"hello, world",
+		"abracadabra abracadabra abracadabra",
+		strings.Repeat("MKVLATRESGW", 500),
+	}
+	for _, c := range cases {
+		comp, err := Compress([]byte(c))
+		if err != nil {
+			t.Fatalf("Compress(%q): %v", c, err)
+		}
+		back, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("Decompress(%q): %v", c, err)
+		}
+		if string(back) != c {
+			t.Fatalf("round trip failed for %q: got %q", c, back)
+		}
+	}
+}
+
+func TestRoundTripAllOrders(t *testing.T) {
+	data := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 50))
+	for order := 1; order <= MaxOrder; order++ {
+		comp, err := CompressOrder(data, order)
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		back, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("order %d decompress: %v", order, err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("order %d round trip failed", order)
+		}
+	}
+}
+
+func TestRoundTripAllByteValues(t *testing.T) {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	comp, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("all-byte-values round trip failed")
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 20000)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	comp, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("random data round trip failed")
+	}
+}
+
+func TestRoundTripProteinLikeSample(t *testing.T) {
+	// Synthetic amino-acid sequence with skewed composition — the actual
+	// workload of the Measure workflow.
+	alphabet := []byte("ACDEFGHIKLMNPQRSTVWY")
+	rng := rand.New(rand.NewSource(12))
+	data := make([]byte, 50000)
+	for i := range data {
+		// Skew: leucine/alanine-like residues more common.
+		if rng.Intn(10) < 4 {
+			data[i] = alphabet[rng.Intn(4)]
+		} else {
+			data[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+	}
+	comp, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("protein sample round trip failed")
+	}
+	// 20-symbol alphabet: must beat 8 bits/byte comfortably.
+	ratio := float64(len(comp)) / float64(len(data))
+	if ratio > 0.65 {
+		t.Errorf("compression ratio %.3f on 20-letter alphabet, want < 0.65", ratio)
+	}
+}
+
+func TestCompressesStructureBelowShuffled(t *testing.T) {
+	// Core experimental property: structure ⇒ smaller output.
+	structured := bytes.Repeat([]byte("MKVLATRESGWQ"), 2000)
+	shuffled := append([]byte(nil), structured...)
+	rng := rand.New(rand.NewSource(13))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	cs, err := Compress(structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := Compress(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) >= len(cr) {
+		t.Errorf("structured %d >= shuffled %d; PPM must exploit structure", len(cs), len(cr))
+	}
+}
+
+func TestHigherOrderHelpsOnText(t *testing.T) {
+	data := []byte(strings.Repeat("provenance is the documentation of process. ", 300))
+	c1, err := CompressOrder(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := CompressOrder(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c4) >= len(c1) {
+		t.Errorf("order-4 output %d >= order-1 output %d on repetitive text", len(c4), len(c1))
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	if _, err := CompressOrder([]byte("x"), 0); err == nil {
+		t.Error("order 0 should error")
+	}
+	if _, err := CompressOrder([]byte("x"), MaxOrder+1); err == nil {
+		t.Error("order beyond MaxOrder should error")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	comp, err := Compress([]byte("payload to be corrupted in several ways"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     comp[:6],
+		"bad magic": append([]byte("JUNK"), comp[4:]...),
+		"bad order": func() []byte {
+			c := append([]byte(nil), comp...)
+			c[4] = 99
+			return c
+		}(),
+		"truncated payload": comp[:len(comp)-3],
+	}
+	for name, data := range cases {
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("%s: Decompress succeeded, want error", name)
+		}
+	}
+}
+
+func TestEmptyInputHeaderOnly(t *testing.T) {
+	comp, err := Compress(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("empty round trip returned %d bytes", len(back))
+	}
+}
+
+func TestRescaleStability(t *testing.T) {
+	// Long single-symbol run forces repeated rescales in the order-0
+	// context; the stream must still round-trip.
+	data := bytes.Repeat([]byte{'Q'}, 100000)
+	comp, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("rescale round trip failed")
+	}
+	if len(comp) > 2000 {
+		t.Errorf("run of 100000 identical bytes compressed to %d, want < 2000", len(comp))
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		comp, err := Compress(data)
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(comp)
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripSmallAlphabet(t *testing.T) {
+	// Group-encoded samples have tiny alphabets (4-8 symbols); bias the
+	// generator accordingly.
+	f := func(data []byte, shift uint8) bool {
+		mapped := make([]byte, len(data))
+		for i, b := range data {
+			mapped[i] = 'A' + (b+shift)%5
+		}
+		comp, err := Compress(mapped)
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(comp)
+		return err == nil && bytes.Equal(back, mapped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

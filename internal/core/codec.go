@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// MarshalText implements encoding.TextMarshaler so views serialise by
+// name in XML documents.
+func (v View) MarshalText() ([]byte, error) {
+	if v != SenderView && v != ReceiverView {
+		return nil, fmt.Errorf("core: cannot marshal view %d", int(v))
+	}
+	return []byte(v.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (v *View) UnmarshalText(text []byte) error {
+	parsed, err := ParseView(string(text))
+	if err != nil {
+		return err
+	}
+	*v = parsed
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler for record kinds.
+func (k Kind) MarshalText() ([]byte, error) {
+	if k != KindInteraction && k != KindActorState {
+		return nil, fmt.Errorf("core: cannot marshal kind %d", int(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *Kind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "interaction":
+		*k = KindInteraction
+	case "actorState":
+		*k = KindActorState
+	default:
+		return fmt.Errorf("core: unknown kind %q", text)
+	}
+	return nil
+}
+
+// EncodeRecord serialises a record for storage in a backend. The format
+// (gob) is internal to a single store; the wire format between actors
+// and the store is XML (see internal/soap and internal/prep).
+func EncodeRecord(r *Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("core: encoding record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRecord reverses EncodeRecord.
+func DecodeRecord(data []byte) (*Record, error) {
+	var r Record
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("core: decoding record: %w", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,419 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"preserv/internal/bio"
+	"preserv/internal/core"
+	"preserv/internal/grid"
+	"preserv/internal/ontology"
+	"preserv/internal/prep"
+	"preserv/internal/preserv"
+	"preserv/internal/registry"
+	"preserv/internal/semval"
+	"preserv/internal/store"
+)
+
+// smallParams keeps test runs fast: a few KB sample, a few permutations.
+func smallParams() Params {
+	return Params{
+		SampleBytes:  2048,
+		Permutations: 3,
+		BatchSize:    2,
+		Seed:         7,
+		SeqMinLen:    100,
+		SeqMaxLen:    200,
+	}
+}
+
+func startStore(t *testing.T) (*preserv.Client, string) {
+	t.Helper()
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	srv, err := preserv.Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return preserv.NewClient(srv.URL, nil), srv.URL
+}
+
+func TestRunNoRecording(t *testing.T) {
+	res, err := Run(smallParams(), Config{Mode: RecordOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsCreated != 0 {
+		t.Errorf("no-recording mode created %d records", res.RecordsCreated)
+	}
+	if res.Results == nil || len(res.Results.PerCodec) != 2 {
+		t.Fatalf("results = %+v", res.Results)
+	}
+	for _, codec := range []string{"gzip", "ppmz"} {
+		cs, ok := res.Results.PerCodec[codec]
+		if !ok {
+			t.Fatalf("codec %s missing", codec)
+		}
+		if cs.SampleRatio <= 0 || cs.MeanRatio <= 0 {
+			t.Errorf("%s ratios: %+v", codec, cs)
+		}
+		if cs.Permutations != 3 {
+			t.Errorf("%s permutations = %d, want 3", codec, cs.Permutations)
+		}
+		// The headline scientific property: the structured sample must
+		// compress at least as well as its shuffled permutations.
+		if cs.StructureIndex >= 1.02 {
+			t.Errorf("%s structure index = %.4f; structured sample should not compress worse", codec, cs.StructureIndex)
+		}
+	}
+	if !strings.Contains(res.ResultsText, "gzip") {
+		t.Error("results text missing codec rows")
+	}
+}
+
+func TestRunDeterministicResults(t *testing.T) {
+	a, err := Run(smallParams(), Config{Mode: RecordOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallParams(), Config{Mode: RecordOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for codec, ca := range a.Results.PerCodec {
+		cb := b.Results.PerCodec[codec]
+		if ca.SampleRatio != cb.SampleRatio || ca.MeanRatio != cb.MeanRatio {
+			t.Errorf("%s: results differ across identical seeded runs", codec)
+		}
+	}
+}
+
+func TestRunSyncRecordsSixPerPermutation(t *testing.T) {
+	pc, url := startStore(t)
+	p := smallParams()
+	res, err := Run(p, Config{Mode: RecordSync, StoreURLs: []string{url}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fine-grained: 6 records per permutation unit (N permutations plus
+	// the unshuffled sample). Coarse: one per workflow activity.
+	units := p.Permutations + 1
+	batches := (units + p.BatchSize - 1) / p.BatchSize
+	coarse := 3 + batches // collate, encode, collate-sizes, average = 4... batches + 4
+	coarse = 4 + batches
+	wantFine := int64(units * RecordsPerPermutation(2))
+	if res.RecordsCreated != wantFine+int64(coarse) {
+		t.Errorf("records = %d, want %d fine + %d coarse", res.RecordsCreated, wantFine, coarse)
+	}
+	cnt, err := pc.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(cnt.Records) != res.RecordsCreated {
+		t.Errorf("store holds %d records, recorder reported %d", cnt.Records, res.RecordsCreated)
+	}
+	if cnt.ActorStates != 0 {
+		t.Errorf("sync mode stored %d actor states, want 0", cnt.ActorStates)
+	}
+}
+
+func TestRunSyncExtraRecordsScripts(t *testing.T) {
+	pc, url := startStore(t)
+	res, err := Run(smallParams(), Config{Mode: RecordSyncExtra, StoreURLs: []string{url}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := pc.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.ActorStates == 0 {
+		t.Fatal("extra mode stored no actor-state p-assertions")
+	}
+	if cnt.ActorStates != cnt.Interactions {
+		t.Errorf("actor states = %d, interactions = %d; extra mode pairs them", cnt.ActorStates, cnt.Interactions)
+	}
+	// Scripts must be queryable for the comparison use case.
+	recs, _, err := pc.Query(&prep.Query{
+		SessionID: res.SessionID,
+		Kind:      core.KindActorState.String(),
+		StateKind: core.StateScript,
+		Limit:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || !strings.Contains(string(recs[0].ActorState.Content), "#!/bin/sh") {
+		t.Error("script p-assertions missing or malformed")
+	}
+}
+
+func TestRunAsyncDefersAndShips(t *testing.T) {
+	pc, url := startStore(t)
+	p := smallParams()
+	res, err := Run(p, Config{
+		Mode:       RecordAsync,
+		StoreURLs:  []string{url},
+		JournalDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := pc.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(cnt.Records) != res.RecordsCreated {
+		t.Errorf("store holds %d, want %d", cnt.Records, res.RecordsCreated)
+	}
+	if res.Elapsed < res.WorkflowElapsed {
+		t.Error("overall elapsed must include the shipping phase")
+	}
+}
+
+func TestRunAsyncDistributed(t *testing.T) {
+	_, url1 := startStore(t)
+	pc2, url2 := startStore(t)
+	res, err := Run(smallParams(), Config{
+		Mode:       RecordAsync,
+		StoreURLs:  []string{url1, url2},
+		JournalDir: t.TempDir(),
+		AsyncBatch: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt2, err := pc2.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt2.Records == 0 {
+		t.Error("second store received nothing in distributed mode")
+	}
+	if res.RecordsCreated == 0 {
+		t.Error("no records created")
+	}
+}
+
+func TestRunModesNeedStoreURL(t *testing.T) {
+	for _, mode := range []RecordingMode{RecordSync, RecordSyncExtra, RecordAsync} {
+		if _, err := Run(smallParams(), Config{Mode: mode}); err == nil {
+			t.Errorf("mode %s without store URL should fail", mode)
+		}
+	}
+	if _, err := Run(smallParams(), Config{Mode: RecordingMode(99)}); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func TestRunOnGridCluster(t *testing.T) {
+	cluster, err := grid.NewCluster(2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(smallParams(), Config{Mode: RecordOff, Cluster: cluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results == nil {
+		t.Fatal("no results")
+	}
+	if cluster.Stats().JobsRun == 0 {
+		t.Error("cluster ran no jobs")
+	}
+}
+
+func TestRunNucleotideTrapEndToEnd(t *testing.T) {
+	// The full use-case-2 story: a nucleotide sample runs through the
+	// whole experiment WITHOUT error, and only semantic validation
+	// against the registry exposes the problem.
+	pc, url := startStore(t)
+	_ = pc
+
+	reg := registry.NewRegistry()
+	rsrv, err := registry.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+	rc := registry.NewClient(rsrv.URL, nil)
+	if err := PublishAll(rc, []string{"gzip", "ppmz"}); err != nil {
+		t.Fatal(err)
+	}
+
+	p := smallParams()
+	p.NucleotideInput = true
+	res, err := Run(p, Config{Mode: RecordSync, StoreURLs: []string{url}})
+	if err != nil {
+		t.Fatalf("nucleotide run must succeed syntactically: %v", err)
+	}
+
+	val := &semval.Validator{
+		Store:    preserv.NewClient(url, nil),
+		Registry: rc,
+		Ontology: ontology.Bioinformatics(),
+	}
+	rep, err := val.ValidateSession(res.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid() {
+		t.Fatal("semantic validation passed; the nucleotide error went undetected")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Service == SvcEncode && v.Produced == ontology.TypeNucleotide && v.Expected == ontology.TypeProtein {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected the encode-input violation, got: %v", rep.Violations)
+	}
+}
+
+func TestRunProteinSessionValidates(t *testing.T) {
+	// The healthy counterpart: a protein run passes semantic validation.
+	_, url := startStore(t)
+	reg := registry.NewRegistry()
+	rsrv, err := registry.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+	rc := registry.NewClient(rsrv.URL, nil)
+	if err := PublishAll(rc, []string{"gzip", "ppmz"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(smallParams(), Config{Mode: RecordSync, StoreURLs: []string{url}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := &semval.Validator{
+		Store:    preserv.NewClient(url, nil),
+		Registry: rc,
+		Ontology: ontology.Bioinformatics(),
+	}
+	rep, err := val.ValidateSession(res.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid() {
+		t.Fatalf("protein session should validate cleanly, got: %v", rep.Violations)
+	}
+	if rep.Interactions == 0 || rep.EdgesChecked == 0 {
+		t.Errorf("validation checked nothing: %+v", rep)
+	}
+}
+
+func TestScriptConfigsChangeRecordedScripts(t *testing.T) {
+	pc, url := startStore(t)
+	p := smallParams()
+	p.ScriptConfigs = map[core.ActorID]string{CompressorService("gzip"): "level=1"}
+	res, err := Run(p, Config{Mode: RecordSyncExtra, StoreURLs: []string{url}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := pc.Query(&prep.Query{
+		SessionID: res.SessionID,
+		Kind:      core.KindActorState.String(),
+		StateKind: core.StateScript,
+		Service:   CompressorService("gzip"),
+		Limit:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || !strings.Contains(string(recs[0].ActorState.Content), "level=1") {
+		t.Error("script config not embedded in recorded script")
+	}
+}
+
+func TestPermSeedDistinct(t *testing.T) {
+	seen := make(map[int64]bool)
+	for perm := 0; perm < 1000; perm++ {
+		s := permSeed(42, perm)
+		if seen[s] {
+			t.Fatalf("duplicate shuffle seed at perm %d", perm)
+		}
+		seen[s] = true
+	}
+	if permSeed(1, 5) == permSeed(2, 5) {
+		t.Error("different base seeds should give different perm seeds")
+	}
+}
+
+func TestRecordsPerPermutation(t *testing.T) {
+	if got := RecordsPerPermutation(2); got != 6 {
+		t.Errorf("RecordsPerPermutation(2) = %d, want 6 (the paper's count)", got)
+	}
+	if got := RecordsPerPermutation(3); got != 8 {
+		t.Errorf("RecordsPerPermutation(3) = %d, want 8", got)
+	}
+}
+
+func TestRunSingleCodec(t *testing.T) {
+	p := smallParams()
+	p.Codecs = []string{"gzip"}
+	res, err := Run(p, Config{Mode: RecordOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results.PerCodec) != 1 {
+		t.Errorf("codecs = %v", res.Results.Codecs())
+	}
+}
+
+func TestRunBzip2Codec(t *testing.T) {
+	p := smallParams()
+	p.Codecs = []string{"bzip2"}
+	res, err := Run(p, Config{Mode: RecordOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Results.PerCodec["bzip2"]
+	if cs.SampleRatio <= 0 {
+		t.Errorf("bzip2 stats = %+v", cs)
+	}
+}
+
+func TestRunUnknownCodecFails(t *testing.T) {
+	p := smallParams()
+	p.Codecs = []string{"snappy"}
+	if _, err := Run(p, Config{Mode: RecordOff}); err == nil {
+		t.Error("unknown codec should fail")
+	}
+}
+
+func TestDifferentGroupingsChangeCompressibility(t *testing.T) {
+	p := smallParams()
+	p.Codecs = []string{"gzip"}
+	rh, err := Run(p, Config{Mode: RecordOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := p
+	p2.Grouping = bio.Identity20()
+	ri, err := Run(p2, Config{Mode: RecordOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4-symbol alphabet must compress (absolutely) better than the
+	// 20-symbol identity encoding of the same underlying sample.
+	if rh.Results.PerCodec["gzip"].SampleRatio >= ri.Results.PerCodec["gzip"].SampleRatio {
+		t.Errorf("hydropathy4 ratio %.4f should beat identity20 ratio %.4f",
+			rh.Results.PerCodec["gzip"].SampleRatio, ri.Results.PerCodec["gzip"].SampleRatio)
+	}
+}
+
+func TestZeroPermutations(t *testing.T) {
+	p := smallParams()
+	p.Permutations = 0
+	res, err := Run(p, Config{Mode: RecordOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Results.PerCodec["gzip"]
+	if cs.Permutations != 0 || cs.MeanRatio != 0 {
+		t.Errorf("zero-permutation stats = %+v", cs)
+	}
+}

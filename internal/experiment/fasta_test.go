@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"preserv/internal/bio"
+)
+
+// TestRunWithSuppliedFASTA runs the experiment on parsed FASTA input,
+// the paper's actual input path (RefSeq downloads).
+func TestRunWithSuppliedFASTA(t *testing.T) {
+	// Build a FASTA document from generated sequences, then parse it
+	// back — the full real-input code path.
+	gen := bio.NewGenerator(77)
+	var fasta strings.Builder
+	if err := bio.WriteFASTA(&fasta, gen.ProteinSet(30, 100, 300)); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := bio.ParseFASTA(strings.NewReader(fasta.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := smallParams()
+	p.Sequences = seqs
+	res, err := Run(p, Config{Mode: RecordOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results.PerCodec) != 2 {
+		t.Fatalf("results = %v", res.Results.Codecs())
+	}
+	for codec, cs := range res.Results.PerCodec {
+		if cs.SampleRatio <= 0 || cs.SampleRatio >= 1 {
+			t.Errorf("%s sample ratio = %v", codec, cs.SampleRatio)
+		}
+	}
+}
+
+// TestRunSuppliedSequencesTooShort verifies the collation error
+// surfaces when supplied input cannot fill the sample.
+func TestRunSuppliedSequencesTooShort(t *testing.T) {
+	gen := bio.NewGenerator(78)
+	p := smallParams()
+	p.Sequences = gen.ProteinSet(2, 50, 60) // ~110 residues << 2048
+	if _, err := Run(p, Config{Mode: RecordOff}); err == nil {
+		t.Error("insufficient input should fail collation")
+	}
+}
+
+// TestRunSuppliedNucleotideSequences covers the real-input variant of
+// the use-case-2 trap.
+func TestRunSuppliedNucleotideSequences(t *testing.T) {
+	gen := bio.NewGenerator(79)
+	var seqs []*bio.Sequence
+	for i := 0; i < 30; i++ {
+		seqs = append(seqs, gen.Nucleotide("n", 150))
+	}
+	p := smallParams()
+	p.Sequences = seqs
+	p.NucleotideInput = true
+	res, err := Run(p, Config{Mode: RecordOff})
+	if err != nil {
+		t.Fatalf("nucleotide FASTA must run without syntactic error: %v", err)
+	}
+	if res.Results == nil {
+		t.Fatal("no results")
+	}
+}

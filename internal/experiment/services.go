@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+
+	"preserv/internal/core"
+	"preserv/internal/ontology"
+	"preserv/internal/registry"
+)
+
+// Actor identities of the experiment's services. The workflow enactor is
+// the client of every service; each box of the paper's Figures 1 and 2
+// is a service in its own right.
+const (
+	SvcEnactor      core.ActorID = "svc:enactor"
+	SvcCollate      core.ActorID = "svc:collate-sample"
+	SvcCollateNuc   core.ActorID = "svc:collate-sample-nucleotide"
+	SvcEncode       core.ActorID = "svc:encode-by-groups"
+	SvcShuffle      core.ActorID = "svc:shuffle"
+	SvcMeasure      core.ActorID = "svc:measure-size"
+	SvcCollateSizes core.ActorID = "svc:collate-sizes"
+	SvcBatch        core.ActorID = "svc:measure-batch"
+	SvcAverage      core.ActorID = "svc:average"
+)
+
+// CompressorService returns the actor identity of a compression service.
+func CompressorService(codec string) core.ActorID {
+	return core.ActorID("svc:" + codec)
+}
+
+// DefaultScript renders the canonical script content for a service.
+// Scripts are what use case 1 categorises, so they embed the
+// configuration that distinguishes two runs of "the same" experiment.
+func DefaultScript(service core.ActorID, config string) string {
+	if config == "" {
+		config = "default"
+	}
+	return fmt.Sprintf("#!/bin/sh\n# service: %s\n# config: %s\nexec /opt/pcomp/bin/%s \"$@\"\n",
+		service, config, service[len("svc:"):])
+}
+
+// Descriptions returns the registry service descriptions, with semantic
+// annotations from the application ontology, for every service the
+// experiment invokes. codecs names the compression services in use.
+func Descriptions(codecs []string) []*registry.ServiceDescription {
+	descs := []*registry.ServiceDescription{
+		{
+			Service:     SvcCollate,
+			Description: "collates protein sequences into a sample of the requested size",
+			Operations: []registry.Operation{{
+				Name:    "collate",
+				Inputs:  []registry.PartDecl{{Name: "sequences", SemanticType: ontology.TypeProtein}},
+				Outputs: []registry.PartDecl{{Name: "sample", SemanticType: ontology.TypeProtein}},
+			}},
+		},
+		{
+			Service:     SvcCollateNuc,
+			Description: "collates nucleotide sequences into a sample",
+			Operations: []registry.Operation{{
+				Name:    "collate",
+				Inputs:  []registry.PartDecl{{Name: "sequences", SemanticType: ontology.TypeNucleotide}},
+				Outputs: []registry.PartDecl{{Name: "sample", SemanticType: ontology.TypeNucleotide}},
+			}},
+		},
+		{
+			Service:     SvcEncode,
+			Description: "recodes an amino-acid sequence with a reduced group alphabet",
+			Operations: []registry.Operation{{
+				Name: "encode",
+				Inputs: []registry.PartDecl{
+					{Name: "sample", SemanticType: ontology.TypeProtein},
+					{Name: "grouping", SemanticType: ontology.TypeGroupingSpec},
+				},
+				Outputs: []registry.PartDecl{{Name: "encoded", SemanticType: ontology.TypeGroupEncoded}},
+			}},
+		},
+		{
+			Service:     SvcShuffle,
+			Description: "produces a random permutation of a sequence",
+			Operations: []registry.Operation{{
+				Name: "shuffle",
+				Inputs: []registry.PartDecl{
+					{Name: "sample", SemanticType: ontology.TypeGroupEncoded},
+					{Name: "seed", SemanticType: ontology.TypeRandomSeed},
+				},
+				Outputs: []registry.PartDecl{{Name: "permuted", SemanticType: ontology.TypePermutedEncoded}},
+			}},
+		},
+		{
+			Service:     SvcMeasure,
+			Description: "measures the size of a datum in bytes",
+			Operations: []registry.Operation{{
+				Name:    "measure",
+				Inputs:  []registry.PartDecl{{Name: "data", SemanticType: ontology.TypeAny}},
+				Outputs: []registry.PartDecl{{Name: "size", SemanticType: ontology.TypeSize}},
+			}},
+		},
+		{
+			Service:     SvcCollateSizes,
+			Description: "collates size measurements into tables",
+			Operations: []registry.Operation{
+				{
+					Name:    "collate-permutation",
+					Inputs:  []registry.PartDecl{{Name: "size-*", SemanticType: ontology.TypeSize}},
+					Outputs: []registry.PartDecl{{Name: "sizes", SemanticType: ontology.TypeSizesTable}},
+				},
+				{
+					Name:    "collate-all",
+					Inputs:  []registry.PartDecl{{Name: "sizes-*", SemanticType: ontology.TypeSizesTable}},
+					Outputs: []registry.PartDecl{{Name: "sizes-table", SemanticType: ontology.TypeSizesTable}},
+				},
+			},
+		},
+		{
+			Service:     SvcBatch,
+			Description: "runs the Measure sub-workflow for a batch of permutations",
+			Operations: []registry.Operation{{
+				Name:    "measure",
+				Inputs:  []registry.PartDecl{{Name: "encoded", SemanticType: ontology.TypeGroupEncoded}},
+				Outputs: []registry.PartDecl{{Name: "sizes", SemanticType: ontology.TypeSizesTable}},
+			}},
+		},
+		{
+			Service:     SvcAverage,
+			Description: "computes compressibility statistics from size tables",
+			Operations: []registry.Operation{{
+				Name:    "average",
+				Inputs:  []registry.PartDecl{{Name: "sizes-table", SemanticType: ontology.TypeSizesTable}},
+				Outputs: []registry.PartDecl{{Name: "results", SemanticType: ontology.TypeCompressibility}},
+			}},
+		},
+	}
+	for _, codec := range codecs {
+		descs = append(descs, &registry.ServiceDescription{
+			Service:     CompressorService(codec),
+			Description: codec + " compression service",
+			Operations: []registry.Operation{{
+				Name:    "compress",
+				Inputs:  []registry.PartDecl{{Name: "sample", SemanticType: ontology.TypeGroupEncoded}},
+				Outputs: []registry.PartDecl{{Name: "compressed", SemanticType: ontology.TypeCompressed}},
+			}},
+		})
+	}
+	return descs
+}
+
+// PublishAll publishes every description to the registry endpoint.
+func PublishAll(rc *registry.Client, codecs []string) error {
+	for _, d := range Descriptions(codecs) {
+		if err := rc.Publish(d); err != nil {
+			return fmt.Errorf("experiment: publishing %s: %w", d.Service, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"preserv/internal/stats"
+)
+
+// LabelOriginal marks the uncompressed size entry of a permutation.
+const LabelOriginal = "original"
+
+// SizeEntry is one row of a sizes table: the measured size of one form
+// (original or compressed-with-codec) of one permutation. Permutation 0
+// is the unshuffled encoded sample itself.
+type SizeEntry struct {
+	Perm  int
+	Label string // LabelOriginal or a codec name
+	Size  int
+}
+
+// FormatSizes renders entries as the tab-separated sizes-table text that
+// flows between the Collate Sizes and Average activities.
+func FormatSizes(entries []SizeEntry) []byte {
+	var buf bytes.Buffer
+	for _, e := range entries {
+		fmt.Fprintf(&buf, "%d\t%s\t%d\n", e.Perm, e.Label, e.Size)
+	}
+	return buf.Bytes()
+}
+
+// ParseSizes reverses FormatSizes. Blank lines are tolerated.
+func ParseSizes(data []byte) ([]SizeEntry, error) {
+	var entries []SizeEntry
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("experiment: sizes line %d has %d fields", line, len(fields))
+		}
+		perm, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sizes line %d perm: %w", line, err)
+		}
+		size, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sizes line %d size: %w", line, err)
+		}
+		if fields[1] == "" {
+			return nil, fmt.Errorf("experiment: sizes line %d has empty label", line)
+		}
+		entries = append(entries, SizeEntry{Perm: perm, Label: fields[1], Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: reading sizes: %w", err)
+	}
+	return entries, nil
+}
+
+// CodecStats is the compressibility outcome for one compression method —
+// "a compressibility value ... relative to both the compression method
+// and group coding employed", with the permutation distribution the
+// workflow exists to estimate.
+type CodecStats struct {
+	Codec string
+	// SampleRatio is compressed/original for the unshuffled encoded
+	// sample (permutation 0) — the lower bound on compressibility.
+	SampleRatio float64
+	// MeanRatio and StdRatio summarise the ratios of the shuffled
+	// permutations, the standard of comparison that removes encoding and
+	// symbol-frequency effects.
+	MeanRatio float64
+	StdRatio  float64
+	// Permutations is the number of shuffled permutations measured.
+	Permutations int
+	// StructureIndex is SampleRatio/MeanRatio: below 1 means the
+	// compressor found structure beyond symbol frequencies.
+	StructureIndex float64
+}
+
+// Results aggregates the experiment outcome per codec.
+type Results struct {
+	PerCodec map[string]CodecStats
+}
+
+// ComputeResults derives per-codec compressibility statistics from a
+// sizes table.
+func ComputeResults(entries []SizeEntry) (*Results, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("experiment: empty sizes table")
+	}
+	orig := make(map[int]int)
+	byCodec := make(map[string]map[int]int)
+	for _, e := range entries {
+		if e.Size < 0 {
+			return nil, fmt.Errorf("experiment: negative size for perm %d", e.Perm)
+		}
+		if e.Label == LabelOriginal {
+			orig[e.Perm] = e.Size
+			continue
+		}
+		m := byCodec[e.Label]
+		if m == nil {
+			m = make(map[int]int)
+			byCodec[e.Label] = m
+		}
+		m[e.Perm] = e.Size
+	}
+	res := &Results{PerCodec: make(map[string]CodecStats)}
+	for codec, sizes := range byCodec {
+		var ratios []float64
+		var sampleRatio float64
+		haveSample := false
+		perms := make([]int, 0, len(sizes))
+		for p := range sizes {
+			perms = append(perms, p)
+		}
+		sort.Ints(perms)
+		for _, p := range perms {
+			o, ok := orig[p]
+			if !ok || o == 0 {
+				return nil, fmt.Errorf("experiment: no original size for perm %d", p)
+			}
+			ratio := float64(sizes[p]) / float64(o)
+			if p == 0 {
+				sampleRatio = ratio
+				haveSample = true
+			} else {
+				ratios = append(ratios, ratio)
+			}
+		}
+		cs := CodecStats{
+			Codec:        codec,
+			SampleRatio:  sampleRatio,
+			MeanRatio:    stats.Mean(ratios),
+			StdRatio:     stats.StdDev(ratios),
+			Permutations: len(ratios),
+		}
+		if !haveSample {
+			return nil, fmt.Errorf("experiment: codec %s has no sample (perm 0) measurement", codec)
+		}
+		if cs.MeanRatio > 0 {
+			cs.StructureIndex = cs.SampleRatio / cs.MeanRatio
+		}
+		res.PerCodec[codec] = cs
+	}
+	if len(res.PerCodec) == 0 {
+		return nil, fmt.Errorf("experiment: sizes table has no codec entries")
+	}
+	return res, nil
+}
+
+// Codecs lists the codecs present, sorted.
+func (r *Results) Codecs() []string {
+	out := make([]string, 0, len(r.PerCodec))
+	for c := range r.PerCodec {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render produces the human-readable results table the Average activity
+// emits.
+func (r *Results) Render() []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%-8s %12s %12s %12s %8s %10s\n",
+		"codec", "sampleRatio", "meanRatio", "stdRatio", "nPerm", "structure")
+	for _, codec := range r.Codecs() {
+		cs := r.PerCodec[codec]
+		fmt.Fprintf(&buf, "%-8s %12.4f %12.4f %12.4f %8d %10.4f\n",
+			cs.Codec, cs.SampleRatio, cs.MeanRatio, cs.StdRatio, cs.Permutations, cs.StructureIndex)
+	}
+	return buf.Bytes()
+}

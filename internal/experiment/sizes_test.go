@@ -1,0 +1,192 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatParseSizesRoundTrip(t *testing.T) {
+	entries := []SizeEntry{
+		{Perm: 0, Label: LabelOriginal, Size: 1000},
+		{Perm: 0, Label: "gzip", Size: 250},
+		{Perm: 1, Label: LabelOriginal, Size: 1000},
+		{Perm: 1, Label: "gzip", Size: 300},
+		{Perm: 1, Label: "ppmz", Size: 280},
+	}
+	back, err := ParseSizes(FormatSizes(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("got %d entries, want %d", len(back), len(entries))
+	}
+	for i := range entries {
+		if back[i] != entries[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, back[i], entries[i])
+		}
+	}
+}
+
+func TestParseSizesTolerationAndErrors(t *testing.T) {
+	if _, err := ParseSizes([]byte("\n\n1\tgzip\t5\n\n")); err != nil {
+		t.Errorf("blank lines should be tolerated: %v", err)
+	}
+	bad := []string{
+		"1\tgzip",           // too few fields
+		"1\tgzip\t5\textra", // too many fields
+		"x\tgzip\t5",        // bad perm
+		"1\tgzip\ty",        // bad size
+		"1\t\t5",            // empty label
+	}
+	for _, line := range bad {
+		if _, err := ParseSizes([]byte(line + "\n")); err == nil {
+			t.Errorf("ParseSizes(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestComputeResultsBasic(t *testing.T) {
+	entries := []SizeEntry{
+		{Perm: 0, Label: LabelOriginal, Size: 1000},
+		{Perm: 0, Label: "gzip", Size: 200},
+		{Perm: 1, Label: LabelOriginal, Size: 1000},
+		{Perm: 1, Label: "gzip", Size: 400},
+		{Perm: 2, Label: LabelOriginal, Size: 1000},
+		{Perm: 2, Label: "gzip", Size: 600},
+	}
+	res, err := ComputeResults(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.PerCodec["gzip"]
+	if math.Abs(cs.SampleRatio-0.2) > 1e-9 {
+		t.Errorf("SampleRatio = %v", cs.SampleRatio)
+	}
+	if math.Abs(cs.MeanRatio-0.5) > 1e-9 {
+		t.Errorf("MeanRatio = %v", cs.MeanRatio)
+	}
+	if cs.Permutations != 2 {
+		t.Errorf("Permutations = %d", cs.Permutations)
+	}
+	if math.Abs(cs.StructureIndex-0.4) > 1e-9 {
+		t.Errorf("StructureIndex = %v", cs.StructureIndex)
+	}
+	if cs.StdRatio <= 0 {
+		t.Errorf("StdRatio = %v", cs.StdRatio)
+	}
+}
+
+func TestComputeResultsErrors(t *testing.T) {
+	cases := map[string][]SizeEntry{
+		"empty": {},
+		"no original": {
+			{Perm: 0, Label: "gzip", Size: 1},
+		},
+		"zero original": {
+			{Perm: 0, Label: LabelOriginal, Size: 0},
+			{Perm: 0, Label: "gzip", Size: 1},
+		},
+		"negative size": {
+			{Perm: 0, Label: LabelOriginal, Size: 10},
+			{Perm: 0, Label: "gzip", Size: -1},
+		},
+		"only originals": {
+			{Perm: 0, Label: LabelOriginal, Size: 10},
+		},
+		"missing sample perm": {
+			{Perm: 1, Label: LabelOriginal, Size: 10},
+			{Perm: 1, Label: "gzip", Size: 5},
+		},
+	}
+	for name, entries := range cases {
+		if _, err := ComputeResults(entries); err == nil {
+			t.Errorf("%s: ComputeResults succeeded, want error", name)
+		}
+	}
+}
+
+func TestResultsRenderAndCodecs(t *testing.T) {
+	entries := []SizeEntry{
+		{Perm: 0, Label: LabelOriginal, Size: 100},
+		{Perm: 0, Label: "zzz", Size: 50},
+		{Perm: 0, Label: "aaa", Size: 40},
+	}
+	res, err := ComputeResults(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs := res.Codecs()
+	if len(codecs) != 2 || codecs[0] != "aaa" || codecs[1] != "zzz" {
+		t.Errorf("Codecs = %v", codecs)
+	}
+	out := string(res.Render())
+	for _, want := range []string{"codec", "aaa", "zzz", "structure"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+}
+
+// Property: format/parse is the identity for arbitrary valid entries.
+func TestQuickSizesRoundTrip(t *testing.T) {
+	f := func(perms []uint8, sizes []uint16) bool {
+		n := len(perms)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		entries := make([]SizeEntry, n)
+		for i := 0; i < n; i++ {
+			label := "gzip"
+			if i%3 == 0 {
+				label = LabelOriginal
+			}
+			entries[i] = SizeEntry{Perm: int(perms[i]), Label: label, Size: int(sizes[i])}
+		}
+		back, err := ParseSizes(FormatSizes(entries))
+		if err != nil {
+			return false
+		}
+		if len(back) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if back[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling all sizes by a constant leaves ratios unchanged.
+func TestQuickComputeResultsScaleInvariant(t *testing.T) {
+	f := func(comp1, comp2 uint8) bool {
+		base := []SizeEntry{
+			{Perm: 0, Label: LabelOriginal, Size: 1000},
+			{Perm: 0, Label: "c", Size: int(comp1) + 1},
+			{Perm: 1, Label: LabelOriginal, Size: 1000},
+			{Perm: 1, Label: "c", Size: int(comp2) + 1},
+		}
+		scaled := make([]SizeEntry, len(base))
+		for i, e := range base {
+			e.Size *= 7
+			scaled[i] = e
+		}
+		r1, err1 := ComputeResults(base)
+		r2, err2 := ComputeResults(scaled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		a, b := r1.PerCodec["c"], r2.PerCodec["c"]
+		return math.Abs(a.SampleRatio-b.SampleRatio) < 1e-9 &&
+			math.Abs(a.MeanRatio-b.MeanRatio) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

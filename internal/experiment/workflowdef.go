@@ -1,0 +1,233 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+
+	"preserv/internal/bio"
+	"preserv/internal/ontology"
+	"preserv/internal/workflow"
+)
+
+// resultsHolder receives the Average activity's parsed output.
+type resultsHolder struct {
+	results *Results
+	text    string
+}
+
+// permSeed derives the deterministic shuffle seed for one permutation.
+func permSeed(base int64, perm int) int64 {
+	return base*1_000_003 + int64(perm)
+}
+
+// buildWorkflow assembles the Figure 1 DAG: Collate Sample → Encode by
+// Groups → permutation batches (each running the Figure 2 Measure
+// sub-workflow per permutation) → Collate Sizes → Average.
+func buildWorkflow(x *runner, p Params) (*workflow.Workflow, *resultsHolder, error) {
+	holder := &resultsHolder{}
+	w := workflow.New("protein-compressibility")
+	gen := bio.NewGenerator(p.Seed)
+
+	avgLen := (p.SeqMinLen + p.SeqMaxLen) / 2
+	count := p.SampleBytes/avgLen + p.SampleBytes/(avgLen*4) + 4
+
+	collateSvc := SvcCollate
+	seqType := ontology.TypeProtein
+	var seqs []*bio.Sequence
+	switch {
+	case p.Sequences != nil:
+		// Real input (the paper downloads RefSeq proteins). The declared
+		// type follows the collation service actually invoked, not the
+		// data — which is exactly what makes use case 2 necessary.
+		seqs = p.Sequences
+		if p.NucleotideInput {
+			collateSvc = SvcCollateNuc
+			seqType = ontology.TypeNucleotide
+		}
+	case p.NucleotideInput:
+		collateSvc = SvcCollateNuc
+		seqType = ontology.TypeNucleotide
+		for i := 0; i < count; i++ {
+			seqs = append(seqs, gen.Nucleotide(fmt.Sprintf("NUC%05d", i), avgLen))
+		}
+	default:
+		seqs = gen.ProteinSet(count, p.SeqMinLen, p.SeqMaxLen)
+	}
+	var fasta bytes.Buffer
+	if err := bio.WriteFASTA(&fasta, seqs); err != nil {
+		return nil, nil, fmt.Errorf("experiment: rendering input FASTA: %w", err)
+	}
+
+	// Collate Sample.
+	err := w.Add(&workflow.Activity{
+		ID:        "collate-sample",
+		Service:   collateSvc,
+		Operation: "collate",
+		Script:    x.scriptFor(collateSvc),
+		Run: func(ctx *workflow.Context) error {
+			if _, err := ctx.Input("sequences"); err != nil {
+				return err
+			}
+			sample, err := bio.CollateSample(seqs, p.SampleBytes)
+			if err != nil {
+				return err
+			}
+			ctx.SetOutput("sample", seqType, "text/plain", sample)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := w.BindLiteral("collate-sample", "sequences", workflow.Value{
+		DataID:       x.ids.NewID(),
+		SemanticType: seqType,
+		ContentType:  "application/fasta",
+		Content:      fasta.Bytes(),
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Encode by Groups. A nucleotide sample passes through silently —
+	// its symbols are a subset of the amino-acid alphabet (use case 2).
+	if err := w.Add(&workflow.Activity{
+		ID:        "encode-by-groups",
+		Service:   SvcEncode,
+		Operation: "encode",
+		Script:    x.scriptFor(SvcEncode),
+		Run: func(ctx *workflow.Context) error {
+			sample, err := ctx.Input("sample")
+			if err != nil {
+				return err
+			}
+			encoded, err := p.Grouping.Encode(sample.Content)
+			if err != nil {
+				return err
+			}
+			ctx.SetOutput("encoded", ontology.TypeGroupEncoded, "text/plain", encoded)
+			return nil
+		},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := w.Bind("encode-by-groups", "sample", "collate-sample", "sample"); err != nil {
+		return nil, nil, err
+	}
+	if err := w.BindLiteral("encode-by-groups", "grouping", workflow.Value{
+		DataID:       x.ids.NewID(),
+		SemanticType: ontology.TypeGroupingSpec,
+		ContentType:  "text/plain",
+		Content:      []byte(p.Grouping.Spec()),
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Permutation batches: permutation 0 is the unshuffled encoded
+	// sample; 1..N are shuffles. Each batch is one grid script.
+	totalUnits := p.Permutations + 1
+	numBatches := (totalUnits + p.BatchSize - 1) / p.BatchSize
+	batchIDs := make([]string, 0, numBatches)
+	for b := 0; b < numBatches; b++ {
+		startPerm := b * p.BatchSize
+		endPerm := startPerm + p.BatchSize
+		if endPerm > totalUnits {
+			endPerm = totalUnits
+		}
+		id := fmt.Sprintf("measure-batch-%03d", b)
+		batchIDs = append(batchIDs, id)
+		if err := w.Add(&workflow.Activity{
+			ID:           id,
+			Service:      SvcBatch,
+			Operation:    "measure",
+			Script:       x.scriptFor(SvcBatch),
+			StageInBytes: p.SampleBytes,
+			Run: func(ctx *workflow.Context) error {
+				encoded, err := ctx.Input("encoded")
+				if err != nil {
+					return err
+				}
+				var entries []SizeEntry
+				for perm := startPerm; perm < endPerm; perm++ {
+					sample := encoded
+					if perm > 0 {
+						permuted := bio.Shuffle(encoded.Content, permSeed(p.Seed, perm))
+						sample = x.value(ontology.TypePermutedEncoded, "text/plain", permuted)
+					}
+					permEntries, err := x.measureOne(perm, sample)
+					if err != nil {
+						return err
+					}
+					entries = append(entries, permEntries...)
+				}
+				ctx.SetOutput("sizes", ontology.TypeSizesTable, "text/tab-separated-values", FormatSizes(entries))
+				return nil
+			},
+		}); err != nil {
+			return nil, nil, err
+		}
+		if err := w.Bind(id, "encoded", "encode-by-groups", "encoded"); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Collate Sizes across batches.
+	if err := w.Add(&workflow.Activity{
+		ID:        "collate-sizes",
+		Service:   SvcCollateSizes,
+		Operation: "collate-all",
+		Script:    x.scriptFor(SvcCollateSizes),
+		Run: func(ctx *workflow.Context) error {
+			var table bytes.Buffer
+			for _, name := range ctx.InputNames() {
+				v, err := ctx.Input(name)
+				if err != nil {
+					return err
+				}
+				table.Write(v.Content)
+			}
+			ctx.SetOutput("sizes-table", ontology.TypeSizesTable, "text/tab-separated-values", table.Bytes())
+			return nil
+		},
+	}); err != nil {
+		return nil, nil, err
+	}
+	for b, id := range batchIDs {
+		if err := w.Bind("collate-sizes", fmt.Sprintf("sizes-%03d", b), id, "sizes"); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Average.
+	if err := w.Add(&workflow.Activity{
+		ID:        "average",
+		Service:   SvcAverage,
+		Operation: "average",
+		Script:    x.scriptFor(SvcAverage),
+		Run: func(ctx *workflow.Context) error {
+			table, err := ctx.Input("sizes-table")
+			if err != nil {
+				return err
+			}
+			entries, err := ParseSizes(table.Content)
+			if err != nil {
+				return err
+			}
+			results, err := ComputeResults(entries)
+			if err != nil {
+				return err
+			}
+			text := results.Render()
+			holder.results = results
+			holder.text = string(text)
+			ctx.SetOutput("results", ontology.TypeCompressibility, "text/plain", text)
+			return nil
+		},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := w.Bind("average", "sizes-table", "collate-sizes", "sizes-table"); err != nil {
+		return nil, nil, err
+	}
+
+	return w, holder, nil
+}

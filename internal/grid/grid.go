@@ -1,0 +1,157 @@
+// Package grid simulates the Condor-style batch execution environment
+// the paper runs on (VDT scheduling jobs over a cluster): a fixed number
+// of execution slots, a per-job scheduling latency, and a stage-in file
+// transfer cost. The paper's central operational observation — recording
+// overhead is acceptable when activity granularity is coarse enough to
+// offset "the overhead of grid scheduling and file transfer" — is
+// exactly the trade-off this package makes reproducible (experiment E7).
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cluster models the execution substrate. The zero value is invalid;
+// use NewCluster.
+type Cluster struct {
+	slots chan struct{}
+	// SchedulingDelay is the queue-to-start latency per job (Condor
+	// matchmaking, in the paper's deployment).
+	SchedulingDelay time.Duration
+	// TransferBytesPerSec is the stage-in bandwidth; 0 disables transfer
+	// cost modelling.
+	TransferBytesPerSec float64
+
+	jobsRun      atomic.Int64
+	schedNanos   atomic.Int64
+	transferNano atomic.Int64
+	busyNanos    atomic.Int64
+}
+
+// NewCluster returns a cluster with the given number of parallel slots.
+func NewCluster(slots int, schedulingDelay time.Duration, transferBytesPerSec float64) (*Cluster, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("grid: need at least one slot, got %d", slots)
+	}
+	c := &Cluster{
+		slots:               make(chan struct{}, slots),
+		SchedulingDelay:     schedulingDelay,
+		TransferBytesPerSec: transferBytesPerSec,
+	}
+	for i := 0; i < slots; i++ {
+		c.slots <- struct{}{}
+	}
+	return c, nil
+}
+
+// Slots returns the cluster's degree of parallelism.
+func (c *Cluster) Slots() int { return cap(c.slots) }
+
+// Job is one schedulable unit.
+type Job struct {
+	// Name identifies the job in errors and stats.
+	Name string
+	// StageInBytes is the data shipped to the execution site.
+	StageInBytes int
+	// Run is the job body.
+	Run func() error
+}
+
+// ErrNilJob is returned for jobs without a body.
+var ErrNilJob = errors.New("grid: job has no Run function")
+
+// RunJob schedules one job: it waits for a free slot, pays the
+// scheduling and transfer latencies, runs the body and frees the slot.
+func (c *Cluster) RunJob(job Job) error {
+	if job.Run == nil {
+		return fmt.Errorf("%w: %s", ErrNilJob, job.Name)
+	}
+	<-c.slots
+	defer func() { c.slots <- struct{}{} }()
+
+	if c.SchedulingDelay > 0 {
+		time.Sleep(c.SchedulingDelay)
+		c.schedNanos.Add(int64(c.SchedulingDelay))
+	}
+	if c.TransferBytesPerSec > 0 && job.StageInBytes > 0 {
+		d := time.Duration(float64(job.StageInBytes) / c.TransferBytesPerSec * float64(time.Second))
+		time.Sleep(d)
+		c.transferNano.Add(int64(d))
+	}
+	start := time.Now()
+	err := job.Run()
+	c.busyNanos.Add(int64(time.Since(start)))
+	c.jobsRun.Add(1)
+	if err != nil {
+		return fmt.Errorf("grid: job %s: %w", job.Name, err)
+	}
+	return nil
+}
+
+// Submit runs all jobs, using up to Slots at a time, and returns the
+// first error encountered (all jobs still run to completion).
+func (c *Cluster) Submit(jobs []Job) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(jobs))
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.RunJob(jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarises cluster activity since creation.
+type Stats struct {
+	JobsRun        int64
+	SchedulingTime time.Duration
+	TransferTime   time.Duration
+	BusyTime       time.Duration
+}
+
+// Stats returns a snapshot of cluster counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		JobsRun:        c.jobsRun.Load(),
+		SchedulingTime: time.Duration(c.schedNanos.Load()),
+		TransferTime:   time.Duration(c.transferNano.Load()),
+		BusyTime:       time.Duration(c.busyNanos.Load()),
+	}
+}
+
+// OverheadFraction reports the fraction of total job wall time spent on
+// scheduling and transfer rather than computation — the quantity the
+// paper's granularity argument is about.
+func (s Stats) OverheadFraction() float64 {
+	total := s.SchedulingTime + s.TransferTime + s.BusyTime
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SchedulingTime+s.TransferTime) / float64(total)
+}
+
+// Local returns a cluster approximating local in-process execution:
+// as many slots as requested (minimum one), no scheduling or transfer
+// cost. Useful in tests and for the "no grid" baseline.
+func Local(slots int) *Cluster {
+	if slots < 1 {
+		slots = 1
+	}
+	c, err := NewCluster(slots, 0, 0)
+	if err != nil {
+		panic(err) // unreachable: slots clamped above
+	}
+	return c
+}

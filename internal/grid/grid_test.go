@@ -1,0 +1,183 @@
+package grid
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, 0, 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := NewCluster(-2, 0, 0); err == nil {
+		t.Error("negative slots accepted")
+	}
+	c, err := NewCluster(3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Slots() != 3 {
+		t.Errorf("Slots = %d", c.Slots())
+	}
+}
+
+func TestRunJobExecutes(t *testing.T) {
+	c := Local(2)
+	ran := false
+	err := c.RunJob(Job{Name: "j", Run: func() error { ran = true; return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("job did not run")
+	}
+	if c.Stats().JobsRun != 1 {
+		t.Errorf("JobsRun = %d", c.Stats().JobsRun)
+	}
+}
+
+func TestRunJobNilBody(t *testing.T) {
+	c := Local(1)
+	if err := c.RunJob(Job{Name: "j"}); !errors.Is(err, ErrNilJob) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunJobErrorWrapped(t *testing.T) {
+	c := Local(1)
+	boom := errors.New("boom")
+	err := c.RunJob(Job{Name: "xyz", Run: func() error { return boom }})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSlotLimitEnforced(t *testing.T) {
+	c := Local(2)
+	var concurrent, peak atomic.Int32
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: "j",
+			Run: func() error {
+				cur := concurrent.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				time.Sleep(5 * time.Millisecond)
+				concurrent.Add(-1)
+				return nil
+			},
+		}
+	}
+	if err := c.Submit(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 2 {
+		t.Errorf("peak concurrency %d exceeded 2 slots", peak.Load())
+	}
+	if c.Stats().JobsRun != 10 {
+		t.Errorf("JobsRun = %d", c.Stats().JobsRun)
+	}
+}
+
+func TestSubmitPropagatesError(t *testing.T) {
+	c := Local(4)
+	boom := errors.New("boom")
+	jobs := []Job{
+		{Name: "ok", Run: func() error { return nil }},
+		{Name: "bad", Run: func() error { return boom }},
+		{Name: "ok2", Run: func() error { return nil }},
+	}
+	if err := c.Submit(jobs); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSchedulingDelayApplied(t *testing.T) {
+	c, err := NewCluster(1, 20*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c.RunJob(Job{Name: "j", Run: func() error { return nil }})
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("job finished in %v, scheduling delay not applied", elapsed)
+	}
+	if c.Stats().SchedulingTime < 20*time.Millisecond {
+		t.Errorf("SchedulingTime = %v", c.Stats().SchedulingTime)
+	}
+}
+
+func TestTransferCostApplied(t *testing.T) {
+	// 1 MB at 10 MB/s = 100 ms.
+	c, err := NewCluster(1, 0, 10<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c.RunJob(Job{Name: "j", StageInBytes: 1 << 20, Run: func() error { return nil }})
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("transfer cost not applied: %v", elapsed)
+	}
+	if c.Stats().TransferTime == 0 {
+		t.Error("TransferTime not accounted")
+	}
+}
+
+func TestZeroTransferRateFree(t *testing.T) {
+	c := Local(1)
+	start := time.Now()
+	c.RunJob(Job{Name: "j", StageInBytes: 1 << 30, Run: func() error { return nil }})
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("transfer should be free with rate 0")
+	}
+}
+
+func TestOverheadFraction(t *testing.T) {
+	s := Stats{
+		SchedulingTime: 20 * time.Millisecond,
+		TransferTime:   30 * time.Millisecond,
+		BusyTime:       50 * time.Millisecond,
+	}
+	if got := s.OverheadFraction(); got != 0.5 {
+		t.Errorf("OverheadFraction = %v, want 0.5", got)
+	}
+	if (Stats{}).OverheadFraction() != 0 {
+		t.Error("empty stats should report 0 overhead")
+	}
+}
+
+func TestGranularityReducesOverheadFraction(t *testing.T) {
+	// E7's core claim in miniature: batching more work per job lowers
+	// the scheduling-overhead fraction.
+	work := func(n int) func() error {
+		return func() error {
+			time.Sleep(time.Duration(n) * time.Millisecond)
+			return nil
+		}
+	}
+	fine, _ := NewCluster(1, 5*time.Millisecond, 0)
+	for i := 0; i < 8; i++ {
+		fine.RunJob(Job{Name: "fine", Run: work(2)})
+	}
+	coarse, _ := NewCluster(1, 5*time.Millisecond, 0)
+	coarse.RunJob(Job{Name: "coarse", Run: work(16)})
+
+	if fine.Stats().OverheadFraction() <= coarse.Stats().OverheadFraction() {
+		t.Errorf("fine granularity overhead %.3f should exceed coarse %.3f",
+			fine.Stats().OverheadFraction(), coarse.Stats().OverheadFraction())
+	}
+}
+
+func TestLocalClampsSlots(t *testing.T) {
+	c := Local(0)
+	if c.Slots() != 1 {
+		t.Errorf("Local(0).Slots = %d, want 1", c.Slots())
+	}
+}

@@ -1,0 +1,209 @@
+// Package ids provides the identifier types used throughout the
+// provenance architecture: globally unique identifiers for interactions,
+// sessions, actors and p-assertions.
+//
+// The paper's PReP protocol requires every interaction between two actors
+// to carry an interaction identifier that is unique across all workflow
+// runs, so that p-assertions contributed independently by the sender and
+// the receiver of a message can later be joined. We implement identifiers
+// as 128-bit random values rendered in a URN-like textual form, generated
+// from crypto/rand with a deterministic fallback source for reproducible
+// tests and simulations.
+package ids
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ID is a globally unique identifier. The zero value is invalid; use New
+// or Parse to obtain one.
+type ID struct {
+	hi, lo uint64
+}
+
+// Nil is the zero identifier. It is not a valid identifier for any entity
+// and Valid reports false for it.
+var Nil ID
+
+// ErrBadID is returned by Parse when the input is not a well-formed
+// identifier.
+var ErrBadID = errors.New("ids: malformed identifier")
+
+// Source produces identifiers. Implementations must be safe for
+// concurrent use.
+type Source interface {
+	// NewID returns a fresh identifier, distinct from all previously
+	// returned ones with overwhelming probability.
+	NewID() ID
+}
+
+// cryptoSource draws identifiers from crypto/rand.
+type cryptoSource struct{}
+
+func (cryptoSource) NewID() ID {
+	for {
+		var b [16]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand never fails on supported platforms; if it does
+			// the process cannot safely generate unique IDs.
+			panic("ids: crypto/rand failed: " + err.Error())
+		}
+		if id := fromBytes(b); id != Nil {
+			return id
+		}
+	}
+}
+
+// SeqSource is a deterministic Source for tests and simulations: it
+// returns identifiers with a fixed prefix and an incrementing counter.
+// The zero value is ready to use.
+type SeqSource struct {
+	Prefix uint64 // mixed into the high word so distinct sources do not collide
+	mu     sync.Mutex
+	n      uint64
+}
+
+// NewID returns the next identifier in the sequence.
+func (s *SeqSource) NewID() ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return ID{hi: s.Prefix<<32 | 0x1D5, lo: s.n}
+}
+
+var defaultSource Source = cryptoSource{}
+
+// New returns a fresh globally unique identifier from the default
+// (cryptographic) source.
+func New() ID { return defaultSource.NewID() }
+
+func fromBytes(b [16]byte) ID {
+	var id ID
+	for i := 0; i < 8; i++ {
+		id.hi = id.hi<<8 | uint64(b[i])
+		id.lo = id.lo<<8 | uint64(b[i+8])
+	}
+	return id
+}
+
+// Valid reports whether the identifier is non-zero.
+func (id ID) Valid() bool { return id != Nil }
+
+// String renders the identifier in its canonical textual form,
+// "urn:pasoa:<32 hex digits>".
+func (id ID) String() string {
+	var b [16]byte
+	hi, lo := id.hi, id.lo
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(hi)
+		hi >>= 8
+		b[i+8] = byte(lo)
+		lo >>= 8
+	}
+	return "urn:pasoa:" + hex.EncodeToString(b[:])
+}
+
+// Short returns an abbreviated 8-hex-digit form for logs and test output.
+// It is not guaranteed unique.
+func (id ID) Short() string {
+	s := id.String()
+	return s[len(s)-8:]
+}
+
+// Compare orders identifiers lexicographically by their numeric value.
+// It returns -1, 0 or +1.
+func (id ID) Compare(other ID) int {
+	switch {
+	case id.hi < other.hi:
+		return -1
+	case id.hi > other.hi:
+		return 1
+	case id.lo < other.lo:
+		return -1
+	case id.lo > other.lo:
+		return 1
+	}
+	return 0
+}
+
+// Parse converts the canonical textual form produced by String back into
+// an ID. It accepts both the "urn:pasoa:" prefixed form and a bare
+// 32-hex-digit string.
+func Parse(s string) (ID, error) {
+	s = strings.TrimPrefix(s, "urn:pasoa:")
+	if len(s) != 32 {
+		return Nil, fmt.Errorf("%w: %q has length %d, want 32 hex digits", ErrBadID, s, len(s))
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return Nil, fmt.Errorf("%w: %v", ErrBadID, err)
+	}
+	var b [16]byte
+	copy(b[:], raw)
+	id := fromBytes(b)
+	return id, nil
+}
+
+// MustParse is like Parse but panics on malformed input. It is intended
+// for constants in tests and examples.
+func MustParse(s string) ID {
+	id, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler (used by gob) as the
+// 16-byte big-endian representation.
+func (id ID) MarshalBinary() ([]byte, error) {
+	var b [16]byte
+	hi, lo := id.hi, id.lo
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(hi)
+		hi >>= 8
+		b[i+8] = byte(lo)
+		lo >>= 8
+	}
+	return b[:], nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (id *ID) UnmarshalBinary(data []byte) error {
+	if len(data) != 16 {
+		return fmt.Errorf("%w: binary form has %d bytes, want 16", ErrBadID, len(data))
+	}
+	var b [16]byte
+	copy(b[:], data)
+	*id = fromBytes(b)
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler so IDs embed naturally in
+// XML and JSON documents. The nil ID marshals to the empty string.
+func (id ID) MarshalText() ([]byte, error) {
+	if id == Nil {
+		return []byte{}, nil
+	}
+	return []byte(id.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler. An empty string
+// unmarshals to the nil ID.
+func (id *ID) UnmarshalText(text []byte) error {
+	if len(text) == 0 {
+		*id = Nil
+		return nil
+	}
+	parsed, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*id = parsed
+	return nil
+}

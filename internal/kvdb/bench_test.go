@@ -1,0 +1,83 @@
+package kvdb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B) *DB {
+	b.Helper()
+	db, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func BenchmarkPut(b *testing.B) {
+	db := benchDB(b)
+	val := make([]byte, 512)
+	b.SetBytes(int64(len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(fmt.Sprintf("key-%09d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	db := benchDB(b)
+	val := make([]byte, 512)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		db.Put(fmt.Sprintf("key-%09d", i), val)
+	}
+	b.SetBytes(int64(len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get(fmt.Sprintf("key-%09d", i%n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanPrefix(b *testing.B) {
+	db := benchDB(b)
+	for i := 0; i < 1000; i++ {
+		db.Put(fmt.Sprintf("i/%04d/rec", i), []byte("v"))
+		db.Put(fmt.Sprintf("s/%04d/rec", i), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		db.Scan("i/", func(string, []byte) error { count++; return nil })
+		if count != 1000 {
+			b.Fatalf("scanned %d", count)
+		}
+	}
+}
+
+func BenchmarkOpenRecovery(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		db.Put(fmt.Sprintf("key-%06d", i), []byte("some value content"))
+	}
+	db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if db.Len() != 5000 {
+			b.Fatalf("Len = %d", db.Len())
+		}
+		db.Close()
+	}
+}

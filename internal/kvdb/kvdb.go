@@ -1,0 +1,377 @@
+// Package kvdb is a small embedded key-value store in the bitcask style:
+// an append-only data log with an in-memory key directory, crash
+// recovery by log scan, and offline compaction. It plays the role that
+// Berkeley DB Java Edition plays in the paper's PReServ — the persistent
+// "database" backend behind the Provenance Store Interface — without any
+// dependency beyond the standard library.
+//
+// Concurrency: a DB is safe for concurrent use; writes are serialised,
+// reads take a shared lock and read the log file at a stable offset via
+// ReadAt.
+//
+// Durability: records are buffered through the OS page cache; call Sync
+// for a hard barrier. A torn final record (e.g. from a crash) is
+// detected by CRC and truncated away on the next Open.
+package kvdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	dataFileName = "data.log"
+	tmpFileName  = "compact.tmp"
+
+	flagTombstone = 1
+
+	headerSize = 4 + 1 + 4 + 4 // crc, flags, keyLen, valLen
+
+	// MaxKeyLen and MaxValueLen bound record sizes; the limits exist to
+	// reject obviously corrupt headers during recovery.
+	MaxKeyLen   = 1 << 16
+	MaxValueLen = 1 << 28
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("kvdb: database is closed")
+
+// ErrNotFound is returned by Get when the key is absent.
+var ErrNotFound = errors.New("kvdb: key not found")
+
+type entryLoc struct {
+	off    int64 // offset of the value bytes within the log
+	valLen int
+}
+
+// DB is an open database.
+type DB struct {
+	mu     sync.RWMutex
+	dir    string
+	f      *os.File
+	index  map[string]entryLoc
+	offset int64 // append position
+	closed bool
+	// garbage counts bytes occupied by superseded or deleted records,
+	// used to decide when compaction is worthwhile.
+	garbage int64
+}
+
+// Open opens (creating if necessary) the database in dir. A partially
+// written final record — the signature of a crash — is truncated away.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvdb: creating %s: %w", dir, err)
+	}
+	// A leftover compaction temp file means a crash mid-compaction; the
+	// main log is still authoritative, so discard the temp file.
+	_ = os.Remove(filepath.Join(dir, tmpFileName))
+
+	path := filepath.Join(dir, dataFileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvdb: opening log: %w", err)
+	}
+	db := &DB{dir: dir, f: f, index: make(map[string]entryLoc)}
+	if err := db.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// recover scans the log rebuilding the in-memory index, truncating any
+// torn tail.
+func (db *DB) recover() error {
+	stat, err := db.f.Stat()
+	if err != nil {
+		return fmt.Errorf("kvdb: stat: %w", err)
+	}
+	size := stat.Size()
+	var off int64
+	hdr := make([]byte, headerSize)
+	for off < size {
+		if size-off < headerSize {
+			break // torn header
+		}
+		if _, err := db.f.ReadAt(hdr, off); err != nil {
+			return fmt.Errorf("kvdb: recovery read at %d: %w", off, err)
+		}
+		crc := binary.BigEndian.Uint32(hdr[0:])
+		flags := hdr[4]
+		keyLen := int(binary.BigEndian.Uint32(hdr[5:]))
+		valLen := int(binary.BigEndian.Uint32(hdr[9:]))
+		if keyLen == 0 || keyLen > MaxKeyLen || valLen > MaxValueLen {
+			break // implausible header: treat as torn tail
+		}
+		recLen := int64(headerSize + keyLen + valLen)
+		if off+recLen > size {
+			break // torn body
+		}
+		body := make([]byte, keyLen+valLen)
+		if _, err := db.f.ReadAt(body, off+headerSize); err != nil {
+			return fmt.Errorf("kvdb: recovery body at %d: %w", off, err)
+		}
+		if crc32.ChecksumIEEE(append(hdr[4:], body...)) != crc {
+			break // corrupt record: everything after is unreliable
+		}
+		key := string(body[:keyLen])
+		if prev, ok := db.index[key]; ok {
+			db.garbage += int64(headerSize + keyLen + prev.valLen)
+		}
+		if flags&flagTombstone != 0 {
+			delete(db.index, key)
+			db.garbage += recLen
+		} else {
+			db.index[key] = entryLoc{off: off + headerSize + int64(keyLen), valLen: valLen}
+		}
+		off += recLen
+	}
+	if off < size {
+		if err := db.f.Truncate(off); err != nil {
+			return fmt.Errorf("kvdb: truncating torn tail: %w", err)
+		}
+	}
+	db.offset = off
+	return nil
+}
+
+func (db *DB) appendRecord(flags byte, key string, val []byte) error {
+	rec := make([]byte, headerSize+len(key)+len(val))
+	rec[4] = flags
+	binary.BigEndian.PutUint32(rec[5:], uint32(len(key)))
+	binary.BigEndian.PutUint32(rec[9:], uint32(len(val)))
+	copy(rec[headerSize:], key)
+	copy(rec[headerSize+len(key):], val)
+	binary.BigEndian.PutUint32(rec[0:], crc32.ChecksumIEEE(rec[4:]))
+	if _, err := db.f.WriteAt(rec, db.offset); err != nil {
+		return fmt.Errorf("kvdb: append: %w", err)
+	}
+	db.offset += int64(len(rec))
+	return nil
+}
+
+// Put stores val under key, replacing any existing value.
+func (db *DB) Put(key string, val []byte) error {
+	if key == "" || len(key) > MaxKeyLen {
+		return fmt.Errorf("kvdb: invalid key length %d", len(key))
+	}
+	if len(val) > MaxValueLen {
+		return fmt.Errorf("kvdb: value too large: %d", len(val))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if prev, ok := db.index[key]; ok {
+		db.garbage += int64(headerSize + len(key) + prev.valLen)
+	}
+	valOff := db.offset + headerSize + int64(len(key))
+	if err := db.appendRecord(0, key, val); err != nil {
+		return err
+	}
+	db.index[key] = entryLoc{off: valOff, valLen: len(val)}
+	return nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (db *DB) Get(key string) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	loc, ok := db.index[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	val := make([]byte, loc.valLen)
+	if _, err := db.f.ReadAt(val, loc.off); err != nil {
+		return nil, fmt.Errorf("kvdb: reading %q: %w", key, err)
+	}
+	return val, nil
+}
+
+// Has reports whether key is present.
+func (db *DB) Has(key string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.index[key]
+	return ok && !db.closed
+}
+
+// Delete removes key. Deleting an absent key is a no-op.
+func (db *DB) Delete(key string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	prev, ok := db.index[key]
+	if !ok {
+		return nil
+	}
+	if err := db.appendRecord(flagTombstone, key, nil); err != nil {
+		return err
+	}
+	delete(db.index, key)
+	db.garbage += int64(headerSize+len(key)+prev.valLen) + int64(headerSize+len(key))
+	return nil
+}
+
+// Len returns the number of live keys.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.index)
+}
+
+// Keys returns all live keys with the given prefix, sorted. An empty
+// prefix returns every key.
+func (db *DB) Keys(prefix string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.index))
+	for k := range db.index {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Scan calls fn for every live key with the given prefix, in sorted key
+// order, stopping early if fn returns an error (which Scan returns).
+func (db *DB) Scan(prefix string, fn func(key string, val []byte) error) error {
+	for _, k := range db.Keys(prefix) {
+		v, err := db.Get(k)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // deleted between Keys and Get
+			}
+			return err
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GarbageBytes reports the approximate number of dead bytes in the log.
+func (db *DB) GarbageBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.garbage
+}
+
+// Sync forces buffered writes to stable storage.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.f.Sync()
+}
+
+// Compact rewrites the log keeping only live records, reclaiming space
+// from superseded values and tombstones. The database remains usable
+// afterwards.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	tmpPath := filepath.Join(db.dir, tmpFileName)
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvdb: compaction temp: %w", err)
+	}
+	keys := make([]string, 0, len(db.index))
+	for k := range db.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	newIndex := make(map[string]entryLoc, len(db.index))
+	var newOff int64
+	for _, k := range keys {
+		loc := db.index[k]
+		val := make([]byte, loc.valLen)
+		if _, err := db.f.ReadAt(val, loc.off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("kvdb: compaction read: %w", err)
+		}
+		rec := make([]byte, headerSize+len(k)+len(val))
+		binary.BigEndian.PutUint32(rec[5:], uint32(len(k)))
+		binary.BigEndian.PutUint32(rec[9:], uint32(len(val)))
+		copy(rec[headerSize:], k)
+		copy(rec[headerSize+len(k):], val)
+		binary.BigEndian.PutUint32(rec[0:], crc32.ChecksumIEEE(rec[4:]))
+		if _, err := tmp.WriteAt(rec, newOff); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("kvdb: compaction write: %w", err)
+		}
+		newIndex[k] = entryLoc{off: newOff + headerSize + int64(len(k)), valLen: len(val)}
+		newOff += int64(len(rec))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("kvdb: compaction sync: %w", err)
+	}
+	dataPath := filepath.Join(db.dir, dataFileName)
+	if err := os.Rename(tmpPath, dataPath); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("kvdb: compaction rename: %w", err)
+	}
+	old := db.f
+	db.f = tmp
+	db.index = newIndex
+	db.offset = newOff
+	db.garbage = 0
+	old.Close()
+	return nil
+}
+
+// Close flushes and closes the database. Further operations fail with
+// ErrClosed. Close is idempotent.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if err := db.f.Sync(); err != nil {
+		db.f.Close()
+		return fmt.Errorf("kvdb: close sync: %w", err)
+	}
+	return db.f.Close()
+}
+
+// Dir returns the directory the database lives in.
+func (db *DB) Dir() string { return db.dir }
+
+// DumpStats writes a short human-readable status line to w.
+func (db *DB) DumpStats(w io.Writer) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fmt.Fprintf(w, "kvdb: dir=%s keys=%d logBytes=%d garbageBytes=%d\n",
+		db.dir, len(db.index), db.offset, db.garbage)
+}

@@ -1,0 +1,475 @@
+package kvdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPutGet(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Put("alpha", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "one" {
+		t.Fatalf("Get = %q, want one", v)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	db := openTemp(t)
+	if _, err := db.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	db := openTemp(t)
+	db.Put("k", []byte("v1"))
+	db.Put("k", []byte("v2"))
+	v, err := db.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v2" {
+		t.Fatalf("Get = %q, want v2", v)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+	if db.GarbageBytes() == 0 {
+		t.Error("overwrite should create garbage")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := openTemp(t)
+	db.Put("k", []byte("v"))
+	if err := db.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("key should be gone")
+	}
+	if db.Has("k") {
+		t.Error("Has after delete")
+	}
+	if err := db.Delete("absent"); err != nil {
+		t.Errorf("deleting absent key should be a no-op, got %v", err)
+	}
+}
+
+func TestEmptyAndHugeKeys(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Put("", []byte("v")); err == nil {
+		t.Error("empty key should be rejected")
+	}
+	if err := db.Put(strings.Repeat("k", MaxKeyLen+1), []byte("v")); err == nil {
+		t.Error("oversized key should be rejected")
+	}
+}
+
+func TestEmptyValue(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Put("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("empty value read back as %q", v)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Put(fmt.Sprintf("key%03d", i), []byte(fmt.Sprintf("val%d", i)))
+	}
+	db.Delete("key050")
+	db.Put("key051", []byte("updated"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 99 {
+		t.Fatalf("Len after reopen = %d, want 99", db2.Len())
+	}
+	if _, err := db2.Get("key050"); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted key resurrected after reopen")
+	}
+	v, err := db2.Get("key051")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "updated" {
+		t.Fatalf("key051 = %q after reopen", v)
+	}
+}
+
+func TestCrashRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("good1", []byte("v1"))
+	db.Put("good2", []byte("v2"))
+	db.Close()
+
+	// Simulate a crash mid-append: add a few garbage bytes.
+	path := filepath.Join(dir, "data.log")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xDE, 0xAD, 0xBE})
+	f.Close()
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer db2.Close()
+	if db2.Len() != 2 {
+		t.Fatalf("Len after recovery = %d, want 2", db2.Len())
+	}
+	// The torn tail must be gone so new writes are clean.
+	db2.Put("good3", []byte("v3"))
+	db2.Close()
+	db3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if db3.Len() != 3 {
+		t.Fatalf("Len after write-past-recovery = %d, want 3", db3.Len())
+	}
+}
+
+func TestCrashRecoveryCorruptMiddleStops(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("a", []byte("1"))
+	off := db.offset
+	db.Put("b", []byte("2"))
+	db.Close()
+
+	// Corrupt the CRC of the second record.
+	path := filepath.Join(dir, "data.log")
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, off)
+	f.Close()
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !db2.Has("a") {
+		t.Error("record before corruption must survive")
+	}
+	if db2.Has("b") {
+		t.Error("record with bad CRC must be dropped")
+	}
+}
+
+func TestLeftoverCompactionTempIgnored(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("k", []byte("v"))
+	db.Close()
+	// Simulate crash mid-compaction.
+	os.WriteFile(filepath.Join(dir, "compact.tmp"), []byte("partial"), 0o644)
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !db2.Has("k") {
+		t.Error("main log must survive a leftover temp file")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "compact.tmp")); !os.IsNotExist(err) {
+		t.Error("leftover temp file should be removed")
+	}
+}
+
+func TestKeysPrefixSorted(t *testing.T) {
+	db := openTemp(t)
+	for _, k := range []string{"b/2", "a/1", "b/1", "c", "b/10"} {
+		db.Put(k, []byte("x"))
+	}
+	keys := db.Keys("b/")
+	want := []string{"b/1", "b/10", "b/2"}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+	if got := len(db.Keys("")); got != 5 {
+		t.Fatalf("all keys = %d, want 5", got)
+	}
+}
+
+func TestScan(t *testing.T) {
+	db := openTemp(t)
+	for i := 0; i < 10; i++ {
+		db.Put(fmt.Sprintf("rec/%02d", i), []byte{byte(i)})
+	}
+	var seen []string
+	err := db.Scan("rec/", func(k string, v []byte) error {
+		seen = append(seen, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 10 {
+		t.Fatalf("scanned %d records, want 10", len(seen))
+	}
+	// Early stop.
+	count := 0
+	stop := errors.New("stop")
+	err = db.Scan("rec/", func(k string, v []byte) error {
+		count++
+		if count == 3 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop || count != 3 {
+		t.Fatalf("early stop: err=%v count=%d", err, count)
+	}
+}
+
+func TestCompactReclaimsSpace(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	val := bytes.Repeat([]byte("x"), 1000)
+	for i := 0; i < 100; i++ {
+		db.Put("same-key", val)
+	}
+	db.Put("other", []byte("keep"))
+	db.Delete("same-key")
+	before := db.offset
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.offset >= before {
+		t.Errorf("log did not shrink: %d -> %d", before, db.offset)
+	}
+	if db.GarbageBytes() != 0 {
+		t.Errorf("garbage after compaction = %d", db.GarbageBytes())
+	}
+	v, err := db.Get("other")
+	if err != nil || string(v) != "keep" {
+		t.Fatalf("data lost in compaction: %q %v", v, err)
+	}
+	// And the DB keeps working after compaction.
+	db.Put("post", []byte("compaction"))
+	v, err = db.Get("post")
+	if err != nil || string(v) != "compaction" {
+		t.Fatalf("write after compaction: %q %v", v, err)
+	}
+}
+
+func TestCompactSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir)
+	for i := 0; i < 50; i++ {
+		db.Put(fmt.Sprintf("k%d", i), []byte(strings.Repeat("v", i)))
+	}
+	for i := 0; i < 25; i++ {
+		db.Delete(fmt.Sprintf("k%d", i))
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 25 {
+		t.Fatalf("Len = %d, want 25", db2.Len())
+	}
+	for i := 25; i < 50; i++ {
+		v, err := db2.Get(fmt.Sprintf("k%d", i))
+		if err != nil || len(v) != i {
+			t.Fatalf("k%d: %v len=%d", i, err, len(v))
+		}
+	}
+}
+
+func TestClosedOperationsFail(t *testing.T) {
+	db := openTemp(t)
+	db.Close()
+	if err := db.Put("k", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close: %v", err)
+	}
+	if _, err := db.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after close: %v", err)
+	}
+	if err := db.Delete("k"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Delete after close: %v", err)
+	}
+	if err := db.Sync(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Sync after close: %v", err)
+	}
+	if err := db.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact after close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	db := openTemp(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := db.Put(key, []byte(key)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				v, err := db.Get(key)
+				if err != nil || string(v) != key {
+					t.Errorf("Get(%s) = %q, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", db.Len())
+	}
+}
+
+func TestDumpStats(t *testing.T) {
+	db := openTemp(t)
+	db.Put("k", []byte("v"))
+	var sb strings.Builder
+	db.DumpStats(&sb)
+	if !strings.Contains(sb.String(), "keys=1") {
+		t.Errorf("DumpStats = %q", sb.String())
+	}
+}
+
+// Property: a random sequence of puts and deletes leaves the DB with
+// exactly the contents of a reference map, both live and after reopen.
+func TestQuickMatchesReferenceMap(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		dir, err := os.MkdirTemp("", "kvdbq")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		db, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ref := make(map[string]string)
+		n := int(n8) + 20
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%d", rng.Intn(20))
+			if rng.Intn(4) == 0 {
+				if db.Delete(key) != nil {
+					db.Close()
+					return false
+				}
+				delete(ref, key)
+			} else {
+				val := fmt.Sprintf("v%d", rng.Int63())
+				if db.Put(key, []byte(val)) != nil {
+					db.Close()
+					return false
+				}
+				ref[key] = val
+			}
+		}
+		check := func(d *DB) bool {
+			if d.Len() != len(ref) {
+				return false
+			}
+			for k, want := range ref {
+				v, err := d.Get(k)
+				if err != nil || string(v) != want {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(db) {
+			db.Close()
+			return false
+		}
+		if db.Close() != nil {
+			return false
+		}
+		db2, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		defer db2.Close()
+		return check(db2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package ontology provides the small semantic-type lattice that use
+// case 2 validates against. The paper annotates each WSDL message part
+// "by some metadata identifying its semantic type, which we have
+// expressed in an ontology fragment for this specific application"; this
+// package is that fragment plus the subsumption reasoning over it.
+package ontology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Well-known type URIs of the protein compressibility application.
+const (
+	TypeSequence        = "bio:Sequence"
+	TypeProtein         = "bio:ProteinSequence"
+	TypeNucleotide      = "bio:NucleotideSequence"
+	TypeGroupEncoded    = "bio:GroupEncodedSequence"
+	TypePermutedEncoded = "bio:PermutedGroupEncodedSequence"
+	TypeCompressed      = "bio:CompressedData"
+	TypeSize            = "bio:SizeMeasurement"
+	TypeSizesTable      = "bio:SizesTable"
+	TypeCompressibility = "bio:CompressibilityResult"
+	TypeGroupingSpec    = "bio:GroupingSpec"
+	TypeRandomSeed      = "bio:RandomSeed"
+	TypeAny             = "owl:Thing"
+)
+
+// ErrUnknownType is returned when reasoning about an undeclared type.
+var ErrUnknownType = errors.New("ontology: unknown type")
+
+// Ontology is a forest of types under single inheritance. The zero value
+// is empty; use New (optionally followed by Declare) or Bioinformatics.
+type Ontology struct {
+	mu     sync.RWMutex
+	parent map[string]string // typ -> parent ("" for roots)
+}
+
+// New returns an empty ontology containing only TypeAny as root.
+func New() *Ontology {
+	o := &Ontology{parent: make(map[string]string)}
+	o.parent[TypeAny] = ""
+	return o
+}
+
+// Declare adds a type beneath parent. Parent must already be declared;
+// redeclaring a type with the same parent is a no-op, with a different
+// parent an error.
+func (o *Ontology) Declare(typ, parent string) error {
+	if typ == "" {
+		return errors.New("ontology: empty type")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.parent[parent]; !ok {
+		return fmt.Errorf("%w: parent %q", ErrUnknownType, parent)
+	}
+	if existing, ok := o.parent[typ]; ok {
+		if existing != parent {
+			return fmt.Errorf("ontology: %q already declared under %q", typ, existing)
+		}
+		return nil
+	}
+	o.parent[typ] = parent
+	return nil
+}
+
+// Known reports whether typ has been declared.
+func (o *Ontology) Known(typ string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	_, ok := o.parent[typ]
+	return ok
+}
+
+// Types returns every declared type, sorted.
+func (o *Ontology) Types() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.parent))
+	for t := range o.parent {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subsumes reports whether super is an ancestor of (or equal to) sub.
+// Unknown types subsume nothing and are subsumed by nothing.
+func (o *Ontology) Subsumes(super, sub string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if _, ok := o.parent[super]; !ok {
+		return false
+	}
+	cur, ok := sub, false
+	if _, ok = o.parent[cur]; !ok {
+		return false
+	}
+	for {
+		if cur == super {
+			return true
+		}
+		next, ok := o.parent[cur]
+		if !ok || next == "" {
+			return false
+		}
+		cur = next
+	}
+}
+
+// Compatible reports whether data of type produced may flow into an
+// input declared as type expected: the expected type must subsume the
+// produced type. A nucleotide sequence flowing into an input declared
+// bio:ProteinSequence is the paper's canonical *incompatibility*.
+func (o *Ontology) Compatible(produced, expected string) bool {
+	return o.Subsumes(expected, produced)
+}
+
+// Bioinformatics returns the application ontology fragment used by the
+// protein compressibility experiment.
+func Bioinformatics() *Ontology {
+	o := New()
+	must := func(typ, parent string) {
+		if err := o.Declare(typ, parent); err != nil {
+			panic(err) // static fragment; cannot fail
+		}
+	}
+	must(TypeSequence, TypeAny)
+	must(TypeProtein, TypeSequence)
+	must(TypeNucleotide, TypeSequence)
+	must(TypeGroupEncoded, TypeSequence)
+	must(TypePermutedEncoded, TypeGroupEncoded)
+	must(TypeCompressed, TypeAny)
+	must(TypeSize, TypeAny)
+	must(TypeSizesTable, TypeAny)
+	must(TypeCompressibility, TypeAny)
+	must(TypeGroupingSpec, TypeAny)
+	must(TypeRandomSeed, TypeAny)
+	return o
+}

@@ -1,0 +1,176 @@
+package ontology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBioinformaticsFragmentComplete(t *testing.T) {
+	o := Bioinformatics()
+	for _, typ := range []string{
+		TypeSequence, TypeProtein, TypeNucleotide, TypeGroupEncoded,
+		TypePermutedEncoded, TypeCompressed, TypeSize, TypeSizesTable,
+		TypeCompressibility, TypeGroupingSpec, TypeRandomSeed, TypeAny,
+	} {
+		if !o.Known(typ) {
+			t.Errorf("type %s missing from fragment", typ)
+		}
+	}
+}
+
+func TestSubsumptionReflexive(t *testing.T) {
+	o := Bioinformatics()
+	for _, typ := range o.Types() {
+		if !o.Subsumes(typ, typ) {
+			t.Errorf("Subsumes(%s, %s) = false, want reflexive", typ, typ)
+		}
+	}
+}
+
+func TestSubsumptionHierarchy(t *testing.T) {
+	o := Bioinformatics()
+	cases := []struct {
+		super, sub string
+		want       bool
+	}{
+		{TypeSequence, TypeProtein, true},
+		{TypeSequence, TypeNucleotide, true},
+		{TypeSequence, TypePermutedEncoded, true}, // two levels
+		{TypeGroupEncoded, TypePermutedEncoded, true},
+		{TypeAny, TypeProtein, true},
+		{TypeProtein, TypeSequence, false},   // inverse
+		{TypeProtein, TypeNucleotide, false}, // siblings
+		{TypeNucleotide, TypeProtein, false},
+		{TypeCompressed, TypeProtein, false},
+	}
+	for _, c := range cases {
+		if got := o.Subsumes(c.super, c.sub); got != c.want {
+			t.Errorf("Subsumes(%s, %s) = %v, want %v", c.super, c.sub, got, c.want)
+		}
+	}
+}
+
+func TestCompatibleNucleotideTrap(t *testing.T) {
+	o := Bioinformatics()
+	// The use-case-2 error: nucleotide data into a protein-only input.
+	if o.Compatible(TypeNucleotide, TypeProtein) {
+		t.Error("nucleotide must NOT be compatible with a protein input")
+	}
+	// The legitimate flows of the workflow.
+	if !o.Compatible(TypeProtein, TypeSequence) {
+		t.Error("protein must flow into a generic sequence input")
+	}
+	if !o.Compatible(TypeProtein, TypeProtein) {
+		t.Error("exact type match must be compatible")
+	}
+	if !o.Compatible(TypePermutedEncoded, TypeGroupEncoded) {
+		t.Error("permuted encoded data must be accepted where group-encoded is expected")
+	}
+}
+
+func TestUnknownTypes(t *testing.T) {
+	o := Bioinformatics()
+	if o.Subsumes("bio:Mystery", TypeProtein) {
+		t.Error("unknown super should not subsume")
+	}
+	if o.Subsumes(TypeProtein, "bio:Mystery") {
+		t.Error("unknown sub should not be subsumed")
+	}
+	if o.Known("bio:Mystery") {
+		t.Error("unknown type reported known")
+	}
+}
+
+func TestDeclareValidation(t *testing.T) {
+	o := New()
+	if err := o.Declare("", TypeAny); err == nil {
+		t.Error("empty type accepted")
+	}
+	if err := o.Declare("x:A", "x:Missing"); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if err := o.Declare("x:A", TypeAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Declare("x:A", TypeAny); err != nil {
+		t.Errorf("idempotent redeclare should pass: %v", err)
+	}
+	if err := o.Declare("x:B", "x:A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Declare("x:B", TypeAny); err == nil {
+		t.Error("conflicting redeclare accepted")
+	}
+}
+
+func TestTypesSorted(t *testing.T) {
+	o := Bioinformatics()
+	types := o.Types()
+	for i := 1; i < len(types); i++ {
+		if types[i-1] >= types[i] {
+			t.Fatalf("Types not sorted: %v", types)
+		}
+	}
+}
+
+// Property: subsumption is transitive on the fragment: if A subsumes B
+// and B subsumes C then A subsumes C, for all declared triples.
+func TestSubsumptionTransitive(t *testing.T) {
+	o := Bioinformatics()
+	types := o.Types()
+	for _, a := range types {
+		for _, b := range types {
+			if !o.Subsumes(a, b) {
+				continue
+			}
+			for _, c := range types {
+				if o.Subsumes(b, c) && !o.Subsumes(a, c) {
+					t.Fatalf("transitivity violated: %s > %s > %s", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// Property: antisymmetry — mutual subsumption implies equality.
+func TestSubsumptionAntisymmetric(t *testing.T) {
+	o := Bioinformatics()
+	types := o.Types()
+	for _, a := range types {
+		for _, b := range types {
+			if a != b && o.Subsumes(a, b) && o.Subsumes(b, a) {
+				t.Fatalf("antisymmetry violated: %s and %s", a, b)
+			}
+		}
+	}
+}
+
+// Property: Compatible(x, TypeAny) holds for every declared type.
+func TestQuickEverythingFlowsIntoAny(t *testing.T) {
+	o := Bioinformatics()
+	types := o.Types()
+	f := func(i uint8) bool {
+		typ := types[int(i)%len(types)]
+		return o.Compatible(typ, TypeAny)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	o := Bioinformatics()
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				o.Subsumes(TypeSequence, TypeProtein)
+				o.Compatible(TypeNucleotide, TypeProtein)
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

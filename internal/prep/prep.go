@@ -1,0 +1,158 @@
+// Package prep defines PReP, the Provenance Recording Protocol: the
+// messages actors exchange with a provenance store to record p-assertions
+// (asynchronously or synchronously) and to query them back. PReP
+// deliberately specifies *how* documentation is recorded while leaving
+// *when* to the implementor — the client package exploits this to offer
+// both synchronous and accumulate-then-ship asynchronous recording.
+package prep
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+)
+
+// Action URIs understood by a provenance store.
+const (
+	// ActionRecord submits a batch of p-assertions.
+	ActionRecord = "urn:prep:record"
+	// ActionQuery retrieves p-assertions matching a filter.
+	ActionQuery = "urn:prep:query"
+	// ActionCount reports store statistics.
+	ActionCount = "urn:prep:count"
+)
+
+// RecordRequest submits p-assertions to the store. All records must be
+// asserted by the named actor; the store validates this, preventing one
+// actor from forging another's documentation.
+type RecordRequest struct {
+	XMLName  xml.Name      `xml:"RecordRequest"`
+	Asserter core.ActorID  `xml:"asserter"`
+	Records  []core.Record `xml:"record"`
+}
+
+// Reject describes one record the store refused.
+type Reject struct {
+	// Index is the record's position in the request.
+	Index  int    `xml:"index"`
+	Reason string `xml:"reason"`
+}
+
+// RecordResponse acknowledges a RecordRequest.
+type RecordResponse struct {
+	XMLName  xml.Name `xml:"RecordResponse"`
+	Accepted int      `xml:"accepted"`
+	Rejects  []Reject `xml:"reject,omitempty"`
+}
+
+// Query is a conjunctive filter over stored p-assertions. Zero-valued
+// fields do not constrain the result.
+type Query struct {
+	XMLName xml.Name `xml:"Query"`
+	// InteractionID restricts to one interaction.
+	InteractionID ids.ID `xml:"interactionId,omitempty"`
+	// SessionID restricts to records grouped under the session.
+	SessionID ids.ID `xml:"sessionId,omitempty"`
+	// GroupID restricts to records in the given group of any type.
+	GroupID ids.ID `xml:"groupId,omitempty"`
+	// Kind restricts to "interaction" or "actorState" records.
+	Kind string `xml:"kind,omitempty"`
+	// Asserter restricts to one asserting actor.
+	Asserter core.ActorID `xml:"asserter,omitempty"`
+	// Service restricts to interactions whose receiver is this actor.
+	Service core.ActorID `xml:"service,omitempty"`
+	// StateKind restricts actor-state records to one state kind.
+	StateKind string `xml:"stateKind,omitempty"`
+	// Limit caps the number of returned records; 0 means no cap.
+	Limit int `xml:"limit,omitempty"`
+}
+
+// Validate rejects structurally impossible queries.
+func (q *Query) Validate() error {
+	switch q.Kind {
+	case "", core.KindInteraction.String(), core.KindActorState.String():
+	default:
+		return fmt.Errorf("prep: unknown kind filter %q", q.Kind)
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("prep: negative limit %d", q.Limit)
+	}
+	if q.StateKind != "" && q.Kind == core.KindInteraction.String() {
+		return fmt.Errorf("prep: stateKind filter contradicts kind=interaction")
+	}
+	return nil
+}
+
+// Matches reports whether a record satisfies every constraint of q
+// (ignoring Limit, which the store applies).
+func (q *Query) Matches(r *core.Record) bool {
+	if q.InteractionID.Valid() && r.InteractionID() != q.InteractionID {
+		return false
+	}
+	if q.SessionID.Valid() {
+		sid, ok := r.GroupID(core.GroupSession)
+		if !ok || sid != q.SessionID {
+			return false
+		}
+	}
+	if q.GroupID.Valid() {
+		found := false
+		for _, g := range r.Groups() {
+			if g.ID == q.GroupID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if q.Kind != "" && r.Kind.String() != q.Kind {
+		return false
+	}
+	if q.Asserter != "" && r.Asserter() != q.Asserter {
+		return false
+	}
+	if q.Service != "" {
+		var recv core.ActorID
+		switch r.Kind {
+		case core.KindInteraction:
+			recv = r.Interaction.Interaction.Receiver
+		case core.KindActorState:
+			recv = r.ActorState.Interaction.Receiver
+		}
+		if recv != q.Service {
+			return false
+		}
+	}
+	if q.StateKind != "" {
+		if r.Kind != core.KindActorState || r.ActorState.StateKind != q.StateKind {
+			return false
+		}
+	}
+	return true
+}
+
+// QueryResponse returns matching records. Total reports the number of
+// matches before Limit was applied.
+type QueryResponse struct {
+	XMLName xml.Name      `xml:"QueryResponse"`
+	Total   int           `xml:"total"`
+	Records []core.Record `xml:"record,omitempty"`
+}
+
+// CountRequest asks for store statistics.
+type CountRequest struct {
+	XMLName xml.Name `xml:"CountRequest"`
+}
+
+// CountResponse reports store statistics. Interactions counts distinct
+// interaction records — the x-axis of the paper's Figure 5.
+type CountResponse struct {
+	XMLName      xml.Name `xml:"CountResponse"`
+	Records      int      `xml:"records"`
+	Interactions int      `xml:"interactions"`
+	ActorStates  int      `xml:"actorStates"`
+}

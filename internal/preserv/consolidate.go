@@ -1,0 +1,73 @@
+package preserv
+
+import (
+	"fmt"
+	"sort"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/prep"
+)
+
+// Sessions lists the distinct session identifiers recorded in a store,
+// sorted. It scans all records; sessions are the unit a scientist
+// navigates by ("a workflow run is usually referred to as a session").
+func Sessions(c *Client) ([]ids.ID, error) {
+	records, _, err := c.Query(&prep.Query{Kind: core.KindInteraction.String()})
+	if err != nil {
+		return nil, fmt.Errorf("preserv: listing sessions: %w", err)
+	}
+	seen := make(map[ids.ID]bool)
+	var out []ids.ID
+	for i := range records {
+		if sid, ok := records[i].GroupID(core.GroupSession); ok && !seen[sid] {
+			seen[sid] = true
+			out = append(out, sid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// Consolidate copies every record from the source stores into dst —
+// the facility the paper's future-work section calls for alongside
+// distributed PReServ ("a facility is also required to consolidate data
+// into a single provenance store"). Records are deduplicated by storage
+// key (the store layer is idempotent for identical records), and each
+// batch is submitted under its own asserter, preserving the
+// who-asserted-what integrity check.
+//
+// It returns the number of records accepted by dst.
+func Consolidate(dst *Client, sources ...*Client) (int, error) {
+	const batchSize = 200
+	total := 0
+	for i, src := range sources {
+		records, _, err := src.Query(&prep.Query{})
+		if err != nil {
+			return total, fmt.Errorf("preserv: consolidating source %d: %w", i, err)
+		}
+		// Group by asserter: RecordRequests carry one asserter each.
+		byAsserter := make(map[core.ActorID][]core.Record)
+		for _, r := range records {
+			byAsserter[r.Asserter()] = append(byAsserter[r.Asserter()], r)
+		}
+		for asserter, recs := range byAsserter {
+			for off := 0; off < len(recs); off += batchSize {
+				end := off + batchSize
+				if end > len(recs) {
+					end = len(recs)
+				}
+				resp, err := dst.Record(asserter, recs[off:end])
+				if err != nil {
+					return total, fmt.Errorf("preserv: consolidating into %s: %w", dst.URL(), err)
+				}
+				if len(resp.Rejects) > 0 {
+					return total, fmt.Errorf("preserv: consolidation rejected %d records, first: %s",
+						len(resp.Rejects), resp.Rejects[0].Reason)
+				}
+				total += resp.Accepted
+			}
+		}
+	}
+	return total, nil
+}

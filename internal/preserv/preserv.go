@@ -1,0 +1,210 @@
+// Package preserv implements PReServ — Provenance Recording for
+// Services — as an HTTP web service, following the layered design of the
+// paper's Figure 3: a message translator (internal/soap) strips the
+// transport headers and hands the body to the plug-in registered for the
+// message's action; plug-ins (Store, Query) call the Provenance Store
+// Interface (internal/store), which runs over interchangeable backends.
+package preserv
+
+import (
+	"encoding/xml"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/prep"
+	"preserv/internal/soap"
+	"preserv/internal/store"
+)
+
+// StorePlugIn handles record submissions (prep.ActionRecord).
+type StorePlugIn struct {
+	store *store.Store
+	// recordsAccepted counts accepted p-assertions for monitoring.
+	recordsAccepted atomic.Int64
+	requests        atomic.Int64
+}
+
+// NewStorePlugIn returns a store plug-in over s.
+func NewStorePlugIn(s *store.Store) *StorePlugIn { return &StorePlugIn{store: s} }
+
+// Actions implements soap.Handler.
+func (p *StorePlugIn) Actions() []string { return []string{prep.ActionRecord} }
+
+// Handle implements soap.Handler.
+func (p *StorePlugIn) Handle(_ string, body []byte) (interface{}, error) {
+	p.requests.Add(1)
+	var req prep.RecordRequest
+	if err := xml.Unmarshal(body, &req); err != nil {
+		return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad record request: " + err.Error()}
+	}
+	accepted, rejects, err := p.store.Record(req.Asserter, req.Records)
+	if err != nil {
+		return nil, err
+	}
+	p.recordsAccepted.Add(int64(accepted))
+	return &prep.RecordResponse{Accepted: accepted, Rejects: rejects}, nil
+}
+
+// QueryPlugIn handles queries and counts.
+type QueryPlugIn struct {
+	store    *store.Store
+	requests atomic.Int64
+}
+
+// NewQueryPlugIn returns a query plug-in over s.
+func NewQueryPlugIn(s *store.Store) *QueryPlugIn { return &QueryPlugIn{store: s} }
+
+// Actions implements soap.Handler.
+func (p *QueryPlugIn) Actions() []string {
+	return []string{prep.ActionQuery, prep.ActionCount}
+}
+
+// Handle implements soap.Handler.
+func (p *QueryPlugIn) Handle(action string, body []byte) (interface{}, error) {
+	p.requests.Add(1)
+	switch action {
+	case prep.ActionQuery:
+		var q prep.Query
+		if err := xml.Unmarshal(body, &q); err != nil {
+			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad query: " + err.Error()}
+		}
+		records, total, err := p.store.Query(&q)
+		if err != nil {
+			return nil, err
+		}
+		return &prep.QueryResponse{Total: total, Records: records}, nil
+	case prep.ActionCount:
+		cnt, err := p.store.Count()
+		if err != nil {
+			return nil, err
+		}
+		return &cnt, nil
+	}
+	return nil, &soap.Fault{Code: soap.FaultBadAction, Message: action}
+}
+
+// Stats summarises service activity.
+type Stats struct {
+	RecordRequests  int64
+	RecordsAccepted int64
+	QueryRequests   int64
+}
+
+// Service is a PReServ instance: a store plus the translator wiring.
+type Service struct {
+	Store   *store.Store
+	storeP  *StorePlugIn
+	queryP  *QueryPlugIn
+	handler http.Handler
+}
+
+// NewService assembles a PReServ service over the given store.
+func NewService(s *store.Store) *Service {
+	sp := NewStorePlugIn(s)
+	qp := NewQueryPlugIn(s)
+	return &Service{
+		Store:   s,
+		storeP:  sp,
+		queryP:  qp,
+		handler: soap.NewHTTPHandler(sp, qp),
+	}
+}
+
+// Handler returns the HTTP handler (the message-translator layer).
+func (svc *Service) Handler() http.Handler { return svc.handler }
+
+// Stats returns a snapshot of service counters.
+func (svc *Service) Stats() Stats {
+	return Stats{
+		RecordRequests:  svc.storeP.requests.Load(),
+		RecordsAccepted: svc.storeP.recordsAccepted.Load(),
+		QueryRequests:   svc.queryP.requests.Load(),
+	}
+}
+
+// Server is a listening PReServ endpoint.
+type Server struct {
+	// URL is the service endpoint, e.g. "http://127.0.0.1:8734".
+	URL     string
+	ln      net.Listener
+	httpSrv *http.Server
+	done    chan struct{}
+}
+
+// Serve starts serving svc on addr (use "127.0.0.1:0" to pick a free
+// port). It returns once the listener is active.
+func Serve(svc *Service, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("preserv: listening on %s: %w", addr, err)
+	}
+	srv := &Server{
+		URL:     "http://" + ln.Addr().String(),
+		ln:      ln,
+		httpSrv: &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second},
+		done:    make(chan struct{}),
+	}
+	go func() {
+		defer close(srv.done)
+		// ErrServerClosed is the normal shutdown signal.
+		_ = srv.httpSrv.Serve(ln)
+	}()
+	return srv, nil
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.httpSrv.Close()
+	<-s.done
+	return err
+}
+
+// Client talks PReP to a provenance store endpoint.
+type Client struct {
+	url string
+	hc  *http.Client
+}
+
+// NewClient returns a client for the store at url. A nil httpClient uses
+// a dedicated client with sane timeouts.
+func NewClient(url string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Client{url: url, hc: httpClient}
+}
+
+// URL returns the endpoint this client records to.
+func (c *Client) URL() string { return c.url }
+
+// Record submits a batch of p-assertions asserted by asserter.
+func (c *Client) Record(asserter core.ActorID, records []core.Record) (*prep.RecordResponse, error) {
+	req := &prep.RecordRequest{Asserter: asserter, Records: records}
+	var resp prep.RecordResponse
+	if err := soap.Post(c.hc, c.url, prep.ActionRecord, req, &resp); err != nil {
+		return nil, fmt.Errorf("preserv: record: %w", err)
+	}
+	return &resp, nil
+}
+
+// Query retrieves records matching q.
+func (c *Client) Query(q *prep.Query) ([]core.Record, int, error) {
+	var resp prep.QueryResponse
+	if err := soap.Post(c.hc, c.url, prep.ActionQuery, q, &resp); err != nil {
+		return nil, 0, fmt.Errorf("preserv: query: %w", err)
+	}
+	return resp.Records, resp.Total, nil
+}
+
+// Count retrieves store statistics.
+func (c *Client) Count() (prep.CountResponse, error) {
+	var resp prep.CountResponse
+	if err := soap.Post(c.hc, c.url, prep.ActionCount, &prep.CountRequest{}, &resp); err != nil {
+		return prep.CountResponse{}, fmt.Errorf("preserv: count: %w", err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,334 @@
+package semval
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/ontology"
+	"preserv/internal/preserv"
+	"preserv/internal/registry"
+	"preserv/internal/store"
+)
+
+var seq = &ids.SeqSource{Prefix: 0xA2}
+
+type fixture struct {
+	store    *preserv.Client
+	registry *registry.Client
+	val      *Validator
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	psrv, err := preserv.Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { psrv.Close() })
+
+	reg := registry.NewRegistry()
+	rsrv, err := registry.Serve(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rsrv.Close() })
+
+	f := &fixture{
+		store:    preserv.NewClient(psrv.URL, nil),
+		registry: registry.NewClient(rsrv.URL, nil),
+	}
+	f.val = &Validator{Store: f.store, Registry: f.registry, Ontology: ontology.Bioinformatics()}
+
+	// Publish the application's service descriptions.
+	descs := []*registry.ServiceDescription{
+		{
+			Service: "svc:collate",
+			Operations: []registry.Operation{{
+				Name:    "collate",
+				Inputs:  []registry.PartDecl{{Name: "sequences", SemanticType: ontology.TypeProtein}},
+				Outputs: []registry.PartDecl{{Name: "sample", SemanticType: ontology.TypeProtein}},
+			}},
+		},
+		{
+			Service: "svc:collate-nuc",
+			Operations: []registry.Operation{{
+				Name:    "collate",
+				Inputs:  []registry.PartDecl{{Name: "sequences", SemanticType: ontology.TypeNucleotide}},
+				Outputs: []registry.PartDecl{{Name: "sample", SemanticType: ontology.TypeNucleotide}},
+			}},
+		},
+		{
+			Service: "svc:encode",
+			Operations: []registry.Operation{{
+				Name: "encode",
+				Inputs: []registry.PartDecl{
+					{Name: "sample", SemanticType: ontology.TypeProtein},
+					{Name: "grouping", SemanticType: ontology.TypeGroupingSpec},
+				},
+				Outputs: []registry.PartDecl{{Name: "encoded", SemanticType: ontology.TypeGroupEncoded}},
+			}},
+		},
+		{
+			Service: "svc:gzip",
+			Operations: []registry.Operation{{
+				Name:    "compress",
+				Inputs:  []registry.PartDecl{{Name: "sample", SemanticType: ontology.TypeGroupEncoded}},
+				Outputs: []registry.PartDecl{{Name: "compressed", SemanticType: ontology.TypeCompressed}},
+			}},
+		},
+	}
+	for _, d := range descs {
+		if err := f.registry.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// record stores one interaction exchange with the given parts.
+func (f *fixture) record(t *testing.T, session ids.ID, n uint64, service core.ActorID, op string, req, resp []core.MessagePart) core.Interaction {
+	t.Helper()
+	in := core.Interaction{ID: seq.NewID(), Sender: "svc:enactor", Receiver: service, Operation: op}
+	rec := *core.NewInteractionRecord(&core.InteractionPAssertion{
+		LocalID:     fmt.Sprintf("e%d", n),
+		Asserter:    "svc:enactor",
+		Interaction: in,
+		View:        core.SenderView,
+		Request:     core.Message{Name: "invoke", Parts: req},
+		Response:    core.Message{Name: "result", Parts: resp},
+		Groups:      []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: n}},
+		Timestamp:   time.Now().UTC(),
+	})
+	if _, err := f.store.Record("svc:enactor", []core.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestValidWorkflowPasses(t *testing.T) {
+	f := newFixture(t)
+	session := seq.NewID()
+	sampleID, groupingID, encodedID := seq.NewID(), seq.NewID(), seq.NewID()
+
+	f.record(t, session, 1, "svc:collate", "collate",
+		[]core.MessagePart{{Name: "sequences", DataID: seq.NewID()}},
+		[]core.MessagePart{{Name: "sample", DataID: sampleID}})
+	f.record(t, session, 2, "svc:encode", "encode",
+		[]core.MessagePart{{Name: "sample", DataID: sampleID}, {Name: "grouping", DataID: groupingID}},
+		[]core.MessagePart{{Name: "encoded", DataID: encodedID}})
+	f.record(t, session, 3, "svc:gzip", "compress",
+		[]core.MessagePart{{Name: "sample", DataID: encodedID}},
+		[]core.MessagePart{{Name: "compressed", DataID: seq.NewID()}})
+
+	rep, err := f.val.ValidateSession(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid() {
+		t.Fatalf("valid workflow reported violations: %v", rep.Violations)
+	}
+	if rep.Interactions != 3 {
+		t.Errorf("interactions = %d, want 3", rep.Interactions)
+	}
+	if rep.EdgesChecked != 2 {
+		t.Errorf("edges checked = %d, want 2 (collate→encode, encode→gzip)", rep.EdgesChecked)
+	}
+	// Access pattern: 1 listing call + 1 call per interaction.
+	if rep.StoreCalls != 4 {
+		t.Errorf("store calls = %d, want 4", rep.StoreCalls)
+	}
+	if rep.RegistryCalls == 0 {
+		t.Error("registry calls not counted")
+	}
+}
+
+func TestNucleotideTrapDetected(t *testing.T) {
+	// Use case 2's scenario: a nucleotide sequence was accidentally fed
+	// into the amino-acid Encode-by-Groups service. Syntactically legal
+	// (ACGT ⊂ amino-acid alphabet), semantically invalid.
+	f := newFixture(t)
+	session := seq.NewID()
+	sampleID := seq.NewID()
+
+	f.record(t, session, 1, "svc:collate-nuc", "collate",
+		[]core.MessagePart{{Name: "sequences", DataID: seq.NewID()}},
+		[]core.MessagePart{{Name: "sample", DataID: sampleID}})
+	f.record(t, session, 2, "svc:encode", "encode",
+		[]core.MessagePart{{Name: "sample", DataID: sampleID}, {Name: "grouping"}},
+		[]core.MessagePart{{Name: "encoded", DataID: seq.NewID()}})
+
+	rep, err := f.val.ValidateSession(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid() {
+		t.Fatal("nucleotide-into-protein flow passed validation")
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+	v := rep.Violations[0]
+	if v.Service != "svc:encode" || v.Part != "sample" {
+		t.Errorf("violation target = %s.%s", v.Service, v.Part)
+	}
+	if v.Expected != ontology.TypeProtein || v.Produced != ontology.TypeNucleotide {
+		t.Errorf("types = expected %s, produced %s", v.Expected, v.Produced)
+	}
+	if v.Producer != "svc:collate-nuc" {
+		t.Errorf("producer = %s", v.Producer)
+	}
+	if !strings.Contains(v.String(), "mismatch") {
+		t.Errorf("String() = %q", v.String())
+	}
+}
+
+func TestSubtypeFlowsAccepted(t *testing.T) {
+	// A permuted group-encoded sequence is a subtype of group-encoded;
+	// feeding it to gzip (which expects group-encoded) must pass.
+	f := newFixture(t)
+	// Register a shuffle service producing the subtype.
+	err := f.registry.Publish(&registry.ServiceDescription{
+		Service: "svc:shuffle",
+		Operations: []registry.Operation{{
+			Name:    "shuffle",
+			Inputs:  []registry.PartDecl{{Name: "sample", SemanticType: ontology.TypeGroupEncoded}},
+			Outputs: []registry.PartDecl{{Name: "permuted", SemanticType: ontology.TypePermutedEncoded}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := seq.NewID()
+	permutedID := seq.NewID()
+	f.record(t, session, 1, "svc:shuffle", "shuffle",
+		[]core.MessagePart{{Name: "sample", DataID: seq.NewID()}},
+		[]core.MessagePart{{Name: "permuted", DataID: permutedID}})
+	f.record(t, session, 2, "svc:gzip", "compress",
+		[]core.MessagePart{{Name: "sample", DataID: permutedID}},
+		[]core.MessagePart{{Name: "compressed", DataID: seq.NewID()}})
+
+	rep, err := f.val.ValidateSession(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid() {
+		t.Fatalf("subtype flow rejected: %v", rep.Violations)
+	}
+}
+
+func TestUnregisteredServiceViolates(t *testing.T) {
+	f := newFixture(t)
+	session := seq.NewID()
+	f.record(t, session, 1, "svc:mystery", "run",
+		[]core.MessagePart{{Name: "in", DataID: seq.NewID()}},
+		[]core.MessagePart{{Name: "out", DataID: seq.NewID()}})
+	rep, err := f.val.ValidateSession(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid() {
+		t.Fatal("unregistered service passed validation")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v.Reason, "not registered") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestUndeclaredPartViolates(t *testing.T) {
+	f := newFixture(t)
+	session := seq.NewID()
+	f.record(t, session, 1, "svc:gzip", "compress",
+		[]core.MessagePart{{Name: "wrong-part-name", DataID: seq.NewID()}},
+		[]core.MessagePart{{Name: "compressed", DataID: seq.NewID()}})
+	rep, err := f.val.ValidateSession(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid() {
+		t.Fatal("undeclared part passed validation")
+	}
+}
+
+func TestLiteralInputsUnchecked(t *testing.T) {
+	f := newFixture(t)
+	session := seq.NewID()
+	// grouping has no DataID — a literal configuration value.
+	f.record(t, session, 1, "svc:encode", "encode",
+		[]core.MessagePart{{Name: "sample"}, {Name: "grouping"}},
+		[]core.MessagePart{{Name: "encoded", DataID: seq.NewID()}})
+	rep, err := f.val.ValidateSession(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid() {
+		t.Fatalf("literal inputs should not violate: %v", rep.Violations)
+	}
+	if rep.EdgesChecked != 0 {
+		t.Errorf("edges = %d, want 0", rep.EdgesChecked)
+	}
+}
+
+func TestEmptySession(t *testing.T) {
+	f := newFixture(t)
+	rep, err := f.val.ValidateSession(seq.NewID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interactions != 0 || !rep.Valid() {
+		t.Errorf("empty session report: %+v", rep)
+	}
+}
+
+func TestRegistryCallsPerInteraction(t *testing.T) {
+	// The paper reports ≈10 registry calls per interaction; our naive
+	// per-part resolution (lookup + part-type, inputs and outputs, plus
+	// producer re-resolution) should land in the same regime — well
+	// above 2 and counted precisely.
+	f := newFixture(t)
+	session := seq.NewID()
+	sampleID, groupingID, encodedID := seq.NewID(), seq.NewID(), seq.NewID()
+	f.record(t, session, 1, "svc:collate", "collate",
+		[]core.MessagePart{{Name: "sequences", DataID: seq.NewID()}},
+		[]core.MessagePart{{Name: "sample", DataID: sampleID}})
+	f.record(t, session, 2, "svc:encode", "encode",
+		[]core.MessagePart{{Name: "sample", DataID: sampleID}, {Name: "grouping", DataID: groupingID}},
+		[]core.MessagePart{{Name: "encoded", DataID: encodedID}})
+	f.record(t, session, 3, "svc:gzip", "compress",
+		[]core.MessagePart{{Name: "sample", DataID: encodedID}},
+		[]core.MessagePart{{Name: "compressed", DataID: seq.NewID()}})
+
+	rep, err := f.val.ValidateSession(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perInteraction := float64(rep.RegistryCalls) / float64(rep.Interactions)
+	if perInteraction < 4 {
+		t.Errorf("registry calls per interaction = %.1f, expected the naive UDDI pattern (>4)", perInteraction)
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("elapsed not measured")
+	}
+}
+
+func TestValidatorDeadStore(t *testing.T) {
+	f := newFixture(t)
+	dead := &Validator{
+		Store:    preserv.NewClient("http://127.0.0.1:1", nil),
+		Registry: f.registry,
+		Ontology: ontology.Bioinformatics(),
+	}
+	if _, err := dead.ValidateSession(seq.NewID()); err == nil {
+		t.Error("dead store should fail")
+	}
+}

@@ -1,0 +1,243 @@
+// Package soap implements the minimal XML message envelope the
+// provenance architecture uses on the wire. It stands in for the SOAP
+// binding of the paper's PReServ ("a SOAP message is sent to PReServ to
+// either record or query provenance"): an Envelope with an action header
+// and an XML body, POSTed over HTTP, with faults for error returns.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"preserv/internal/ids"
+)
+
+// ContentType is the media type of envelope messages.
+const ContentType = "text/xml; charset=utf-8"
+
+// MaxMessageBytes bounds accepted message sizes (32 MiB), protecting the
+// store from unbounded payloads.
+const MaxMessageBytes = 32 << 20
+
+// Envelope is the wire wrapper for every message.
+type Envelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	Header  Header   `xml:"Header"`
+	Body    Body     `xml:"Body"`
+}
+
+// Header carries routing metadata.
+type Header struct {
+	// Action selects the operation, e.g. prep.ActionRecord.
+	Action string `xml:"action"`
+	// MessageID uniquely identifies this message.
+	MessageID ids.ID `xml:"messageId"`
+}
+
+// Body holds the payload document verbatim.
+type Body struct {
+	Inner []byte `xml:",innerxml"`
+}
+
+// Fault is the error payload.
+type Fault struct {
+	XMLName xml.Name `xml:"Fault"`
+	Code    string   `xml:"code"`
+	Message string   `xml:"message"`
+}
+
+// Error implements the error interface so faults propagate naturally.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap: fault %s: %s", f.Code, f.Message)
+}
+
+// Fault codes.
+const (
+	FaultBadRequest = "client.bad-request"
+	FaultBadAction  = "client.unknown-action"
+	FaultInternal   = "server.internal"
+)
+
+// ErrNotEnvelope is returned when input does not parse as an Envelope.
+var ErrNotEnvelope = errors.New("soap: not an envelope")
+
+// Marshal wraps an XML-marshallable payload in an envelope.
+func Marshal(action string, payload interface{}) ([]byte, error) {
+	inner, err := xml.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("soap: marshalling %s payload: %w", action, err)
+	}
+	env := Envelope{
+		Header: Header{Action: action, MessageID: ids.New()},
+		Body:   Body{Inner: inner},
+	}
+	data, err := xml.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("soap: marshalling envelope: %w", err)
+	}
+	return data, nil
+}
+
+// Unmarshal parses an envelope, returning its action and raw body.
+func Unmarshal(data []byte) (action string, body []byte, err error) {
+	var env Envelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrNotEnvelope, err)
+	}
+	if env.Header.Action == "" {
+		return "", nil, fmt.Errorf("%w: missing action header", ErrNotEnvelope)
+	}
+	return env.Header.Action, env.Body.Inner, nil
+}
+
+// DecodeBody parses an envelope body into v. If the body is a Fault it
+// is returned as the error instead.
+func DecodeBody(body []byte, v interface{}) error {
+	if f, ok := AsFault(body); ok {
+		return f
+	}
+	if err := xml.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("soap: decoding body: %w", err)
+	}
+	return nil
+}
+
+// AsFault reports whether the body is a Fault, returning it if so.
+func AsFault(body []byte) (*Fault, bool) {
+	trimmed := bytes.TrimSpace(body)
+	if !bytes.HasPrefix(trimmed, []byte("<Fault")) {
+		return nil, false
+	}
+	var f Fault
+	if err := xml.Unmarshal(trimmed, &f); err != nil {
+		return nil, false
+	}
+	return &f, true
+}
+
+// Handler processes one decoded message and returns the reply payload
+// (to be XML-marshalled) or an error. Returning a *Fault preserves its
+// code; other errors become FaultInternal.
+type Handler interface {
+	// Actions lists the action URIs this handler accepts.
+	Actions() []string
+	// Handle processes the raw body of a message with a matching action.
+	Handle(action string, body []byte) (reply interface{}, err error)
+}
+
+// HTTPHandler adapts a set of Handlers to net/http — this is the
+// message-translator layer of the PReServ design (Figure 3): it strips
+// the HTTP and envelope headers and passes the body to the plug-in
+// registered for the action.
+type HTTPHandler struct {
+	byAction map[string]Handler
+}
+
+// NewHTTPHandler builds the translator from the given plug-ins.
+// Registering two handlers for one action panics: that is a static
+// wiring error.
+func NewHTTPHandler(handlers ...Handler) *HTTPHandler {
+	h := &HTTPHandler{byAction: make(map[string]Handler)}
+	for _, handler := range handlers {
+		for _, action := range handler.Actions() {
+			if _, dup := h.byAction[action]; dup {
+				panic("soap: duplicate handler for action " + action)
+			}
+			h.byAction[action] = handler
+		}
+	}
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "envelope messages must be POSTed", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxMessageBytes+1))
+	if err != nil {
+		h.writeFault(w, FaultBadRequest, "reading request: "+err.Error())
+		return
+	}
+	if len(data) > MaxMessageBytes {
+		h.writeFault(w, FaultBadRequest, "message exceeds size limit")
+		return
+	}
+	action, body, err := Unmarshal(data)
+	if err != nil {
+		h.writeFault(w, FaultBadRequest, err.Error())
+		return
+	}
+	handler, ok := h.byAction[action]
+	if !ok {
+		h.writeFault(w, FaultBadAction, "no handler for action "+action)
+		return
+	}
+	reply, err := handler.Handle(action, body)
+	if err != nil {
+		var f *Fault
+		if errors.As(err, &f) {
+			h.writeFault(w, f.Code, f.Message)
+		} else {
+			h.writeFault(w, FaultInternal, err.Error())
+		}
+		return
+	}
+	respData, err := Marshal(action+"-response", reply)
+	if err != nil {
+		h.writeFault(w, FaultInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	w.Write(respData)
+}
+
+func (h *HTTPHandler) writeFault(w http.ResponseWriter, code, msg string) {
+	data, err := Marshal("fault", &Fault{Code: code, Message: msg})
+	if err != nil {
+		http.Error(w, msg, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	// Faults still travel as 200-level envelope replies, as in SOAP 1.1
+	// over HTTP POST bindings; transport-level errors use HTTP codes.
+	w.Write(data)
+}
+
+// Post sends a payload to url under the given action and decodes the
+// reply body into reply (which may be nil to discard it). Fault replies
+// are returned as *Fault errors.
+func Post(client *http.Client, url, action string, payload, reply interface{}) error {
+	data, err := Marshal(action, payload)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, ContentType, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("soap: posting %s: %w", action, err)
+	}
+	defer resp.Body.Close()
+	respData, err := io.ReadAll(io.LimitReader(resp.Body, MaxMessageBytes+1))
+	if err != nil {
+		return fmt.Errorf("soap: reading reply: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("soap: %s returned HTTP %d: %s", action, resp.StatusCode, bytes.TrimSpace(respData))
+	}
+	_, body, err := Unmarshal(respData)
+	if err != nil {
+		return err
+	}
+	if f, ok := AsFault(body); ok {
+		return f
+	}
+	if reply == nil {
+		return nil
+	}
+	return DecodeBody(body, reply)
+}

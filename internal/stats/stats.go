@@ -1,0 +1,189 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: sample moments, ordinary least-squares regression with Pearson
+// correlation (the paper reports r > 0.99 for every plot), and summary
+// helpers for distributions of compressed sizes.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when an operation needs more samples
+// than were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty
+// slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (divisor n-1) of xs.
+// It returns 0 when fewer than two samples are provided.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs; 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs; 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (the mean of the two central elements
+// for even-length input); 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Fit is the result of an ordinary least-squares linear regression
+// y = Slope*x + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	// R is the Pearson product-moment correlation coefficient of the
+	// sample. The paper reports |R| > 0.99 for each evaluation plot.
+	R float64
+	// N is the number of points fitted.
+	N int
+}
+
+// R2 returns the coefficient of determination.
+func (f Fit) R2() float64 { return f.R * f.R }
+
+// Predict evaluates the fitted line at x.
+func (f Fit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// String renders the fit in a compact human-readable form.
+func (f Fit) String() string {
+	return fmt.Sprintf("y = %.6g*x + %.6g (r=%.4f, n=%d)", f.Slope, f.Intercept, f.R, f.N)
+}
+
+// LinearFit performs ordinary least-squares regression of ys on xs.
+// It requires len(xs) == len(ys) >= 2 and at least two distinct x values.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return Fit{}, fmt.Errorf("%w: need at least 2 points, got %d", ErrInsufficientData, n)
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("%w: all x values identical", ErrInsufficientData)
+	}
+	slope := sxy / sxx
+	fit := Fit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		N:         n,
+	}
+	if syy == 0 {
+		// A perfectly horizontal line: correlation is conventionally 1
+		// for our purposes (the fit explains all — zero — variance).
+		fit.R = 1
+	} else {
+		fit.R = sxy / math.Sqrt(sxx*syy)
+	}
+	return fit, nil
+}
+
+// Summary captures the descriptive statistics of one sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Median: Median(xs),
+		Max:    Max(xs),
+	}
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// RelativeOverhead returns (with-base)/base, the fractional slowdown of
+// `with` relative to `base`. The paper's headline claim is that the
+// asynchronous-recording overhead stays below 0.10. base must be > 0.
+func RelativeOverhead(base, with float64) float64 {
+	if base <= 0 {
+		return math.Inf(1)
+	}
+	return (with - base) / base
+}

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almost(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 divisor: sum sq dev = 32, / 7.
+	if got, want := Variance(xs), 32.0/7.0; !almost(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("variance of singleton should be 0")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Errorf("Min/Max wrong: %v %v", Min(xs), Max(xs))
+	}
+	if got := Median(xs); !almost(got, 3.5, 1e-12) {
+		t.Errorf("Median = %v, want 3.5", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd Median = %v, want 2", got)
+	}
+	if Median(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty-slice edge cases should return 0")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 3, 1e-9) || !almost(fit.Intercept, 7, 1e-9) {
+		t.Errorf("fit = %v, want slope 3 intercept 7", fit)
+	}
+	if !almost(fit.R, 1, 1e-12) {
+		t.Errorf("R = %v, want 1", fit.R)
+	}
+	if !almost(fit.Predict(10), 37, 1e-9) {
+		t.Errorf("Predict(10) = %v, want 37", fit.Predict(10))
+	}
+	if !almost(fit.R2(), 1, 1e-12) {
+		t.Errorf("R2 = %v", fit.R2())
+	}
+}
+
+func TestLinearFitNegativeCorrelation(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{9, 7, 5, 3}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, -2, 1e-9) || !almost(fit.R, -1, 1e-12) {
+		t.Errorf("fit = %v, want slope -2, r -1", fit)
+	}
+}
+
+func TestLinearFitHorizontal(t *testing.T) {
+	fit, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.R != 1 {
+		t.Errorf("horizontal fit = %v, want slope 0 r 1", fit)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x should error")
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	// y = 5x + 1 with small deterministic perturbation: r must stay
+	// above 0.99, the threshold the paper applies to its own plots.
+	var xs, ys []float64
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		noise := 0.5 * math.Sin(float64(i)*1.7)
+		xs = append(xs, x)
+		ys = append(ys, 5*x+1+noise)
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R < 0.99 {
+		t.Errorf("R = %v, want > 0.99", fit.R)
+	}
+	if !almost(fit.Slope, 5, 0.05) {
+		t.Errorf("Slope = %v, want ≈5", fit.Slope)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestRelativeOverhead(t *testing.T) {
+	if got := RelativeOverhead(100, 110); !almost(got, 0.10, 1e-12) {
+		t.Errorf("overhead = %v, want 0.10", got)
+	}
+	if got := RelativeOverhead(100, 90); !almost(got, -0.10, 1e-12) {
+		t.Errorf("overhead = %v, want -0.10", got)
+	}
+	if !math.IsInf(RelativeOverhead(0, 5), 1) {
+		t.Error("zero base should give +Inf")
+	}
+}
+
+func TestFitString(t *testing.T) {
+	fit := Fit{Slope: 2, Intercept: 1, R: 0.999, N: 8}
+	if fit.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: fitting y = a*x + b exactly recovers a and b for any finite
+// a, b and a spread of xs.
+func TestQuickLinearFitRecovers(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a, b := float64(a8), float64(b8)
+		xs := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a*x + b
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almost(fit.Slope, a, 1e-6) && almost(fit.Intercept, b, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean is translation-equivariant: Mean(xs+c) = Mean(xs)+c.
+func TestQuickMeanTranslation(t *testing.T) {
+	f := func(raw []int8, c8 int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := float64(c8)
+		xs := make([]float64, len(raw))
+		shifted := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			shifted[i] = float64(v) + c
+		}
+		return almost(Mean(shifted), Mean(xs)+c, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stddev is translation-invariant.
+func TestQuickStdDevTranslationInvariant(t *testing.T) {
+	f := func(raw []int8, c8 int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		c := float64(c8)
+		xs := make([]float64, len(raw))
+		shifted := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			shifted[i] = float64(v) + c
+		}
+		return almost(StdDev(shifted), StdDev(xs), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/prep"
+)
+
+func populateStore(b *testing.B, s *Store, n int) ids.ID {
+	b.Helper()
+	src := &ids.SeqSource{Prefix: 0xBE}
+	session := src.NewID()
+	var recs []core.Record
+	for i := 0; i < n; i++ {
+		in := core.Interaction{ID: src.NewID(), Sender: "svc:enactor", Receiver: "svc:gzip", Operation: "compress"}
+		recs = append(recs, *core.NewInteractionRecord(&core.InteractionPAssertion{
+			LocalID:     fmt.Sprintf("e%d", i),
+			Asserter:    "svc:enactor",
+			Interaction: in,
+			View:        core.SenderView,
+			Request:     core.Message{Name: "invoke"},
+			Response:    core.Message{Name: "result"},
+			Groups:      []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: uint64(i)}},
+			Timestamp:   time.Unix(1117584000, 0),
+		}))
+	}
+	if _, rej, err := s.Record("svc:enactor", recs); err != nil || len(rej) > 0 {
+		b.Fatalf("populate: %v %v", err, rej)
+	}
+	return session
+}
+
+func BenchmarkRecordBatchMemory(b *testing.B) {
+	s := New(NewMemoryBackend())
+	src := &ids.SeqSource{Prefix: 0xBF}
+	session := src.NewID()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := core.Interaction{ID: src.NewID(), Sender: "svc:enactor", Receiver: "svc:gzip", Operation: "c"}
+		rec := *core.NewInteractionRecord(&core.InteractionPAssertion{
+			LocalID: "e", Asserter: "svc:enactor", Interaction: in, View: core.SenderView,
+			Request: core.Message{Name: "invoke"}, Response: core.Message{Name: "result"},
+			Groups:    []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: uint64(i)}},
+			Timestamp: time.Unix(1117584000, 0),
+		})
+		if _, _, err := s.Record("svc:enactor", []core.Record{rec}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryBySessionMemory(b *testing.B) {
+	s := New(NewMemoryBackend())
+	session := populateStore(b, s, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, total, err := s.Query(&prep.Query{SessionID: session})
+		if err != nil || total != 1000 {
+			b.Fatalf("total=%d err=%v", total, err)
+		}
+	}
+}
+
+func BenchmarkQueryByInteractionMemory(b *testing.B) {
+	s := New(NewMemoryBackend())
+	populateStore(b, s, 1000)
+	// Grab one interaction id via a full query.
+	recs, _, err := s.Query(&prep.Query{Limit: 1})
+	if err != nil || len(recs) == 0 {
+		b.Fatal(err)
+	}
+	target := recs[0].InteractionID()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, total, err := s.Query(&prep.Query{InteractionID: target})
+		if err != nil || total != 1 {
+			b.Fatalf("total=%d err=%v", total, err)
+		}
+	}
+}
+
+func BenchmarkQueryByInteractionKVDB(b *testing.B) {
+	kb, err := NewKVBackend(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(kb)
+	defer s.Close()
+	populateStore(b, s, 1000)
+	recs, _, err := s.Query(&prep.Query{Limit: 1})
+	if err != nil || len(recs) == 0 {
+		b.Fatal(err)
+	}
+	target := recs[0].InteractionID()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, total, err := s.Query(&prep.Query{InteractionID: target})
+		if err != nil || total != 1 {
+			b.Fatalf("total=%d err=%v", total, err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileBackend stores one file per record under a directory, PReServ's
+// "file system" backend. File names are derived from the storage key:
+// a sanitised, hash-suffixed form that is filesystem-safe while still
+// grouping an interaction's records by prefix. A sidecar index file is
+// unnecessary — the directory itself is the index.
+type FileBackend struct {
+	mu  sync.RWMutex
+	dir string
+	// keys maps storage key -> file name; rebuilt on open.
+	keys map[string]string
+}
+
+const fileExt = ".rec"
+
+// NewFileBackend opens (creating if necessary) a file backend rooted at
+// dir and indexes any records already present.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	fb := &FileBackend{dir: dir, keys: make(map[string]string)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), fileExt) {
+			continue
+		}
+		keyPath := filepath.Join(dir, e.Name()+".key")
+		keyBytes, err := os.ReadFile(keyPath)
+		if err != nil {
+			// A record file without its key sidecar is a torn write;
+			// skip it rather than fail the whole store.
+			continue
+		}
+		fb.keys[string(keyBytes)] = e.Name()
+	}
+	return fb, nil
+}
+
+// Name implements Backend.
+func (f *FileBackend) Name() string { return "file" }
+
+func fileNameFor(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16]) + fileExt
+}
+
+// Put implements Backend. The record body is written first, then the key
+// sidecar; a crash between the two leaves an orphan that open skips.
+func (f *FileBackend) Put(key string, value []byte) error {
+	if key == "" {
+		return fmt.Errorf("store: empty key")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name := fileNameFor(key)
+	path := filepath.Join(f.dir, name)
+	if err := os.WriteFile(path, value, 0o644); err != nil {
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := os.WriteFile(path+".key", []byte(key), 0o644); err != nil {
+		return fmt.Errorf("store: writing key sidecar: %w", err)
+	}
+	f.keys[key] = name
+	return nil
+}
+
+// Get implements Backend.
+func (f *FileBackend) Get(key string) ([]byte, bool, error) {
+	f.mu.RLock()
+	name, ok := f.keys[key]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(filepath.Join(f.dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: reading %s: %w", name, err)
+	}
+	return data, true, nil
+}
+
+// Scan implements Backend.
+func (f *FileBackend) Scan(prefix string, fn func(string, []byte) error) error {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.keys))
+	for k := range f.keys {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	f.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		data, ok, err := f.Get(k)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := fn(k, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count implements Backend.
+func (f *FileBackend) Count(prefix string) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := 0
+	for k := range f.keys {
+		if strings.HasPrefix(k, prefix) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Close implements Backend.
+func (f *FileBackend) Close() error { return nil }

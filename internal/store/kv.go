@@ -1,0 +1,60 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"preserv/internal/kvdb"
+)
+
+// KVBackend persists records in the embedded kvdb database — the
+// counterpart of PReServ's Berkeley DB backend, which the paper uses for
+// all of its evaluations.
+type KVBackend struct {
+	db *kvdb.DB
+}
+
+// NewKVBackend opens (creating if necessary) a kvdb-backed store in dir.
+func NewKVBackend(dir string) (*KVBackend, error) {
+	db, err := kvdb.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening kvdb backend: %w", err)
+	}
+	return &KVBackend{db: db}, nil
+}
+
+// Name implements Backend.
+func (k *KVBackend) Name() string { return "kvdb" }
+
+// Put implements Backend.
+func (k *KVBackend) Put(key string, value []byte) error {
+	return k.db.Put(key, value)
+}
+
+// Get implements Backend.
+func (k *KVBackend) Get(key string) ([]byte, bool, error) {
+	v, err := k.db.Get(key)
+	if err != nil {
+		if errors.Is(err, kvdb.ErrNotFound) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Scan implements Backend.
+func (k *KVBackend) Scan(prefix string, fn func(string, []byte) error) error {
+	return k.db.Scan(prefix, fn)
+}
+
+// Count implements Backend.
+func (k *KVBackend) Count(prefix string) (int, error) {
+	return len(k.db.Keys(prefix)), nil
+}
+
+// Close implements Backend.
+func (k *KVBackend) Close() error { return k.db.Close() }
+
+// Compact reclaims space in the underlying database.
+func (k *KVBackend) Compact() error { return k.db.Compact() }

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/prep"
+)
+
+// Property: for any randomly generated batch of valid records, the store
+// accepts all of them and every conjunctive query returns exactly the
+// records that Match — record/query fidelity, the store's core contract.
+func TestQuickRecordQueryFidelity(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := &ids.SeqSource{Prefix: uint64(seed) & 0xFFF}
+		s := New(NewMemoryBackend())
+
+		sessions := []ids.ID{src.NewID(), src.NewID()}
+		services := []core.ActorID{"svc:gzip", "svc:ppmz", "svc:measure"}
+		n := int(n8)%40 + 1
+		var recs []core.Record
+		for i := 0; i < n; i++ {
+			session := sessions[rng.Intn(len(sessions))]
+			service := services[rng.Intn(len(services))]
+			in := core.Interaction{ID: src.NewID(), Sender: "svc:enactor", Receiver: service, Operation: "op"}
+			if rng.Intn(3) == 0 {
+				recs = append(recs, *core.NewActorStateRecord(&core.ActorStatePAssertion{
+					LocalID: fmt.Sprintf("s%d", i), Asserter: "svc:enactor",
+					Interaction: in, View: core.SenderView,
+					StateKind: core.StateScript, Content: core.Bytes("x"),
+					Groups:    []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: uint64(i)}},
+					Timestamp: time.Unix(0, 0),
+				}))
+			} else {
+				recs = append(recs, *core.NewInteractionRecord(&core.InteractionPAssertion{
+					LocalID: fmt.Sprintf("e%d", i), Asserter: "svc:enactor",
+					Interaction: in, View: core.SenderView,
+					Request:   core.Message{Name: "invoke"},
+					Response:  core.Message{Name: "result"},
+					Groups:    []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: uint64(i)}},
+					Timestamp: time.Unix(0, 0),
+				}))
+			}
+		}
+		acc, rej, err := s.Record("svc:enactor", recs)
+		if err != nil || acc != n || len(rej) != 0 {
+			return false
+		}
+
+		queries := []*prep.Query{
+			{},
+			{SessionID: sessions[0]},
+			{Kind: "interaction"},
+			{Kind: "actorState", StateKind: core.StateScript},
+			{Service: services[0]},
+			{SessionID: sessions[1], Service: services[1]},
+			{InteractionID: recs[0].InteractionID()},
+		}
+		for _, q := range queries {
+			got, total, err := s.Query(q)
+			if err != nil {
+				return false
+			}
+			want := 0
+			for i := range recs {
+				if q.Matches(&recs[i]) {
+					want++
+				}
+			}
+			if total != want || len(got) != want {
+				return false
+			}
+			// Every returned record must itself match and be one of ours.
+			keys := map[string]bool{}
+			for i := range recs {
+				keys[recs[i].StorageKey()] = true
+			}
+			for i := range got {
+				if !q.Matches(&got[i]) || !keys[got[i].StorageKey()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package store implements the Provenance Store Interface of PReServ's
+// layered design (paper Figure 3): a uniform API that plug-ins call,
+// with interchangeable backends — in-memory, file system, and an
+// embedded database (internal/kvdb, the Berkeley DB stand-in). "This
+// abstraction makes it easy to integrate new backend stores without
+// having to change already developed PlugIns."
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"preserv/internal/core"
+	"preserv/internal/prep"
+)
+
+// ErrDuplicate is returned when a record's storage key already exists
+// with different content; recording the identical record twice is
+// accepted idempotently.
+var ErrDuplicate = errors.New("store: duplicate record key")
+
+// Backend persists encoded records under their storage keys.
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// Put stores a record under key. Keys are write-once: backends may
+	// reject overwrites (the Store layer handles idempotency first).
+	Put(key string, value []byte) error
+	// Get returns the value under key, or (nil, false, nil) if absent.
+	Get(key string) (value []byte, ok bool, err error)
+	// Scan visits every key with the given prefix in sorted key order.
+	Scan(prefix string, fn func(key string, value []byte) error) error
+	// Count returns the number of keys with the given prefix.
+	Count(prefix string) (int, error)
+	// Close releases resources.
+	Close() error
+	// Name identifies the backend flavour ("memory", "file", "kvdb").
+	Name() string
+}
+
+// Store is the provenance store: validation, idempotent recording and
+// query evaluation over a Backend.
+type Store struct {
+	mu sync.RWMutex
+	b  Backend
+}
+
+// New wraps a backend in a Store.
+func New(b Backend) *Store { return &Store{b: b} }
+
+// BackendName reports which backend the store runs on.
+func (s *Store) BackendName() string { return s.b.Name() }
+
+// Close closes the underlying backend.
+func (s *Store) Close() error { return s.b.Close() }
+
+// Record validates and stores a batch of p-assertions asserted by
+// asserter. It returns the number accepted and a reject entry for each
+// refused record. Storage is idempotent: re-recording an identical
+// record is counted as accepted.
+func (s *Store) Record(asserter core.ActorID, records []core.Record) (int, []prep.Reject, error) {
+	if asserter == "" {
+		return 0, nil, fmt.Errorf("store: empty asserter")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	accepted := 0
+	var rejects []prep.Reject
+	for i := range records {
+		r := &records[i]
+		if err := r.Validate(); err != nil {
+			rejects = append(rejects, prep.Reject{Index: i, Reason: err.Error()})
+			continue
+		}
+		if r.Asserter() != asserter {
+			rejects = append(rejects, prep.Reject{
+				Index:  i,
+				Reason: fmt.Sprintf("record asserted by %q but submitted by %q", r.Asserter(), asserter),
+			})
+			continue
+		}
+		encoded, err := core.EncodeRecord(r)
+		if err != nil {
+			rejects = append(rejects, prep.Reject{Index: i, Reason: err.Error()})
+			continue
+		}
+		key := r.StorageKey()
+		if existing, ok, err := s.b.Get(key); err != nil {
+			return accepted, rejects, fmt.Errorf("store: checking %s: %w", key, err)
+		} else if ok {
+			if string(existing) == string(encoded) {
+				accepted++ // idempotent re-record
+				continue
+			}
+			rejects = append(rejects, prep.Reject{
+				Index:  i,
+				Reason: fmt.Sprintf("%v: %s", ErrDuplicate, key),
+			})
+			continue
+		}
+		if err := s.b.Put(key, encoded); err != nil {
+			return accepted, rejects, fmt.Errorf("store: putting %s: %w", key, err)
+		}
+		accepted++
+	}
+	return accepted, rejects, nil
+}
+
+// Query evaluates q and returns matching records (up to q.Limit) plus
+// the total number of matches. Interaction-scoped queries use the key
+// structure to avoid full scans; everything else scans linearly, which
+// is the behaviour whose cost the paper's Figure 5 characterises.
+func (s *Store) Query(q *prep.Query) ([]core.Record, int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, 0, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	prefixes := []string{"i/", "s/"}
+	if q.Kind == core.KindInteraction.String() {
+		prefixes = []string{"i/"}
+	} else if q.Kind == core.KindActorState.String() {
+		prefixes = []string{"s/"}
+	}
+	if q.InteractionID.Valid() {
+		for i, p := range prefixes {
+			prefixes[i] = p + q.InteractionID.String() + "/"
+		}
+	}
+
+	var out []core.Record
+	total := 0
+	for _, prefix := range prefixes {
+		err := s.b.Scan(prefix, func(key string, value []byte) error {
+			r, err := core.DecodeRecord(value)
+			if err != nil {
+				return fmt.Errorf("store: corrupt record at %s: %w", key, err)
+			}
+			if !q.Matches(r) {
+				return nil
+			}
+			total++
+			if q.Limit == 0 || len(out) < q.Limit {
+				out = append(out, *r)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return out, total, nil
+}
+
+// Count reports store statistics.
+func (s *Store) Count() (prep.CountResponse, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ni, err := s.b.Count("i/")
+	if err != nil {
+		return prep.CountResponse{}, err
+	}
+	ns, err := s.b.Count("s/")
+	if err != nil {
+		return prep.CountResponse{}, err
+	}
+	return prep.CountResponse{
+		Records:      ni + ns,
+		Interactions: ni,
+		ActorStates:  ns,
+	}, nil
+}
+
+// MemoryBackend keeps records in a map, like PReServ's in-memory store.
+// The zero value is not usable; call NewMemoryBackend.
+type MemoryBackend struct {
+	mu     sync.RWMutex
+	items  map[string][]byte
+	sorted []string // cached sorted keys; nil when dirty
+}
+
+// NewMemoryBackend returns an empty in-memory backend.
+func NewMemoryBackend() *MemoryBackend {
+	return &MemoryBackend{items: make(map[string][]byte)}
+}
+
+// Name implements Backend.
+func (m *MemoryBackend) Name() string { return "memory" }
+
+// Put implements Backend.
+func (m *MemoryBackend) Put(key string, value []byte) error {
+	if key == "" {
+		return fmt.Errorf("store: empty key")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.items[key]; !exists {
+		m.sorted = nil
+	}
+	m.items[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Get implements Backend.
+func (m *MemoryBackend) Get(key string) ([]byte, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, ok := m.items[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+func (m *MemoryBackend) sortedKeys() []string {
+	if m.sorted == nil {
+		keys := make([]string, 0, len(m.items))
+		for k := range m.items {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		m.sorted = keys
+	}
+	return m.sorted
+}
+
+// Scan implements Backend. The sorted key cache is binary-searched so
+// prefix-scoped scans (the per-interaction queries of both use cases)
+// cost O(log n + matches) rather than a full sweep.
+func (m *MemoryBackend) Scan(prefix string, fn func(string, []byte) error) error {
+	m.mu.Lock()
+	keys := m.sortedKeys()
+	start := sort.SearchStrings(keys, prefix)
+	var selected []string
+	for i := start; i < len(keys) && strings.HasPrefix(keys[i], prefix); i++ {
+		selected = append(selected, keys[i])
+	}
+	m.mu.Unlock()
+	for _, k := range selected {
+		m.mu.RLock()
+		v, ok := m.items[k]
+		m.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count implements Backend.
+func (m *MemoryBackend) Count(prefix string) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for k := range m.items {
+		if strings.HasPrefix(k, prefix) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Close implements Backend.
+func (m *MemoryBackend) Close() error { return nil }

@@ -1,0 +1,203 @@
+// Package trace reconstructs data lineage from recorded p-assertions.
+// Section 3 of the paper requires that a provenance system "maintain a
+// link between the inputs and the outputs of each workflow run in an
+// accurate manner: it should be possible to determine which inputs were
+// used to produce which output unambiguously from the provenance
+// documentation, even if multiple workflows were run simultaneously."
+//
+// The unambiguous link is the data identifier carried by message parts:
+// an interaction consumes the data ids in its request parts and produces
+// the ones in its response parts. Lineage is the transitive closure of
+// that relation.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/prep"
+	"preserv/internal/preserv"
+)
+
+// Node is one data item in the lineage graph.
+type Node struct {
+	DataID ids.ID
+	// ProducedBy is the interaction that emitted the datum (zero for
+	// workflow inputs).
+	ProducedBy ids.ID
+	// Producer names the service that emitted it.
+	Producer core.ActorID
+	// Part is the response part name it appeared in.
+	Part string
+}
+
+// Edge states that From was an input to the interaction that produced To.
+type Edge struct {
+	From, To ids.ID
+	// Via is the interaction consuming From and producing To.
+	Via ids.ID
+	// Service is the interaction's receiver.
+	Service core.ActorID
+}
+
+// Graph is the dataflow of one session.
+type Graph struct {
+	nodes map[ids.ID]Node
+	// produced maps a data id to the ids consumed by its producing
+	// interaction (its direct ancestors).
+	parents map[ids.ID][]Edge
+	// children maps a data id to the data produced by interactions that
+	// consumed it.
+	children map[ids.ID][]Edge
+}
+
+// Build fetches a session's interaction records and assembles its
+// dataflow graph.
+func Build(client *preserv.Client, session ids.ID) (*Graph, error) {
+	records, _, err := client.Query(&prep.Query{
+		Kind:      core.KindInteraction.String(),
+		SessionID: session,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace: fetching session: %w", err)
+	}
+	return FromRecords(records), nil
+}
+
+// FromRecords assembles the graph from interaction records directly.
+func FromRecords(records []core.Record) *Graph {
+	g := &Graph{
+		nodes:    make(map[ids.ID]Node),
+		parents:  make(map[ids.ID][]Edge),
+		children: make(map[ids.ID][]Edge),
+	}
+	for i := range records {
+		r := &records[i]
+		if r.Kind != core.KindInteraction || r.Interaction == nil {
+			continue
+		}
+		ip := r.Interaction
+		var inputs []ids.ID
+		for _, p := range ip.Request.Parts {
+			if p.DataID.Valid() {
+				inputs = append(inputs, p.DataID)
+				if _, known := g.nodes[p.DataID]; !known {
+					// Workflow-level input unless a later record names
+					// a producer.
+					g.nodes[p.DataID] = Node{DataID: p.DataID}
+				}
+			}
+		}
+		for _, p := range ip.Response.Parts {
+			if !p.DataID.Valid() {
+				continue
+			}
+			g.nodes[p.DataID] = Node{
+				DataID:     p.DataID,
+				ProducedBy: ip.Interaction.ID,
+				Producer:   ip.Interaction.Receiver,
+				Part:       p.Name,
+			}
+			for _, in := range inputs {
+				e := Edge{
+					From:    in,
+					To:      p.DataID,
+					Via:     ip.Interaction.ID,
+					Service: ip.Interaction.Receiver,
+				}
+				g.parents[p.DataID] = append(g.parents[p.DataID], e)
+				g.children[in] = append(g.children[in], e)
+			}
+		}
+	}
+	return g
+}
+
+// Len returns the number of data items known to the graph.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns the node for a data id.
+func (g *Graph) Node(id ids.ID) (Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Parents returns the direct ancestors (inputs of the producing
+// interaction) of a data item.
+func (g *Graph) Parents(id ids.ID) []Edge {
+	return append([]Edge(nil), g.parents[id]...)
+}
+
+// Children returns the data directly derived from a data item.
+func (g *Graph) Children(id ids.ID) []Edge {
+	return append([]Edge(nil), g.children[id]...)
+}
+
+func (g *Graph) closure(start ids.ID, step func(ids.ID) []Edge, pick func(Edge) ids.ID) []Node {
+	seen := map[ids.ID]bool{start: true}
+	var frontier []ids.ID
+	frontier = append(frontier, start)
+	var out []Node
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, e := range step(cur) {
+			next := pick(e)
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			if n, ok := g.nodes[next]; ok {
+				out = append(out, n)
+			} else {
+				out = append(out, Node{DataID: next})
+			}
+			frontier = append(frontier, next)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].DataID.Compare(out[j].DataID) < 0
+	})
+	return out
+}
+
+// Lineage returns every data item the given datum transitively derives
+// from — the answer to "which inputs were used to produce this output".
+func (g *Graph) Lineage(id ids.ID) []Node {
+	return g.closure(id, func(x ids.ID) []Edge { return g.parents[x] }, func(e Edge) ids.ID { return e.From })
+}
+
+// Derived returns every data item transitively derived from the given
+// datum — the answer to "was this data item used as input to a
+// computation" (use case from §1) and what came of it.
+func (g *Graph) Derived(id ids.ID) []Node {
+	return g.closure(id, func(x ids.ID) []Edge { return g.children[x] }, func(e Edge) ids.ID { return e.To })
+}
+
+// WasInputTo reports whether the datum was consumed, directly or
+// transitively, in producing the target.
+func (g *Graph) WasInputTo(datum, target ids.ID) bool {
+	for _, n := range g.Lineage(target) {
+		if n.DataID == datum {
+			return true
+		}
+	}
+	return false
+}
+
+// Roots returns the workflow-level inputs: data items that no recorded
+// interaction produced.
+func (g *Graph) Roots() []Node {
+	var out []Node
+	for id, n := range g.nodes {
+		if !n.ProducedBy.Valid() && len(g.parents[id]) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].DataID.Compare(out[j].DataID) < 0
+	})
+	return out
+}

@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/experiment"
+	"preserv/internal/ids"
+	"preserv/internal/prep"
+	"preserv/internal/preserv"
+	"preserv/internal/store"
+)
+
+var seq = &ids.SeqSource{Prefix: 0xAB}
+
+// chainRecords builds a 3-stage pipeline: in -> A -> mid -> B -> out,
+// plus a side input used by B.
+func chainRecords(session ids.ID) (records []core.Record, in, mid, side, out ids.ID) {
+	in, mid, side, out = seq.NewID(), seq.NewID(), seq.NewID(), seq.NewID()
+	mk := func(n uint64, svc core.ActorID, reqParts, respParts []core.MessagePart) core.Record {
+		inter := core.Interaction{ID: seq.NewID(), Sender: "svc:enactor", Receiver: svc, Operation: "run"}
+		return *core.NewInteractionRecord(&core.InteractionPAssertion{
+			LocalID:     "x",
+			Asserter:    "svc:enactor",
+			Interaction: inter,
+			View:        core.SenderView,
+			Request:     core.Message{Name: "invoke", Parts: reqParts},
+			Response:    core.Message{Name: "result", Parts: respParts},
+			Groups:      []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: n}},
+			Timestamp:   time.Now().UTC(),
+		})
+	}
+	records = []core.Record{
+		mk(1, "svc:a",
+			[]core.MessagePart{{Name: "in", DataID: in}},
+			[]core.MessagePart{{Name: "mid", DataID: mid}}),
+		mk(2, "svc:b",
+			[]core.MessagePart{{Name: "mid", DataID: mid}, {Name: "side", DataID: side}},
+			[]core.MessagePart{{Name: "out", DataID: out}}),
+	}
+	return records, in, mid, side, out
+}
+
+func TestFromRecordsBasicGraph(t *testing.T) {
+	session := seq.NewID()
+	records, in, mid, side, out := chainRecords(session)
+	g := FromRecords(records)
+
+	if g.Len() != 4 {
+		t.Fatalf("graph has %d nodes, want 4", g.Len())
+	}
+	n, ok := g.Node(mid)
+	if !ok || n.Producer != "svc:a" || n.Part != "mid" {
+		t.Errorf("mid node = %+v", n)
+	}
+	if n, _ := g.Node(in); n.ProducedBy.Valid() {
+		t.Error("workflow input should have no producer")
+	}
+	_ = side
+	_ = out
+}
+
+func TestLineage(t *testing.T) {
+	session := seq.NewID()
+	records, in, mid, side, out := chainRecords(session)
+	g := FromRecords(records)
+
+	anc := g.Lineage(out)
+	got := map[ids.ID]bool{}
+	for _, n := range anc {
+		got[n.DataID] = true
+	}
+	if len(anc) != 3 || !got[in] || !got[mid] || !got[side] {
+		t.Errorf("Lineage(out) = %v", anc)
+	}
+	if len(g.Lineage(in)) != 0 {
+		t.Error("workflow input should have empty lineage")
+	}
+}
+
+func TestDerived(t *testing.T) {
+	session := seq.NewID()
+	records, in, mid, _, out := chainRecords(session)
+	g := FromRecords(records)
+
+	des := g.Derived(in)
+	got := map[ids.ID]bool{}
+	for _, n := range des {
+		got[n.DataID] = true
+	}
+	if len(des) != 2 || !got[mid] || !got[out] {
+		t.Errorf("Derived(in) = %v", des)
+	}
+	if len(g.Derived(out)) != 0 {
+		t.Error("final output should have no derivations")
+	}
+}
+
+func TestWasInputTo(t *testing.T) {
+	session := seq.NewID()
+	records, in, mid, side, out := chainRecords(session)
+	g := FromRecords(records)
+
+	if !g.WasInputTo(in, out) {
+		t.Error("in -> out transitivity missed")
+	}
+	if !g.WasInputTo(side, out) {
+		t.Error("side -> out missed")
+	}
+	if g.WasInputTo(out, in) {
+		t.Error("lineage must not run backwards")
+	}
+	if g.WasInputTo(side, mid) {
+		t.Error("side was not an input to mid")
+	}
+}
+
+func TestRoots(t *testing.T) {
+	session := seq.NewID()
+	records, in, _, side, _ := chainRecords(session)
+	g := FromRecords(records)
+	roots := g.Roots()
+	got := map[ids.ID]bool{}
+	for _, n := range roots {
+		got[n.DataID] = true
+	}
+	if len(roots) != 2 || !got[in] || !got[side] {
+		t.Errorf("Roots = %v", roots)
+	}
+}
+
+func TestParentsChildrenEdges(t *testing.T) {
+	session := seq.NewID()
+	records, in, mid, side, out := chainRecords(session)
+	g := FromRecords(records)
+
+	parents := g.Parents(out)
+	if len(parents) != 2 {
+		t.Fatalf("Parents(out) = %v", parents)
+	}
+	for _, e := range parents {
+		if e.Service != "svc:b" || e.To != out {
+			t.Errorf("edge = %+v", e)
+		}
+		if e.From != mid && e.From != side {
+			t.Errorf("unexpected parent %v", e.From)
+		}
+	}
+	children := g.Children(in)
+	if len(children) != 1 || children[0].To != mid || children[0].Service != "svc:a" {
+		t.Errorf("Children(in) = %v", children)
+	}
+}
+
+func TestIgnoresNonInteractionRecords(t *testing.T) {
+	session := seq.NewID()
+	records, _, _, _, _ := chainRecords(session)
+	inter := records[0].Interaction.Interaction
+	state := *core.NewActorStateRecord(&core.ActorStatePAssertion{
+		LocalID:     "s",
+		Asserter:    inter.Receiver,
+		Interaction: inter,
+		View:        core.ReceiverView,
+		StateKind:   core.StateScript,
+		Content:     core.Bytes("x"),
+		Timestamp:   time.Now().UTC(),
+	})
+	g := FromRecords(append(records, state))
+	if g.Len() != 4 {
+		t.Errorf("actor state polluted the graph: %d nodes", g.Len())
+	}
+}
+
+func TestBuildFromLiveStoreExperimentSession(t *testing.T) {
+	// End-to-end: run the real experiment and answer the §3 question —
+	// was the collated sample used, transitively, in producing the final
+	// results table?
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	srv, err := preserv.Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	res, err := experiment.Run(experiment.Params{
+		SampleBytes:  1 << 10,
+		Permutations: 2,
+		BatchSize:    2,
+		Seed:         9,
+	}, experiment.Config{
+		Mode:      experiment.RecordSync,
+		StoreURLs: []string{srv.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := preserv.NewClient(srv.URL, nil)
+	g, err := Build(client, res.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() == 0 {
+		t.Fatal("empty graph from live session")
+	}
+
+	// Find the results table (produced by svc:average) and the collated
+	// sample (produced by the collate service).
+	var resultsID, sampleID ids.ID
+	for _, root := range g.Roots() {
+		_ = root
+	}
+	records, _, err := client.Query(&prep.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if records[i].Kind != core.KindInteraction {
+			continue
+		}
+		ip := records[i].Interaction
+		switch ip.Interaction.Receiver {
+		case experiment.SvcAverage:
+			for _, p := range ip.Response.Parts {
+				if p.Name == "results" {
+					resultsID = p.DataID
+				}
+			}
+		case experiment.SvcCollate:
+			for _, p := range ip.Response.Parts {
+				if p.Name == "sample" {
+					sampleID = p.DataID
+				}
+			}
+		}
+	}
+	if !resultsID.Valid() || !sampleID.Valid() {
+		t.Fatal("could not locate results/sample data ids")
+	}
+	if !g.WasInputTo(sampleID, resultsID) {
+		t.Error("the collated sample must be in the lineage of the results table")
+	}
+	if len(g.Lineage(resultsID)) < 5 {
+		t.Errorf("results lineage suspiciously small: %d nodes", len(g.Lineage(resultsID)))
+	}
+}

@@ -1,0 +1,353 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"preserv/internal/client"
+	"preserv/internal/core"
+	"preserv/internal/grid"
+	"preserv/internal/ids"
+)
+
+// DefaultMaxContentBytes is how much of each message part's content the
+// engine copies into interaction p-assertions. Provenance documents the
+// process; data identity is preserved by DataID even when content is
+// truncated.
+const DefaultMaxContentBytes = 512
+
+// Engine executes workflows, recording provenance for every activity.
+type Engine struct {
+	// Enactor is the actor identity under which the engine asserts
+	// p-assertions (the workflow enactment engine is the client of every
+	// service it invokes).
+	Enactor core.ActorID
+	// Recorder receives p-assertions; nil disables recording.
+	Recorder client.Recorder
+	// IDs generates interaction/session/data identifiers; nil uses the
+	// cryptographic default.
+	IDs ids.Source
+	// Cluster schedules activities; nil runs locally with one slot per
+	// activity dependency level.
+	Cluster *grid.Cluster
+	// RecordActorState enables the "extra actor provenance"
+	// configuration of Figure 4: scripts are recorded as actor-state
+	// p-assertions alongside every interaction.
+	RecordActorState bool
+	// MaxContentBytes truncates recorded part content; 0 selects
+	// DefaultMaxContentBytes, negative records full content.
+	MaxContentBytes int
+	// Session, when valid, is used as the run's session identifier
+	// instead of minting a fresh one — callers that record fine-grained
+	// p-assertions inside activity bodies need the session up front.
+	Session ids.ID
+}
+
+// Result summarises one workflow run.
+type Result struct {
+	// SessionID is the group identifier shared by the run's records.
+	SessionID ids.ID
+	// Outputs holds every activity's outputs by part name.
+	Outputs map[string]map[string]Value
+	// RecordsCreated counts p-assertions submitted to the recorder.
+	RecordsCreated int64
+	// Elapsed is the wall-clock run duration (excluding recorder Flush).
+	Elapsed time.Duration
+}
+
+func (e *Engine) idSource() ids.Source {
+	if e.IDs != nil {
+		return e.IDs
+	}
+	return defaultIDs{}
+}
+
+type defaultIDs struct{}
+
+func (defaultIDs) NewID() ids.ID { return ids.New() }
+
+func (e *Engine) recorder() client.Recorder {
+	if e.Recorder != nil {
+		return e.Recorder
+	}
+	return client.NullRecorder{}
+}
+
+func (e *Engine) enactor() core.ActorID {
+	if e.Enactor != "" {
+		return e.Enactor
+	}
+	return "svc:enactor"
+}
+
+func (e *Engine) maxContent() int {
+	if e.MaxContentBytes == 0 {
+		return DefaultMaxContentBytes
+	}
+	return e.MaxContentBytes
+}
+
+// Run executes the workflow to completion.
+func (e *Engine) Run(w *Workflow) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	src := e.idSource()
+	session := e.Session
+	if !session.Valid() {
+		session = src.NewID()
+	}
+	rec := e.recorder()
+	enactor := e.enactor()
+	cluster := e.Cluster
+	if cluster == nil {
+		cluster = grid.Local(len(w.acts))
+	}
+
+	var (
+		mu       sync.Mutex
+		outputs  = make(map[string]map[string]Value, len(w.acts))
+		firstErr error
+		seqNo    atomic.Uint64
+		records  atomic.Int64
+	)
+
+	// Thread grouping: a thread is a sequential succession of
+	// activities. Threads are a deterministic path decomposition of the
+	// DAG, computed up front in topological order: each activity hands
+	// its thread to its first successor; forks start fresh threads.
+	threadOf := make(map[string]ids.ID, len(w.acts))
+	threadSeqNo := make(map[string]uint64, len(w.acts))
+	handedOff := make(map[string]bool, len(w.acts))
+	lastSeq := make(map[ids.ID]uint64)
+	for _, id := range w.order {
+		deps := make([]string, 0, len(w.acts[id].deps))
+		for dep := range w.acts[id].deps {
+			deps = append(deps, dep)
+		}
+		sort.Strings(deps)
+		assigned := false
+		for _, dep := range deps {
+			if !handedOff[dep] {
+				handedOff[dep] = true
+				tid := threadOf[dep]
+				threadOf[id] = tid
+				lastSeq[tid]++
+				threadSeqNo[id] = lastSeq[tid]
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			tid := src.NewID()
+			threadOf[id] = tid
+			lastSeq[tid] = 1
+			threadSeqNo[id] = 1
+		}
+	}
+
+	// Dependency counting executor: an activity becomes ready when all
+	// dependencies completed; ready activities are handed to the cluster.
+	indeg := make(map[string]int, len(w.acts))
+	succs := make(map[string][]string, len(w.acts))
+	for id, a := range w.acts {
+		indeg[id] = len(a.deps)
+		for dep := range a.deps {
+			succs[dep] = append(succs[dep], id)
+		}
+	}
+	var wg sync.WaitGroup
+
+	var launch func(id string)
+	runOne := func(id string) {
+		defer wg.Done()
+		a := w.acts[id]
+		threadID := threadOf[id]
+		threadSeq := threadSeqNo[id]
+
+		mu.Lock()
+		if firstErr != nil {
+			mu.Unlock()
+			return
+		}
+		// Resolve inputs under the lock (producers have completed).
+		inputs := make(map[string]Value)
+		for part, v := range w.literals[id] {
+			inputs[part] = v
+		}
+		bindErr := error(nil)
+		for part, ref := range w.bindings[id] {
+			prod, ok := outputs[ref.Activity]
+			if !ok {
+				bindErr = fmt.Errorf("workflow: %s needs output of %s which did not run", id, ref.Activity)
+				break
+			}
+			v, ok := prod[ref.Part]
+			if !ok {
+				bindErr = fmt.Errorf("workflow: %s needs %s.%s which was not produced", id, ref.Activity, ref.Part)
+				break
+			}
+			inputs[part] = v
+		}
+		if bindErr != nil {
+			firstErr = bindErr
+			mu.Unlock()
+			return
+		}
+		mu.Unlock()
+
+		ctx := &Context{
+			ActivityID: id,
+			inputs:     inputs,
+			outputs:    make(map[string]Value),
+			idSource:   src,
+		}
+		stageBytes := a.StageInBytes
+		if stageBytes == 0 {
+			for _, v := range inputs {
+				stageBytes += len(v.Content)
+			}
+		}
+		err := cluster.RunJob(grid.Job{
+			Name:         id,
+			StageInBytes: stageBytes,
+			Run:          func() error { return a.Run(ctx) },
+		})
+		if err == nil && e.Recorder != nil {
+			// Document the interaction: one exchange p-assertion per
+			// activity, in the enactor's (sender) view. A nil Recorder
+			// skips even record construction, keeping the no-recording
+			// baseline free of provenance work.
+			interaction := core.Interaction{
+				ID:        src.NewID(),
+				Sender:    enactor,
+				Receiver:  a.Service,
+				Operation: a.Operation,
+			}
+			n := seqNo.Add(1)
+			exchange := NewExchangeRecord(interaction, enactor, session, n, inputs, ctx.outputs, e.maxContent())
+			exchange.Interaction.Groups = append(exchange.Interaction.Groups,
+				core.GroupRef{Type: core.GroupThread, ID: threadID, Seq: threadSeq})
+			recs := []core.Record{exchange}
+			if e.RecordActorState && a.Script != "" {
+				recs = append(recs, NewScriptRecord(interaction, enactor, session, n, a.Script))
+			}
+			if rerr := rec.Record(recs...); rerr != nil {
+				err = fmt.Errorf("workflow: recording provenance for %s: %w", id, rerr)
+			} else {
+				records.Add(int64(len(recs)))
+			}
+		}
+
+		mu.Lock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		outputs[id] = ctx.outputs
+		var ready []string
+		next := succs[id]
+		sort.Strings(next)
+		for _, s := range next {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+		mu.Unlock()
+		for _, r := range ready {
+			launch(r)
+		}
+	}
+	launch = func(id string) {
+		wg.Add(1)
+		go runOne(id)
+	}
+
+	var roots []string
+	for id, d := range indeg {
+		if d == 0 {
+			roots = append(roots, id)
+		}
+	}
+	sort.Strings(roots)
+	for _, id := range roots {
+		launch(id)
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Result{
+		SessionID:      session,
+		Outputs:        outputs,
+		RecordsCreated: records.Load(),
+		Elapsed:        time.Since(start),
+	}, nil
+}
+
+func valueParts(values map[string]Value, maxContent int) []core.MessagePart {
+	names := make([]string, 0, len(values))
+	for n := range values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]core.MessagePart, 0, len(names))
+	for _, n := range names {
+		v := values[n]
+		// PReP documentation styles: small values verbatim, large ones
+		// by digest, so record size stays bounded while value equality
+		// across runs remains checkable.
+		style, content := core.DocumentContent(v.Content, maxContent)
+		parts = append(parts, core.MessagePart{
+			Name:        n,
+			DataID:      v.DataID,
+			ContentType: v.ContentType,
+			Style:       style,
+			Content:     content,
+		})
+	}
+	return parts
+}
+
+// NewExchangeRecord documents one service invocation (request parts +
+// response parts) as an interaction p-assertion in the enactor's view.
+// It is exported so the experiment can document the fine-grained Measure
+// activities it executes inside batched grid scripts — recording "for
+// every permutation and not just for every script directly scheduled".
+func NewExchangeRecord(interaction core.Interaction, enactor core.ActorID, session ids.ID, seq uint64, inputs, outputs map[string]Value, maxContent int) core.Record {
+	return *core.NewInteractionRecord(&core.InteractionPAssertion{
+		LocalID:     fmt.Sprintf("exchange-%d", seq),
+		Asserter:    enactor,
+		Interaction: interaction,
+		View:        core.SenderView,
+		Request:     core.Message{Name: "invoke", Parts: valueParts(inputs, maxContent)},
+		Response:    core.Message{Name: "result", Parts: valueParts(outputs, maxContent)},
+		Groups:      []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: seq}},
+		Timestamp:   time.Now().UTC(),
+	})
+}
+
+// NewScriptRecord documents the script behind an interaction as an
+// actor-state p-assertion — the extra information that supports the
+// execution-comparison use case.
+func NewScriptRecord(interaction core.Interaction, enactor core.ActorID, session ids.ID, seq uint64, script string) core.Record {
+	return *core.NewActorStateRecord(&core.ActorStatePAssertion{
+		LocalID:     fmt.Sprintf("script-%d", seq),
+		Asserter:    enactor,
+		Interaction: interaction,
+		View:        core.SenderView,
+		StateKind:   core.StateScript,
+		Content:     core.Bytes(script),
+		Groups:      []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: seq}},
+		Timestamp:   time.Now().UTC(),
+	})
+}

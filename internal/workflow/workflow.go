@@ -1,0 +1,266 @@
+// Package workflow is the DAG workflow substrate (the role VDT/DAGMan
+// plays in the paper): activities with data dependencies, executed by a
+// parallel engine that documents every activity by recording p-assertions
+// through a PReP recorder, and optionally schedules activities as jobs
+// on a simulated grid cluster.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+)
+
+// Value is a typed datum flowing between activities.
+type Value struct {
+	// DataID identifies the datum across the whole run; provenance
+	// linkage between activities relies on it.
+	DataID ids.ID
+	// SemanticType is the ontology type URI of the datum.
+	SemanticType string
+	// ContentType is a media-type hint.
+	ContentType string
+	// Content is the datum itself.
+	Content []byte
+}
+
+// Context is passed to an activity's body: read inputs, write outputs.
+type Context struct {
+	// ActivityID is the running activity's identifier.
+	ActivityID string
+	inputs     map[string]Value
+	outputs    map[string]Value
+	idSource   ids.Source
+}
+
+// Input returns the named input value.
+func (c *Context) Input(part string) (Value, error) {
+	v, ok := c.inputs[part]
+	if !ok {
+		return Value{}, fmt.Errorf("workflow: activity %s has no input %q", c.ActivityID, part)
+	}
+	return v, nil
+}
+
+// InputNames lists the bound input parts, sorted.
+func (c *Context) InputNames() []string {
+	names := make([]string, 0, len(c.inputs))
+	for n := range c.inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetOutput publishes a named output with a fresh data identifier.
+func (c *Context) SetOutput(part, semanticType, contentType string, content []byte) {
+	c.outputs[part] = Value{
+		DataID:       c.idSource.NewID(),
+		SemanticType: semanticType,
+		ContentType:  contentType,
+		Content:      content,
+	}
+}
+
+// SetOutputValue publishes a pre-built value (used to forward data
+// without minting a new identity).
+func (c *Context) SetOutputValue(part string, v Value) {
+	c.outputs[part] = v
+}
+
+// Body is an activity implementation.
+type Body func(ctx *Context) error
+
+// Activity is one node of the workflow DAG.
+type Activity struct {
+	// ID is unique within the workflow.
+	ID string
+	// Service is the actor invoked to perform the activity.
+	Service core.ActorID
+	// Operation is the service operation name.
+	Operation string
+	// Script is the (documented) executable content behind the service;
+	// recorded as an actor-state p-assertion in the extended recording
+	// configuration and categorised by the comparison use case.
+	Script string
+	// StageInBytes estimates data shipped when the activity is scheduled
+	// on a grid (file transfer cost).
+	StageInBytes int
+	// Run is the activity body.
+	Run Body
+	// deps are the activity IDs this activity waits for (derived from
+	// bindings plus explicit After constraints).
+	deps map[string]bool
+}
+
+// PartRef names an output part of a producer activity.
+type PartRef struct {
+	Activity string
+	Part     string
+}
+
+// Workflow is an immutable-once-validated DAG of activities.
+type Workflow struct {
+	// Name labels the workflow (recorded as documentation).
+	Name string
+	acts map[string]*Activity
+	// bindings: activity -> input part -> producing output.
+	bindings map[string]map[string]PartRef
+	// literals: activity -> input part -> literal value.
+	literals map[string]map[string]Value
+	order    []string // topological order, set by Validate
+}
+
+// New returns an empty workflow.
+func New(name string) *Workflow {
+	return &Workflow{
+		Name:     name,
+		acts:     make(map[string]*Activity),
+		bindings: make(map[string]map[string]PartRef),
+		literals: make(map[string]map[string]Value),
+	}
+}
+
+// Errors returned by workflow construction and validation.
+var (
+	ErrDuplicateActivity = errors.New("workflow: duplicate activity")
+	ErrUnknownActivity   = errors.New("workflow: unknown activity")
+	ErrCycle             = errors.New("workflow: dependency cycle")
+)
+
+// Add inserts an activity.
+func (w *Workflow) Add(a *Activity) error {
+	if a.ID == "" || a.Service == "" || a.Operation == "" || a.Run == nil {
+		return fmt.Errorf("workflow: activity needs id, service, operation and body (got %+v)", a.ID)
+	}
+	if _, dup := w.acts[a.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateActivity, a.ID)
+	}
+	if a.deps == nil {
+		a.deps = make(map[string]bool)
+	}
+	w.acts[a.ID] = a
+	w.order = nil
+	return nil
+}
+
+// Bind wires consumer's input part to producer's output part and adds
+// the implied dependency.
+func (w *Workflow) Bind(consumer, part, producer, producerPart string) error {
+	ca, ok := w.acts[consumer]
+	if !ok {
+		return fmt.Errorf("%w: consumer %s", ErrUnknownActivity, consumer)
+	}
+	if _, ok := w.acts[producer]; !ok {
+		return fmt.Errorf("%w: producer %s", ErrUnknownActivity, producer)
+	}
+	if consumer == producer {
+		return fmt.Errorf("%w: self-binding on %s", ErrCycle, consumer)
+	}
+	m := w.bindings[consumer]
+	if m == nil {
+		m = make(map[string]PartRef)
+		w.bindings[consumer] = m
+	}
+	m[part] = PartRef{Activity: producer, Part: producerPart}
+	ca.deps[producer] = true
+	w.order = nil
+	return nil
+}
+
+// BindLiteral provides a constant input value to an activity's part.
+func (w *Workflow) BindLiteral(consumer, part string, v Value) error {
+	if _, ok := w.acts[consumer]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownActivity, consumer)
+	}
+	m := w.literals[consumer]
+	if m == nil {
+		m = make(map[string]Value)
+		w.literals[consumer] = m
+	}
+	m[part] = v
+	return nil
+}
+
+// After adds an ordering constraint without data flow.
+func (w *Workflow) After(later, earlier string) error {
+	la, ok := w.acts[later]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownActivity, later)
+	}
+	if _, ok := w.acts[earlier]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownActivity, earlier)
+	}
+	if later == earlier {
+		return fmt.Errorf("%w: self-dependency on %s", ErrCycle, later)
+	}
+	la.deps[earlier] = true
+	w.order = nil
+	return nil
+}
+
+// Len returns the number of activities.
+func (w *Workflow) Len() int { return len(w.acts) }
+
+// Activities returns activity IDs in topological order (after Validate).
+func (w *Workflow) Activities() []string {
+	return append([]string(nil), w.order...)
+}
+
+// Activity returns the activity with the given ID.
+func (w *Workflow) Activity(id string) (*Activity, bool) {
+	a, ok := w.acts[id]
+	return a, ok
+}
+
+// Validate checks the DAG is well-formed and computes a deterministic
+// topological order (Kahn's algorithm with lexicographic tie-breaking).
+func (w *Workflow) Validate() error {
+	if len(w.acts) == 0 {
+		return errors.New("workflow: no activities")
+	}
+	indeg := make(map[string]int, len(w.acts))
+	out := make(map[string][]string, len(w.acts))
+	for id, a := range w.acts {
+		if _, ok := indeg[id]; !ok {
+			indeg[id] = 0
+		}
+		for dep := range a.deps {
+			if _, ok := w.acts[dep]; !ok {
+				return fmt.Errorf("%w: %s depends on %s", ErrUnknownActivity, id, dep)
+			}
+			indeg[id]++
+			out[dep] = append(out[dep], id)
+		}
+	}
+	var ready []string
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Strings(ready)
+	order := make([]string, 0, len(w.acts))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		next := out[id]
+		sort.Strings(next)
+		for _, succ := range next {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				ready = append(ready, succ)
+				sort.Strings(ready)
+			}
+		}
+	}
+	if len(order) != len(w.acts) {
+		return fmt.Errorf("%w: %d of %d activities unreachable", ErrCycle, len(w.acts)-len(order), len(w.acts))
+	}
+	w.order = order
+	return nil
+}

@@ -1,0 +1,475 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/ontology"
+)
+
+func passThrough(outPart string) Body {
+	return func(ctx *Context) error {
+		var data []byte
+		for _, name := range ctx.InputNames() {
+			v, err := ctx.Input(name)
+			if err != nil {
+				return err
+			}
+			data = append(data, v.Content...)
+		}
+		ctx.SetOutput(outPart, ontology.TypeAny, "text/plain", data)
+		return nil
+	}
+}
+
+func mkActivity(id string, deps ...string) *Activity {
+	a := &Activity{
+		ID:        id,
+		Service:   core.ActorID("svc:" + id),
+		Operation: "run",
+		Script:    "#!/bin/sh\necho " + id,
+		Run:       passThrough("out"),
+	}
+	for _, d := range deps {
+		_ = d
+	}
+	return a
+}
+
+func TestAddValidation(t *testing.T) {
+	w := New("t")
+	if err := w.Add(&Activity{}); err == nil {
+		t.Error("empty activity accepted")
+	}
+	if err := w.Add(mkActivity("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(mkActivity("a")); !errors.Is(err, ErrDuplicateActivity) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	w := New("t")
+	w.Add(mkActivity("a"))
+	w.Add(mkActivity("b"))
+	if err := w.Bind("ghost", "in", "a", "out"); !errors.Is(err, ErrUnknownActivity) {
+		t.Errorf("unknown consumer: %v", err)
+	}
+	if err := w.Bind("b", "in", "ghost", "out"); !errors.Is(err, ErrUnknownActivity) {
+		t.Errorf("unknown producer: %v", err)
+	}
+	if err := w.Bind("a", "in", "a", "out"); !errors.Is(err, ErrCycle) {
+		t.Errorf("self binding: %v", err)
+	}
+	if err := w.Bind("b", "in", "a", "out"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateTopologicalOrder(t *testing.T) {
+	w := New("t")
+	for _, id := range []string{"d", "c", "b", "a"} {
+		w.Add(mkActivity(id))
+	}
+	w.Bind("b", "in", "a", "out")
+	w.Bind("c", "in", "b", "out")
+	w.Bind("d", "in", "c", "out")
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order := w.Activities()
+	want := []string{"a", "b", "c", "d"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	w := New("t")
+	w.Add(mkActivity("a"))
+	w.Add(mkActivity("b"))
+	w.Bind("b", "in", "a", "out")
+	w.After("a", "b") // closes the cycle
+	if err := w.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("err = %v, want cycle", err)
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := New("t").Validate(); err == nil {
+		t.Error("empty workflow validated")
+	}
+}
+
+func TestEngineRunsLinearChain(t *testing.T) {
+	w := New("chain")
+	w.Add(mkActivity("a"))
+	w.Add(mkActivity("b"))
+	w.Add(mkActivity("c"))
+	w.BindLiteral("a", "seed", Value{DataID: ids.New(), SemanticType: ontology.TypeAny, Content: []byte("X")})
+	w.Bind("b", "in", "a", "out")
+	w.Bind("c", "in", "b", "out")
+
+	var e Engine
+	res, err := e.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SessionID.Valid() {
+		t.Error("no session id")
+	}
+	if got := string(res.Outputs["c"]["out"].Content); got != "X" {
+		t.Errorf("chain output = %q", got)
+	}
+	if res.RecordsCreated != 0 {
+		t.Errorf("records = %d, want 0 (nil recorder disables recording)", res.RecordsCreated)
+	}
+
+	// With a recorder attached, one record per activity.
+	cap := newCapture()
+	w2 := New("chain2")
+	w2.Add(mkActivity("a"))
+	w2.Add(mkActivity("b"))
+	w2.Bind("b", "in", "a", "out")
+	res2, err := (&Engine{Recorder: cap}).Run(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.RecordsCreated != 2 || len(cap.recs) != 2 {
+		t.Errorf("records = %d/%d, want 2 (one per activity)", res2.RecordsCreated, len(cap.recs))
+	}
+}
+
+func TestEngineDiamondDependency(t *testing.T) {
+	// a -> b, a -> c, (b,c) -> d: d must see both inputs.
+	w := New("diamond")
+	for _, id := range []string{"a", "b", "c", "d"} {
+		w.Add(mkActivity(id))
+	}
+	w.BindLiteral("a", "seed", Value{DataID: ids.New(), Content: []byte("1")})
+	w.Bind("b", "in", "a", "out")
+	w.Bind("c", "in", "a", "out")
+	w.Bind("d", "left", "b", "out")
+	w.Bind("d", "right", "c", "out")
+	var e Engine
+	res, err := e.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.Outputs["d"]["out"].Content); got != "11" {
+		t.Errorf("diamond output = %q, want 11", got)
+	}
+}
+
+func TestEngineParallelFanOut(t *testing.T) {
+	// Many independent activities: all must run exactly once.
+	w := New("fan")
+	var ran atomic.Int32
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("p%02d", i)
+		w.Add(&Activity{
+			ID:        id,
+			Service:   "svc:worker",
+			Operation: "work",
+			Run: func(ctx *Context) error {
+				ran.Add(1)
+				ctx.SetOutput("out", ontology.TypeAny, "", []byte("done"))
+				return nil
+			},
+		})
+	}
+	var e Engine
+	res, err := e.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Errorf("ran %d activities, want 50", ran.Load())
+	}
+	if len(res.Outputs) != 50 {
+		t.Errorf("outputs for %d activities", len(res.Outputs))
+	}
+}
+
+func TestEngineActivityFailureAborts(t *testing.T) {
+	w := New("fail")
+	w.Add(mkActivity("a"))
+	w.Add(&Activity{
+		ID: "bad", Service: "svc:bad", Operation: "explode",
+		Run: func(*Context) error { return errors.New("kaboom") },
+	})
+	w.Add(mkActivity("after"))
+	w.Bind("after", "in", "bad", "out")
+	var e Engine
+	_, err := e.Run(w)
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEngineMissingInputFails(t *testing.T) {
+	w := New("missing")
+	w.Add(&Activity{
+		ID: "a", Service: "svc:a", Operation: "run",
+		Run: func(ctx *Context) error {
+			_, err := ctx.Input("not-bound")
+			return err
+		},
+	})
+	var e Engine
+	if _, err := e.Run(w); err == nil {
+		t.Error("missing input should fail the run")
+	}
+}
+
+func TestEngineMissingProducerPartFails(t *testing.T) {
+	w := New("missing-part")
+	w.Add(&Activity{
+		ID: "a", Service: "svc:a", Operation: "run",
+		Run: func(ctx *Context) error { return nil }, // produces nothing
+	})
+	w.Add(mkActivity("b"))
+	w.Bind("b", "in", "a", "out")
+	var e Engine
+	if _, err := e.Run(w); err == nil || !strings.Contains(err.Error(), "not produced") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// captureRecorder keeps records in memory for assertions.
+type captureRecorder struct {
+	mu   chan struct{}
+	recs []core.Record
+}
+
+func newCapture() *captureRecorder {
+	c := &captureRecorder{mu: make(chan struct{}, 1)}
+	c.mu <- struct{}{}
+	return c
+}
+
+func (c *captureRecorder) Record(records ...core.Record) error {
+	<-c.mu
+	c.recs = append(c.recs, records...)
+	c.mu <- struct{}{}
+	return nil
+}
+func (c *captureRecorder) Flush() error { return nil }
+func (c *captureRecorder) Close() error { return nil }
+
+func TestEngineRecordsExchanges(t *testing.T) {
+	w := New("rec")
+	w.Add(mkActivity("a"))
+	w.Add(mkActivity("b"))
+	w.BindLiteral("a", "seed", Value{DataID: ids.New(), SemanticType: ontology.TypeProtein, Content: []byte("MKV")})
+	w.Bind("b", "in", "a", "out")
+
+	cap := newCapture()
+	e := Engine{Recorder: cap, Enactor: "svc:test-enactor"}
+	res, err := e.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.recs) != 2 {
+		t.Fatalf("recorded %d, want 2", len(cap.recs))
+	}
+	for _, r := range cap.recs {
+		if r.Kind != core.KindInteraction {
+			t.Errorf("kind = %v", r.Kind)
+		}
+		if err := r.Validate(); err != nil {
+			t.Errorf("invalid record: %v", err)
+		}
+		if r.Asserter() != "svc:test-enactor" {
+			t.Errorf("asserter = %s", r.Asserter())
+		}
+		sid, ok := r.GroupID(core.GroupSession)
+		if !ok || sid != res.SessionID {
+			t.Error("record not grouped under the run session")
+		}
+	}
+	// Data linkage: b's request part "in" must carry the same DataID as
+	// a's response part "out".
+	var aOut, bIn ids.ID
+	for _, r := range cap.recs {
+		ip := r.Interaction
+		switch ip.Interaction.Receiver {
+		case "svc:a":
+			for _, p := range ip.Response.Parts {
+				if p.Name == "out" {
+					aOut = p.DataID
+				}
+			}
+		case "svc:b":
+			for _, p := range ip.Request.Parts {
+				if p.Name == "in" {
+					bIn = p.DataID
+				}
+			}
+		}
+	}
+	if !aOut.Valid() || aOut != bIn {
+		t.Errorf("data linkage broken: a.out=%v b.in=%v", aOut, bIn)
+	}
+}
+
+func TestEngineRecordsScriptsInExtraMode(t *testing.T) {
+	w := New("rec2")
+	w.Add(mkActivity("a"))
+	cap := newCapture()
+	e := Engine{Recorder: cap, RecordActorState: true}
+	if _, err := e.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	var interactions, scripts int
+	for _, r := range cap.recs {
+		switch r.Kind {
+		case core.KindInteraction:
+			interactions++
+		case core.KindActorState:
+			scripts++
+			if r.ActorState.StateKind != core.StateScript {
+				t.Errorf("state kind = %s", r.ActorState.StateKind)
+			}
+			if !strings.Contains(string(r.ActorState.Content), "echo a") {
+				t.Errorf("script content = %q", r.ActorState.Content)
+			}
+		}
+	}
+	if interactions != 1 || scripts != 1 {
+		t.Errorf("interactions=%d scripts=%d, want 1/1", interactions, scripts)
+	}
+}
+
+func TestEngineContentDocumentationStyles(t *testing.T) {
+	w := New("trunc")
+	big := strings.Repeat("A", 10000)
+	w.Add(mkActivity("a"))
+	w.BindLiteral("a", "seed", Value{DataID: ids.New(), Content: []byte(big)})
+	cap := newCapture()
+	e := Engine{Recorder: cap, MaxContentBytes: 64}
+	if _, err := e.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	// Oversized values are documented by SHA-256 digest, not truncated.
+	for _, p := range cap.recs[0].Interaction.Request.Parts {
+		if p.Name != "seed" {
+			continue
+		}
+		if p.Style != core.StyleDigest {
+			t.Errorf("part %s style = %q, want digest", p.Name, p.Style)
+		}
+		if len(p.Content) != 32 {
+			t.Errorf("digest length = %d, want 32", len(p.Content))
+		}
+	}
+	// Unlimited mode records everything verbatim.
+	cap2 := newCapture()
+	e2 := Engine{Recorder: cap2, MaxContentBytes: -1}
+	if _, err := e2.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	p := cap2.recs[0].Interaction.Request.Parts[0]
+	if len(p.Content) != 10000 || p.Style != core.StyleVerbatim {
+		t.Errorf("unlimited content = %d bytes, style %q", len(p.Content), p.Style)
+	}
+}
+
+func TestEngineDeterministicWithSeqSource(t *testing.T) {
+	build := func() *Workflow {
+		w := New("det")
+		w.Add(mkActivity("a"))
+		w.Add(mkActivity("b"))
+		w.Bind("b", "in", "a", "out")
+		return w
+	}
+	r1, err := (&Engine{IDs: &ids.SeqSource{Prefix: 9}}).Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := (&Engine{IDs: &ids.SeqSource{Prefix: 9}}).Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SessionID != r2.SessionID {
+		t.Error("seeded runs should produce identical session ids")
+	}
+}
+
+func TestEngineThreadGroups(t *testing.T) {
+	// A linear chain must share one thread with increasing sequence
+	// numbers; a fork must start a fresh thread for the second branch.
+	w := New("threads")
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		w.Add(mkActivity(id))
+	}
+	// a -> b -> c (chain), a -> d (fork), e (independent root)
+	w.Bind("b", "in", "a", "out")
+	w.Bind("c", "in", "b", "out")
+	w.Bind("d", "in", "a", "out")
+
+	cap := newCapture()
+	e := Engine{Recorder: cap}
+	if _, err := e.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	threadOf := map[string]ids.ID{}
+	seqOf := map[string]uint64{}
+	for _, r := range cap.recs {
+		svc := string(r.Interaction.Interaction.Receiver)
+		act := strings.TrimPrefix(svc, "svc:")
+		tid, ok := r.GroupID(core.GroupThread)
+		if !ok {
+			t.Fatalf("activity %s has no thread group", act)
+		}
+		threadOf[act] = tid
+		for _, g := range r.Groups() {
+			if g.Type == core.GroupThread {
+				seqOf[act] = g.Seq
+			}
+		}
+	}
+	if threadOf["a"] != threadOf["b"] || threadOf["b"] != threadOf["c"] {
+		t.Errorf("chain a-b-c not in one thread: %v %v %v",
+			threadOf["a"], threadOf["b"], threadOf["c"])
+	}
+	if seqOf["a"] != 1 || seqOf["b"] != 2 || seqOf["c"] != 3 {
+		t.Errorf("chain sequence numbers = %d %d %d, want 1 2 3",
+			seqOf["a"], seqOf["b"], seqOf["c"])
+	}
+	if threadOf["d"] == threadOf["b"] {
+		t.Error("fork branch d must not share b's thread (b claimed a's)")
+	}
+	if threadOf["e"] == threadOf["a"] {
+		t.Error("independent root e must start its own thread")
+	}
+	// Every record still carries the session group too.
+	for _, r := range cap.recs {
+		if _, ok := r.GroupID(core.GroupSession); !ok {
+			t.Error("thread grouping must not displace the session group")
+		}
+	}
+}
+
+type failingRecorder struct{}
+
+func (failingRecorder) Record(...core.Record) error { return errors.New("store down") }
+func (failingRecorder) Flush() error                { return nil }
+func (failingRecorder) Close() error                { return nil }
+
+func TestEngineRecorderFailureAborts(t *testing.T) {
+	w := New("recfail")
+	w.Add(mkActivity("a"))
+	e := Engine{Recorder: failingRecorder{}}
+	if _, err := e.Run(w); err == nil || !strings.Contains(err.Error(), "store down") {
+		t.Fatalf("err = %v", err)
+	}
+}
