@@ -1,7 +1,10 @@
 // Command provq queries provenance: it runs the two use cases of the
-// paper against a live provenance store (and registry).
+// paper against a live provenance store (and registry). Queries go
+// through the store's secondary-index planner; compare fetches only the
+// two sessions it needs.
 //
 //	provq -store URL count
+//	provq -store URL sessions
 //	provq -store URL categorize
 //	provq -store URL compare -a SESSION -b SESSION
 //	provq -store URL -registry URL validate -session SESSION
@@ -80,7 +83,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("provq: -b: %v", err)
 		}
-		cat, err := (&compare.Categorizer{Store: client}).Categorize()
+		// Only the two compared sessions are fetched (indexed), however
+		// many other runs the store holds.
+		cat, err := (&compare.Categorizer{Store: client}).CategorizeSessions(a, b)
 		if err != nil {
 			log.Fatalf("provq: %v", err)
 		}

@@ -1,0 +1,3 @@
+module preserv
+
+go 1.24

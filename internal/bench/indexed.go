@@ -1,0 +1,180 @@
+package bench
+
+// Indexed-vs-scan query benchmarking: the measurable payoff of the
+// secondary-index subsystem (internal/index + internal/query). A store
+// is populated with many sessions; the two use-case read patterns —
+// lineage over one session and script categorisation of two sessions —
+// are then run once through the scan path (the paper's access pattern)
+// and once through the planner, and the wall-clock ratio reported.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"preserv/internal/compare"
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/prep"
+	"preserv/internal/preserv"
+	"preserv/internal/store"
+	"preserv/internal/trace"
+)
+
+// PopulateSessionStore fills a store with the given number of sessions,
+// each holding interactions whole permutation units of six records
+// (rounded up), and returns the session identifiers in recording order.
+func PopulateSessionStore(client *preserv.Client, sessions, interactionsPer int, seed int64) ([]ids.ID, error) {
+	out := make([]ids.ID, 0, sessions)
+	for i := 0; i < sessions; i++ {
+		session, err := Populate(client, interactionsPer, seed+int64(i)*7)
+		if err != nil {
+			return nil, fmt.Errorf("bench: populating session %d: %w", i, err)
+		}
+		out = append(out, session)
+	}
+	return out, nil
+}
+
+// LineageScan answers a session lineage query through the scan path:
+// the store filters a full sweep down to the session.
+func LineageScan(client *preserv.Client, session ids.ID) (*trace.Graph, error) {
+	records, _, err := client.Query(&prep.Query{
+		Kind:      core.KindInteraction.String(),
+		SessionID: session,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return trace.FromRecords(records), nil
+}
+
+// IndexedQueryResult is one indexed-vs-scan comparison point.
+type IndexedQueryResult struct {
+	// Workload names the read pattern ("lineage" or "categorize-pair").
+	Workload string
+	// Sessions is the store's session count, Records its record count.
+	Sessions int
+	Records  int
+	// ScanMillis and IndexedMillis are per-operation wall times.
+	ScanMillis    float64
+	IndexedMillis float64
+	// Speedup is ScanMillis / IndexedMillis.
+	Speedup float64
+}
+
+// RunIndexedVsScan populates a store with the given number of sessions
+// and measures both read paths for both workloads. Each measurement is
+// repeated `reps` times and averaged (minimum 1).
+func RunIndexedVsScan(sessions, interactionsPer, reps int, seed int64, progress io.Writer) ([]IndexedQueryResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	srv, err := preserv.Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	client := preserv.NewClient(srv.URL, nil)
+
+	ids, err := PopulateSessionStore(client, sessions, interactionsPer, seed)
+	if err != nil {
+		return nil, err
+	}
+	cnt, err := client.Count()
+	if err != nil {
+		return nil, err
+	}
+	target := ids[len(ids)/2]
+	pair := []int{len(ids) / 3, 2 * len(ids) / 3}
+
+	timeIt := func(fn func() error) (float64, error) {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / 1000 / float64(reps), nil
+	}
+
+	var results []IndexedQueryResult
+
+	// Workload 1: lineage over one session among many.
+	scanMs, err := timeIt(func() error {
+		_, err := LineageScan(client, target)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	idxMs, err := timeIt(func() error {
+		_, err := trace.Build(client, target)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, indexedPoint("lineage", sessions, cnt.Records, scanMs, idxMs))
+
+	// Workload 2: the paper's use case 1 on two specific runs —
+	// legacy categorises the whole store one interaction at a time,
+	// the planner fetches just the two sessions.
+	a, b := ids[pair[0]], ids[pair[1]]
+	scanMs, err = timeIt(func() error {
+		cat, err := (&compare.Categorizer{Store: client, Legacy: true}).Categorize()
+		if err != nil {
+			return err
+		}
+		cat.SameProcess(a, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	idxMs, err = timeIt(func() error {
+		cat, err := (&compare.Categorizer{Store: client}).CategorizeSessions(a, b)
+		if err != nil {
+			return err
+		}
+		cat.SameProcess(a, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, indexedPoint("categorize-pair", sessions, cnt.Records, scanMs, idxMs))
+
+	if progress != nil {
+		for _, p := range results {
+			fmt.Fprintf(progress, "indexed n=%-3d sessions %-16s scan=%9.2fms indexed=%9.2fms speedup=%.1fx\n",
+				p.Sessions, p.Workload, p.ScanMillis, p.IndexedMillis, p.Speedup)
+		}
+	}
+	return results, nil
+}
+
+func indexedPoint(workload string, sessions, records int, scanMs, idxMs float64) IndexedQueryResult {
+	p := IndexedQueryResult{
+		Workload:      workload,
+		Sessions:      sessions,
+		Records:       records,
+		ScanMillis:    scanMs,
+		IndexedMillis: idxMs,
+	}
+	if idxMs > 0 {
+		p.Speedup = scanMs / idxMs
+	}
+	return p
+}
+
+// RenderIndexedVsScan writes the comparison table.
+func RenderIndexedVsScan(w io.Writer, points []IndexedQueryResult) {
+	fmt.Fprintf(w, "Indexed vs scan query time (ms) on a multi-session store\n")
+	fmt.Fprintf(w, "%-16s %9s %9s %12s %12s %9s\n", "workload", "sessions", "records", "scan", "indexed", "speedup")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-16s %9d %9d %12.2f %12.2f %8.1fx\n",
+			p.Workload, p.Sessions, p.Records, p.ScanMillis, p.IndexedMillis, p.Speedup)
+	}
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"preserv/internal/compare"
+	"preserv/internal/ids"
+	"preserv/internal/preserv"
+	"preserv/internal/store"
+	"preserv/internal/trace"
+)
+
+func TestRunIndexedVsScanShape(t *testing.T) {
+	// Small configuration: correctness of the harness, not the speedup.
+	points, err := RunIndexedVsScan(6, 6, 1, 11, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want lineage + categorize-pair", len(points))
+	}
+	for _, p := range points {
+		if p.ScanMillis <= 0 || p.IndexedMillis <= 0 {
+			t.Errorf("%s: non-positive timing %+v", p.Workload, p)
+		}
+		if p.Records == 0 || p.Sessions != 6 {
+			t.Errorf("%s: population not recorded: %+v", p.Workload, p)
+		}
+	}
+	RenderIndexedVsScan(io.Discard, points)
+}
+
+func TestIndexedPathsAgreeWithScanPaths(t *testing.T) {
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	srv, err := preserv.Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := preserv.NewClient(srv.URL, nil)
+	sessions, err := PopulateSessionStore(client, 5, 6, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := sessions[2]
+	scanGraph, err := LineageScan(client, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxGraph, err := trace.Build(client, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanGraph.Len() != idxGraph.Len() {
+		t.Errorf("lineage graphs differ: %d vs %d nodes", scanGraph.Len(), idxGraph.Len())
+	}
+	if !reflect.DeepEqual(scanGraph.Roots(), idxGraph.Roots()) {
+		t.Errorf("lineage roots differ between scan and indexed paths")
+	}
+
+	// Session-scoped categorisation must agree with the full legacy
+	// mapping on the sessions it covers.
+	a, b := sessions[1], sessions[3]
+	legacy, err := (&compare.Categorizer{Store: client, Legacy: true}).Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := (&compare.Categorizer{Store: client}).CategorizeSessions(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy.SameProcess(a, b), planned.SameProcess(a, b)) {
+		t.Errorf("SameProcess verdicts differ between scan and indexed paths")
+	}
+}
+
+// benchIndexedStore populates one shared 50-session store (the
+// acceptance configuration) for the Benchmark*50Sessions pairs.
+func benchIndexedStore(b *testing.B) (*preserv.Client, []ids.ID) {
+	b.Helper()
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	srv, err := preserv.Serve(svc, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	client := preserv.NewClient(srv.URL, nil)
+	sessions, err := PopulateSessionStore(client, 50, 12, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return client, sessions
+}
+
+func BenchmarkLineageScan50Sessions(b *testing.B) {
+	client, sessions := benchIndexedStore(b)
+	target := sessions[25]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LineageScan(client, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLineageIndexed50Sessions(b *testing.B) {
+	client, sessions := benchIndexedStore(b)
+	target := sessions[25]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Build(client, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCategorizePairScan50Sessions(b *testing.B) {
+	client, sessions := benchIndexedStore(b)
+	x, y := sessions[10], sessions[40]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat, err := (&compare.Categorizer{Store: client, Legacy: true}).Categorize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cat.SameProcess(x, y)
+	}
+}
+
+func BenchmarkCategorizePairIndexed50Sessions(b *testing.B) {
+	client, sessions := benchIndexedStore(b)
+	x, y := sessions[10], sessions[40]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat, err := (&compare.Categorizer{Store: client}).CategorizeSessions(x, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cat.SameProcess(x, y)
+	}
+}

@@ -72,9 +72,10 @@ func TestCategorizeGroupsIdenticalScripts(t *testing.T) {
 	if cat.InteractionsScanned != 3 {
 		t.Errorf("scanned %d interactions, want 3", cat.InteractionsScanned)
 	}
-	// One query to list + one per interaction.
-	if cat.StoreCalls != 4 {
-		t.Errorf("store calls = %d, want 4", cat.StoreCalls)
+	// One planned query for the interactions + one for all scripts,
+	// independent of the interaction count.
+	if cat.StoreCalls != 2 {
+		t.Errorf("store calls = %d, want 2", cat.StoreCalls)
 	}
 	// The gzip category must record two uses.
 	var gzipCat *Category
@@ -191,24 +192,147 @@ func TestCategorizeEmptyStore(t *testing.T) {
 	}
 }
 
-func TestCategorizeLinearStoreCalls(t *testing.T) {
-	// The cost model behind Figure 5: categorisation performs one store
-	// call per interaction record (plus the initial listing).
+func TestCategorizeLegacyLinearStoreCalls(t *testing.T) {
+	// The cost model behind Figure 5: legacy categorisation performs one
+	// store call per interaction record (plus the initial listing). The
+	// default planner path must produce the identical mapping in a
+	// constant two calls.
 	c := startStore(t)
 	session := seq.NewID()
 	const n = 25
 	for i := 0; i < n; i++ {
 		populate(t, c, session, "svc:gzip", "gzip -9", uint64(i+1))
 	}
-	cat, err := (&Categorizer{Store: c}).Categorize()
+	legacy, err := (&Categorizer{Store: c, Legacy: true}).Categorize()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cat.StoreCalls != n+1 {
-		t.Errorf("store calls = %d, want %d", cat.StoreCalls, n+1)
+	if legacy.StoreCalls != n+1 {
+		t.Errorf("legacy store calls = %d, want %d", legacy.StoreCalls, n+1)
 	}
-	if cat.Elapsed <= 0 {
+	if legacy.Elapsed <= 0 {
 		t.Error("elapsed not measured")
+	}
+	planned, err := (&Categorizer{Store: c}).Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.StoreCalls != 2 {
+		t.Errorf("planned store calls = %d, want 2", planned.StoreCalls)
+	}
+	assertSameCategorization(t, legacy, planned)
+}
+
+// assertSameCategorization checks that two categorizations agree on
+// every category, use list and per-service-session script set.
+func assertSameCategorization(t *testing.T, a, b *Categorization) {
+	t.Helper()
+	if a.InteractionsScanned != b.InteractionsScanned {
+		t.Errorf("interactions scanned: %d vs %d", a.InteractionsScanned, b.InteractionsScanned)
+	}
+	ca, cb := a.Categories(), b.Categories()
+	if len(ca) != len(cb) {
+		t.Fatalf("category counts differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i].Hash != cb[i].Hash || ca[i].Script != cb[i].Script {
+			t.Errorf("category %d differs: %q vs %q", i, ca[i].Hash, cb[i].Hash)
+		}
+		if fmt.Sprintf("%v", ca[i].Uses) != fmt.Sprintf("%v", cb[i].Uses) {
+			t.Errorf("category %s uses differ: %v vs %v", ca[i].Hash[:8], ca[i].Uses, cb[i].Uses)
+		}
+		// The per-service-session sets (what SameProcess and ScriptsFor
+		// are built on) must agree for every use site too.
+		for _, u := range ca[i].Uses {
+			sa := a.ScriptsFor(u.Service, u.Session)
+			sb := b.ScriptsFor(u.Service, u.Session)
+			if fmt.Sprintf("%v", sa) != fmt.Sprintf("%v", sb) {
+				t.Errorf("ScriptsFor(%s, %s) differs: %v vs %v", u.Service, u.Session.Short(), sa, sb)
+			}
+		}
+	}
+}
+
+func TestCategorizeSessionsScopesToRequested(t *testing.T) {
+	// CategorizeSessions must see only the named sessions, and agree
+	// with the full categorisation on what it does see.
+	c := startStore(t)
+	s1, s2, s3 := seq.NewID(), seq.NewID(), seq.NewID()
+	populate(t, c, s1, "svc:gzip", "gzip -1", 1)
+	populate(t, c, s2, "svc:gzip", "gzip -9", 11)
+	populate(t, c, s3, "svc:gzip", "gzip -5", 21) // must not appear
+
+	cat, err := (&Categorizer{Store: c}).CategorizeSessions(s1, s2, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.InteractionsScanned != 2 {
+		t.Errorf("scanned %d interactions, want 2 (third session excluded, duplicate deduped)", cat.InteractionsScanned)
+	}
+	// Two planned calls per distinct session.
+	if cat.StoreCalls != 4 {
+		t.Errorf("store calls = %d, want 4", cat.StoreCalls)
+	}
+	if len(cat.Categories()) != 2 {
+		t.Fatalf("categories = %d, want 2", len(cat.Categories()))
+	}
+	if len(cat.ScriptsFor("svc:gzip", s3)) != 0 {
+		t.Error("excluded session leaked into the categorisation")
+	}
+	diffs := cat.SameProcess(s1, s2)
+	if len(diffs) != 1 || diffs[0].Service != "svc:gzip" {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+}
+
+func TestCategorizeSessionsFindsUntaggedScripts(t *testing.T) {
+	// A script record without a session group reference must still be
+	// found through its interaction (the legacy join), not silently
+	// dropped — otherwise SameProcess could report "same process" for
+	// runs that differ.
+	c := startStore(t)
+	s1, s2 := seq.NewID(), seq.NewID()
+	populate(t, c, s1, "svc:gzip", "gzip -1", 1)
+
+	// Session 2's script is asserted with no groups at all.
+	in := core.Interaction{ID: seq.NewID(), Sender: "svc:enactor", Receiver: "svc:gzip", Operation: "run"}
+	inter := *core.NewInteractionRecord(&core.InteractionPAssertion{
+		LocalID:     "e11",
+		Asserter:    "svc:enactor",
+		Interaction: in,
+		View:        core.SenderView,
+		Request:     core.Message{Name: "invoke"},
+		Response:    core.Message{Name: "result"},
+		Groups:      []core.GroupRef{{Type: core.GroupSession, ID: s2, Seq: 1}},
+		Timestamp:   time.Now().UTC(),
+	})
+	untagged := *core.NewActorStateRecord(&core.ActorStatePAssertion{
+		LocalID:     "s11",
+		Asserter:    "svc:enactor",
+		Interaction: in,
+		View:        core.SenderView,
+		StateKind:   core.StateScript,
+		Content:     core.Bytes("gzip -9"),
+		Timestamp:   time.Now().UTC(),
+	})
+	if _, err := c.Record("svc:enactor", []core.Record{inter, untagged}); err != nil {
+		t.Fatal(err)
+	}
+
+	cat, err := (&Categorizer{Store: c}).CategorizeSessions(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := cat.SameProcess(s1, s2)
+	if len(diffs) != 1 || diffs[0].Service != "svc:gzip" {
+		t.Fatalf("untagged script dropped: diffs = %+v", diffs)
+	}
+	legacy, err := (&Categorizer{Store: c, Legacy: true}).Categorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.SameProcess(s1, s2)) != 1 {
+		t.Fatalf("legacy disagrees on the same store")
 	}
 }
 

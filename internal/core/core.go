@@ -382,6 +382,57 @@ func (r *Record) LocalID() string {
 	return ""
 }
 
+// Receiver returns the receiving actor (the invoked service) of the
+// interaction the record documents.
+func (r *Record) Receiver() ActorID {
+	switch r.Kind {
+	case KindInteraction:
+		if r.Interaction != nil {
+			return r.Interaction.Interaction.Receiver
+		}
+	case KindActorState:
+		if r.ActorState != nil {
+			return r.ActorState.Interaction.Receiver
+		}
+	}
+	return ""
+}
+
+// Timestamp returns when the assertion was created.
+func (r *Record) Timestamp() time.Time {
+	switch r.Kind {
+	case KindInteraction:
+		if r.Interaction != nil {
+			return r.Interaction.Timestamp
+		}
+	case KindActorState:
+		if r.ActorState != nil {
+			return r.ActorState.Timestamp
+		}
+	}
+	return time.Time{}
+}
+
+// DataIDs returns the distinct data identifiers carried by the record's
+// message parts, in order of first appearance (request before response).
+// Actor-state records carry no message parts and return nil.
+func (r *Record) DataIDs() []ids.ID {
+	if r.Kind != KindInteraction || r.Interaction == nil {
+		return nil
+	}
+	var out []ids.ID
+	seen := make(map[ids.ID]bool)
+	for _, msg := range []*Message{&r.Interaction.Request, &r.Interaction.Response} {
+		for _, p := range msg.Parts {
+			if p.DataID.Valid() && !seen[p.DataID] {
+				seen[p.DataID] = true
+				out = append(out, p.DataID)
+			}
+		}
+	}
+	return out
+}
+
 // Groups returns the record's group references.
 func (r *Record) Groups() []GroupRef {
 	switch r.Kind {

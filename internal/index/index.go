@@ -1,0 +1,427 @@
+// Package index maintains secondary indexes over the provenance store's
+// records so that queries scoped by session, actor, interaction, data
+// item, record kind or time range resolve without scanning the whole
+// store — the leverage that keeps the paper's use cases (run comparison
+// and semantic validation) fast as the store grows to many sessions.
+//
+// The index is a set of posting entries persisted in the same backend as
+// the records themselves, under the reserved key prefixes "x/" (postings)
+// and "xm/" (metadata), which never collide with the record prefixes "i/"
+// and "s/". One posting entry is one key
+//
+//	x/<dim>/<escaped term>/<record storage key>
+//
+// with an empty value: the backend's sorted prefix scan over
+// x/<dim>/<term>/ therefore yields the matching records' storage keys in
+// sorted order, which is exactly a sorted posting list — intersections
+// are sorted merges, and record fetches are point Gets. Because entries
+// are write-once and content-free, index maintenance needs no
+// read-modify-write and re-adding a record's postings (during rebuild,
+// or after a crash between the record put and the index put) is
+// idempotent under the Backend contract.
+//
+// Stores recorded before indexing existed are detected at Open time by a
+// missing schema marker or by posting counts disagreeing with record
+// counts, and are rebuilt with one full scan. See DESIGN.md for the full
+// layout.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+)
+
+// Index dimensions. Each names one secondary index over the records.
+const (
+	// DimInteraction indexes by interaction identifier.
+	DimInteraction = "int"
+	// DimSession indexes by session group identifier.
+	DimSession = "sess"
+	// DimGroup indexes by group identifier, of any group type
+	// (sessions appear here too).
+	DimGroup = "grp"
+	// DimActor indexes by asserting actor.
+	DimActor = "actor"
+	// DimService indexes by the interaction's receiver (the service).
+	DimService = "svc"
+	// DimState indexes actor-state records by state kind.
+	DimState = "state"
+	// DimData indexes interaction records by the data identifiers their
+	// message parts carry.
+	DimData = "data"
+	// DimKind indexes by record kind ("i" or "s").
+	DimKind = "kind"
+	// DimTime indexes by assertion timestamp, in a fixed-width sortable
+	// form so the backend's sorted scan doubles as a range scan.
+	DimTime = "time"
+)
+
+const (
+	postingPrefix = "x/"
+	metaPrefix    = "xm/"
+	schemaKey     = metaPrefix + "schema"
+	// deficitKeyPrefix + kind tag stores how many records of that kind
+	// the last rebuild could not decode (and therefore not index), so
+	// the Open-time consistency check can tell "corrupt, known and
+	// skipped" apart from "postings missing, rebuild needed".
+	deficitKeyPrefix = metaPrefix + "deficit/"
+	schemaVersion    = "1"
+
+	// timeLayout is fixed-width and zero-padded so lexicographic key
+	// order equals chronological order.
+	timeLayout = "20060102T150405.000000000"
+)
+
+// KV is the slice of the store Backend contract the index needs. It is
+// satisfied by store.Backend (declared here to avoid an import cycle:
+// the store maintains the index write-through on Record).
+type KV interface {
+	Put(key string, value []byte) error
+	Get(key string) (value []byte, ok bool, err error)
+	Scan(prefix string, fn func(key string, value []byte) error) error
+	Count(prefix string) (int, error)
+}
+
+// Index is an open secondary index over a backend.
+type Index struct {
+	kv KV
+}
+
+// Open attaches to (creating or rebuilding as needed) the index stored
+// in kv. A store recorded before indexing existed — no schema marker, or
+// posting counts that disagree with record counts (the signature of a
+// crash between a record put and its index puts) — is rebuilt by one
+// full scan; rebuilding is idempotent.
+func Open(kv KV) (*Index, error) {
+	ix := &Index{kv: kv}
+	_, haveSchema, err := kv.Get(schemaKey)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading schema marker: %w", err)
+	}
+	ni, err := kv.Count("i/")
+	if err != nil {
+		return nil, fmt.Errorf("index: counting interaction records: %w", err)
+	}
+	ns, err := kv.Count("s/")
+	if err != nil {
+		return nil, fmt.Errorf("index: counting actor-state records: %w", err)
+	}
+	pi, err := kv.Count(postingKeyPrefix(DimKind, "i"))
+	if err != nil {
+		return nil, fmt.Errorf("index: counting postings: %w", err)
+	}
+	ps, err := kv.Count(postingKeyPrefix(DimKind, "s"))
+	if err != nil {
+		return nil, fmt.Errorf("index: counting postings: %w", err)
+	}
+	di, err := ix.deficit("i")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := ix.deficit("s")
+	if err != nil {
+		return nil, err
+	}
+	if haveSchema && pi+di == ni && ps+ds == ns {
+		return ix, nil
+	}
+	if err := ix.Rebuild(); err != nil {
+		return nil, err
+	}
+	if err := kv.Put(schemaKey, []byte(schemaVersion)); err != nil {
+		return nil, fmt.Errorf("index: writing schema marker: %w", err)
+	}
+	return ix, nil
+}
+
+func (ix *Index) deficit(kindTag string) (int, error) {
+	v, ok, err := ix.kv.Get(deficitKeyPrefix + kindTag)
+	if err != nil {
+		return 0, fmt.Errorf("index: reading deficit marker: %w", err)
+	}
+	if !ok {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(string(v))
+	if err != nil || n < 0 {
+		// A mangled marker just forces a rebuild.
+		return -1, nil
+	}
+	return n, nil
+}
+
+// Rebuild derives every posting entry from the records themselves. It is
+// safe to run over a partially indexed store: existing postings are
+// re-put with identical (empty) content. A record that no longer decodes
+// is skipped rather than failing the rebuild — recording must stay
+// available over a store with one torn value (the same policy the file
+// backend applies to torn writes); the skip count is persisted so the
+// Open-time consistency check does not re-trigger a rebuild forever.
+func (ix *Index) Rebuild() error {
+	skipped := map[string]int{"i": 0, "s": 0}
+	for _, prefix := range []string{"i/", "s/"} {
+		kindTag := prefix[:1]
+		err := ix.kv.Scan(prefix, func(key string, value []byte) error {
+			r, err := core.DecodeRecord(value)
+			if err != nil {
+				skipped[kindTag]++
+				return nil
+			}
+			return ix.Add(r)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for kindTag, n := range skipped {
+		key := deficitKeyPrefix + kindTag
+		want := strconv.Itoa(n)
+		// Only write on change: a strictly write-once backend may reject
+		// overwrites, and identical re-puts are always accepted.
+		if cur, ok, err := ix.kv.Get(key); err == nil && ok && string(cur) == want {
+			continue
+		}
+		if err := ix.kv.Put(key, []byte(want)); err != nil {
+			return fmt.Errorf("index: writing deficit marker: %w", err)
+		}
+	}
+	return nil
+}
+
+// Add writes the posting entries for one record. The store calls this
+// write-through after each accepted record put.
+func (ix *Index) Add(r *core.Record) error {
+	for _, key := range postingKeys(r) {
+		if err := ix.kv.Put(key, nil); err != nil {
+			return fmt.Errorf("index: putting posting %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// postingKeys computes the full posting key set of a record. The kind
+// posting comes LAST: it is the entry the Open-time consistency check
+// counts, so writing it after every other posting makes it a commit
+// marker — a crash anywhere mid-Add leaves a kind-posting deficit that
+// triggers a rebuild.
+func postingKeys(r *core.Record) []string {
+	skey := r.StorageKey()
+	kindTag := "s"
+	if r.Kind == core.KindInteraction {
+		kindTag = "i"
+	}
+	keys := []string{
+		postingKey(DimInteraction, r.InteractionID().String(), skey),
+		postingKey(DimActor, string(r.Asserter()), skey),
+	}
+	if recv := r.Receiver(); recv != "" {
+		keys = append(keys, postingKey(DimService, string(recv), skey))
+	}
+	for _, g := range r.Groups() {
+		keys = append(keys, postingKey(DimGroup, g.ID.String(), skey))
+		if g.Type == core.GroupSession {
+			keys = append(keys, postingKey(DimSession, g.ID.String(), skey))
+		}
+	}
+	if r.Kind == core.KindActorState && r.ActorState != nil {
+		keys = append(keys, postingKey(DimState, r.ActorState.StateKind, skey))
+	}
+	for _, d := range r.DataIDs() {
+		keys = append(keys, postingKey(DimData, d.String(), skey))
+	}
+	if ts := r.Timestamp(); !ts.IsZero() {
+		keys = append(keys, postingKey(DimTime, TimeTerm(ts), skey))
+	}
+	keys = append(keys, postingKey(DimKind, kindTag, skey))
+	return keys
+}
+
+// TimeTerm renders a timestamp as its index term: fixed-width UTC so
+// that key order is chronological order.
+func TimeTerm(t time.Time) string { return t.UTC().Format(timeLayout) }
+
+func postingKey(dim, term, skey string) string {
+	return postingKeyPrefix(dim, term) + skey
+}
+
+// postingKeyPrefix is the scan prefix covering one term's posting list.
+func postingKeyPrefix(dim, term string) string {
+	return postingPrefix + dim + "/" + escapeTerm(term) + "/"
+}
+
+// escapeTerm makes a term safe to embed between '/' separators: '/' and
+// '%' are percent-encoded. Identifier terms (urn:pasoa:<hex>) pass
+// through untouched; only free-form actor names and state kinds can need
+// escaping.
+func escapeTerm(s string) string {
+	if !strings.ContainsAny(s, "/%") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '/':
+			b.WriteString("%2F")
+		case '%':
+			b.WriteString("%25")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func unescapeTerm(s string) string {
+	if !strings.Contains(s, "%") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			switch s[i+1 : i+3] {
+			case "2F":
+				b.WriteByte('/')
+				i += 2
+				continue
+			case "25":
+				b.WriteByte('%')
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// ScanPostings visits the storage keys of every record indexed under
+// (dim, term), in sorted storage-key order.
+func (ix *Index) ScanPostings(dim, term string, fn func(storageKey string) error) error {
+	prefix := postingKeyPrefix(dim, term)
+	return ix.kv.Scan(prefix, func(key string, _ []byte) error {
+		return fn(key[len(prefix):])
+	})
+}
+
+// Postings materialises the sorted posting list of (dim, term).
+func (ix *Index) Postings(dim, term string) ([]string, error) {
+	var out []string
+	err := ix.ScanPostings(dim, term, func(skey string) error {
+		out = append(out, skey)
+		return nil
+	})
+	return out, err
+}
+
+// CountPostings reports the length of the (dim, term) posting list — the
+// planner's selectivity estimate.
+func (ix *Index) CountPostings(dim, term string) (int, error) {
+	return ix.kv.Count(postingKeyPrefix(dim, term))
+}
+
+// errStop terminates a range scan early once past the upper bound.
+var errStop = fmt.Errorf("index: stop scan")
+
+// ScanTimeRange visits the storage keys of records asserted within the
+// inclusive [since, until] range. A zero bound is unconstrained. The scan
+// is pruned to the longest shared key prefix of the two bounds and stops
+// as soon as it passes the upper bound.
+func (ix *Index) ScanTimeRange(since, until time.Time, fn func(storageKey string) error) error {
+	dimPrefix := postingPrefix + DimTime + "/"
+	var lo, hi string
+	if !since.IsZero() {
+		lo = TimeTerm(since)
+	}
+	if !until.IsZero() {
+		hi = TimeTerm(until)
+	}
+	scanPrefix := dimPrefix + commonPrefix(lo, hi)
+	if hi == "" {
+		// Unbounded above: scanning from the lower bound's prefix would
+		// not help, the shared prefix of lo and "" is empty anyway.
+		scanPrefix = dimPrefix
+	}
+	err := ix.kv.Scan(scanPrefix, func(key string, _ []byte) error {
+		rest := key[len(dimPrefix):]
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			return nil
+		}
+		term := rest[:slash]
+		if lo != "" && term < lo {
+			return nil
+		}
+		if hi != "" && term > hi {
+			return errStop
+		}
+		return fn(rest[slash+1:])
+	})
+	if err == errStop {
+		return nil
+	}
+	return err
+}
+
+func commonPrefix(a, b string) string {
+	if a == "" || b == "" {
+		return ""
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return a[:i]
+}
+
+// Terms enumerates the distinct terms recorded under a dimension, in
+// sorted order — e.g. Terms(DimSession) lists every session identifier
+// in the store without touching a single record.
+func (ix *Index) Terms(dim string) ([]string, error) {
+	prefix := postingPrefix + dim + "/"
+	var out []string
+	last := ""
+	err := ix.kv.Scan(prefix, func(key string, _ []byte) error {
+		rest := key[len(prefix):]
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			return nil
+		}
+		if term := rest[:slash]; term != last || len(out) == 0 {
+			last = term
+			out = append(out, unescapeTerm(term))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Sessions lists the distinct session identifiers in the store, sorted
+// by identifier value.
+func (ix *Index) Sessions() ([]ids.ID, error) {
+	terms, err := ix.Terms(DimSession)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ids.ID, 0, len(terms))
+	for _, t := range terms {
+		id, err := ids.Parse(t)
+		if err != nil {
+			return nil, fmt.Errorf("index: malformed session term %q: %w", t, err)
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}

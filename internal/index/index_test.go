@@ -1,0 +1,326 @@
+package index_test
+
+import (
+	. "preserv/internal/index"
+	"fmt"
+	"testing"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/store"
+)
+
+var seq = &ids.SeqSource{Prefix: 0xD1}
+
+var t0 = time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+
+// makeActivity builds one interaction record and one script actor-state
+// record for the same interaction.
+func makeActivity(session ids.ID, asserter, service core.ActorID, n uint64, ts time.Time) (core.Record, core.Record, ids.ID) {
+	in := core.Interaction{ID: seq.NewID(), Sender: asserter, Receiver: service, Operation: "run"}
+	dataIn, dataOut := seq.NewID(), seq.NewID()
+	groups := []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: n}}
+	inter := *core.NewInteractionRecord(&core.InteractionPAssertion{
+		LocalID:     fmt.Sprintf("e%d", n),
+		Asserter:    asserter,
+		Interaction: in,
+		View:        core.SenderView,
+		Request:     core.Message{Name: "invoke", Parts: []core.MessagePart{{Name: "in", DataID: dataIn}}},
+		Response:    core.Message{Name: "result", Parts: []core.MessagePart{{Name: "out", DataID: dataOut}}},
+		Groups:      groups,
+		Timestamp:   ts,
+	})
+	state := *core.NewActorStateRecord(&core.ActorStatePAssertion{
+		LocalID:     fmt.Sprintf("s%d", n),
+		Asserter:    asserter,
+		Interaction: in,
+		View:        core.SenderView,
+		StateKind:   core.StateScript,
+		Content:     core.Bytes("script"),
+		Groups:      groups,
+		Timestamp:   ts,
+	})
+	return inter, state, dataOut
+}
+
+// put encodes and stores a record directly in a backend, bypassing the
+// Store layer (and therefore the write-through index).
+func put(t *testing.T, kv KV, r *core.Record) {
+	t.Helper()
+	encoded, err := core.EncodeRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put(r.StorageKey(), encoded); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRebuildsUnindexedStore(t *testing.T) {
+	// Records written before indexing existed: Open must detect the
+	// missing schema marker and rebuild postings from a scan.
+	b := store.NewMemoryBackend()
+	session := seq.NewID()
+	inter, state, _ := makeActivity(session, "svc:a", "svc:gzip", 1, t0)
+	put(t, b, &inter)
+	put(t, b, &state)
+
+	ix, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := ix.Postings(DimSession, session.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("session postings after rebuild = %v, want both records", list)
+	}
+	if list[0] != inter.StorageKey() || list[1] != state.StorageKey() {
+		t.Errorf("posting order = %v, want sorted storage keys", list)
+	}
+}
+
+func TestOpenRepairsPostingDeficit(t *testing.T) {
+	// A record written after the schema marker but without its postings
+	// (crash between the record put and the index put) must trigger a
+	// rebuild on the next Open.
+	b := store.NewMemoryBackend()
+	if _, err := Open(b); err != nil { // writes the schema marker
+		t.Fatal(err)
+	}
+	session := seq.NewID()
+	inter, _, _ := makeActivity(session, "svc:a", "svc:gzip", 1, t0)
+	put(t, b, &inter)
+
+	ix, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := ix.Postings(DimInteraction, inter.InteractionID().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Fatalf("interaction postings = %v, want the repaired record", list)
+	}
+}
+
+func TestPostingsPerDimension(t *testing.T) {
+	b := store.NewMemoryBackend()
+	ix, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := seq.NewID()
+	inter, state, dataOut := makeActivity(session, "svc:a", "svc:gzip", 1, t0)
+	for _, r := range []*core.Record{&inter, &state} {
+		put(t, b, r)
+		if err := ix.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	checks := []struct {
+		dim, term string
+		want      int
+	}{
+		{DimKind, "i", 1},
+		{DimKind, "s", 1},
+		{DimInteraction, inter.InteractionID().String(), 2},
+		{DimSession, session.String(), 2},
+		{DimGroup, session.String(), 2},
+		{DimActor, "svc:a", 2},
+		{DimService, "svc:gzip", 2},
+		{DimState, core.StateScript, 1},
+		{DimData, dataOut.String(), 1},
+		{DimTime, TimeTerm(t0), 2},
+		{DimSession, seq.NewID().String(), 0},
+	}
+	for _, c := range checks {
+		n, err := ix.CountPostings(c.dim, c.term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != c.want {
+			t.Errorf("CountPostings(%s, %s) = %d, want %d", c.dim, c.term, n, c.want)
+		}
+	}
+}
+
+func TestTermEscapingRoundTrips(t *testing.T) {
+	// Actor names may contain '/' and '%'; postings must neither collide
+	// nor corrupt the term enumeration.
+	b := store.NewMemoryBackend()
+	ix, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := seq.NewID()
+	inter, _, _ := makeActivity(session, "org/unit%5/svc", "svc:gzip", 1, t0)
+	put(t, b, &inter)
+	if err := ix.Add(&inter); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ix.CountPostings(DimActor, "org/unit%5/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("escaped-term postings = %d, want 1", n)
+	}
+	terms, err := ix.Terms(DimActor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 1 || terms[0] != "org/unit%5/svc" {
+		t.Fatalf("Terms = %v, want the unescaped actor name", terms)
+	}
+}
+
+func TestScanTimeRange(t *testing.T) {
+	b := store.NewMemoryBackend()
+	ix, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := seq.NewID()
+	var keysByHour []string
+	for h := 0; h < 5; h++ {
+		inter, _, _ := makeActivity(session, "svc:a", "svc:gzip", uint64(h+1), t0.Add(time.Duration(h)*time.Hour))
+		put(t, b, &inter)
+		if err := ix.Add(&inter); err != nil {
+			t.Fatal(err)
+		}
+		keysByHour = append(keysByHour, inter.StorageKey())
+	}
+
+	collect := func(since, until time.Time) []string {
+		var got []string
+		if err := ix.ScanTimeRange(since, until, func(skey string) error {
+			got = append(got, skey)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	mid := collect(t0.Add(1*time.Hour), t0.Add(3*time.Hour))
+	if len(mid) != 3 {
+		t.Fatalf("inclusive [h1,h3] = %d keys, want 3", len(mid))
+	}
+	if got := collect(time.Time{}, t0.Add(30*time.Minute)); len(got) != 1 || got[0] != keysByHour[0] {
+		t.Fatalf("open lower bound = %v, want only hour 0", got)
+	}
+	if got := collect(t0.Add(210*time.Minute), time.Time{}); len(got) != 1 || got[0] != keysByHour[4] {
+		t.Fatalf("open upper bound = %v, want only hour 4", got)
+	}
+	if got := collect(t0.Add(10*time.Hour), time.Time{}); len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+}
+
+func TestSessionsEnumeratesDistinctTerms(t *testing.T) {
+	b := store.NewMemoryBackend()
+	ix, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := seq.NewID(), seq.NewID()
+	for i, session := range []ids.ID{s1, s2, s1} {
+		inter, state, _ := makeActivity(session, "svc:a", "svc:gzip", uint64(i+1), t0)
+		for _, r := range []*core.Record{&inter, &state} {
+			put(t, b, r)
+			if err := ix.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sessions, err := ix.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %v, want the 2 distinct ids", sessions)
+	}
+	for i := 1; i < len(sessions); i++ {
+		if sessions[i-1].Compare(sessions[i]) >= 0 {
+			t.Errorf("sessions not sorted: %v", sessions)
+		}
+	}
+}
+
+func TestRebuildSkipsCorruptRecords(t *testing.T) {
+	// A record value that no longer decodes must not fail the rebuild
+	// (recording stays available); the skip is remembered so the next
+	// Open does not rebuild forever.
+	b := store.NewMemoryBackend()
+	session := seq.NewID()
+	inter, _, _ := makeActivity(session, "svc:a", "svc:gzip", 1, t0)
+	put(t, b, &inter)
+	if err := b.Put("i/urn:pasoa:ffffffffffffffffffffffffffffffff/sender/svc:a/torn", []byte("not a gob record")); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := Open(b)
+	if err != nil {
+		t.Fatalf("rebuild over corrupt record failed: %v", err)
+	}
+	n, err := ix.CountPostings(DimSession, session.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("healthy record not indexed: postings = %d", n)
+	}
+
+	// Reopen: the deficit marker must satisfy the consistency check, so
+	// the healthy record's postings are still exactly one (a repeated
+	// rebuild would not change counts, but a fresh marker write would
+	// not be needed either — assert Open succeeds and sees a clean
+	// index).
+	if _, err := Open(b); err != nil {
+		t.Fatalf("reopen after tolerated corruption failed: %v", err)
+	}
+}
+
+func TestIndexPersistsAcrossReopen(t *testing.T) {
+	// On a persistent backend the postings survive a restart: reopening
+	// must not rebuild (observed via the posting count staying exact).
+	dir := t.TempDir()
+	open := func() (*store.KVBackend, *Index) {
+		b, err := store.NewKVBackend(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := Open(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, ix
+	}
+	b, ix := open()
+	session := seq.NewID()
+	inter, state, _ := makeActivity(session, "svc:a", "svc:gzip", 1, t0)
+	for _, r := range []*core.Record{&inter, &state} {
+		put(t, b, r)
+		if err := ix.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, ix = open()
+	defer b.Close()
+	n, err := ix.CountPostings(DimSession, session.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("postings after reopen = %d, want 2", n)
+	}
+}

@@ -9,6 +9,7 @@ package prep
 import (
 	"encoding/xml"
 	"fmt"
+	"time"
 
 	"preserv/internal/core"
 	"preserv/internal/ids"
@@ -18,8 +19,16 @@ import (
 const (
 	// ActionRecord submits a batch of p-assertions.
 	ActionRecord = "urn:prep:record"
-	// ActionQuery retrieves p-assertions matching a filter.
+	// ActionQuery retrieves p-assertions matching a filter by scanning
+	// the store (the paper's access pattern, kept for Figure 5).
 	ActionQuery = "urn:prep:query"
+	// ActionPlannedQuery retrieves p-assertions matching a filter via
+	// the secondary-index query planner (internal/query), reporting the
+	// plan it chose alongside the results.
+	ActionPlannedQuery = "urn:prep:query-planned"
+	// ActionSessions enumerates the distinct session identifiers
+	// recorded in the store, straight off the session index.
+	ActionSessions = "urn:prep:sessions"
 	// ActionCount reports store statistics.
 	ActionCount = "urn:prep:count"
 )
@@ -65,6 +74,15 @@ type Query struct {
 	Service core.ActorID `xml:"service,omitempty"`
 	// StateKind restricts actor-state records to one state kind.
 	StateKind string `xml:"stateKind,omitempty"`
+	// DataID restricts to interaction records whose request or response
+	// parts carry the given data item.
+	DataID ids.ID `xml:"dataId,omitempty"`
+	// Since and Until restrict to records asserted within the inclusive
+	// time range; a zero bound is unconstrained. Records without a
+	// timestamp never match a time-constrained query (they are absent
+	// from the time index, and the scan path agrees).
+	Since time.Time `xml:"since,omitempty"`
+	Until time.Time `xml:"until,omitempty"`
 	// Limit caps the number of returned records; 0 means no cap.
 	Limit int `xml:"limit,omitempty"`
 }
@@ -81,6 +99,12 @@ func (q *Query) Validate() error {
 	}
 	if q.StateKind != "" && q.Kind == core.KindInteraction.String() {
 		return fmt.Errorf("prep: stateKind filter contradicts kind=interaction")
+	}
+	if q.DataID.Valid() && q.Kind == core.KindActorState.String() {
+		return fmt.Errorf("prep: dataId filter contradicts kind=actorState")
+	}
+	if !q.Since.IsZero() && !q.Until.IsZero() && q.Until.Before(q.Since) {
+		return fmt.Errorf("prep: empty time range (until %v before since %v)", q.Until, q.Since)
 	}
 	return nil
 }
@@ -132,6 +156,30 @@ func (q *Query) Matches(r *core.Record) bool {
 			return false
 		}
 	}
+	if q.DataID.Valid() {
+		found := false
+		for _, d := range r.DataIDs() {
+			if d == q.DataID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if !q.Since.IsZero() || !q.Until.IsZero() {
+		ts := r.Timestamp()
+		if ts.IsZero() {
+			return false
+		}
+		if !q.Since.IsZero() && ts.Before(q.Since) {
+			return false
+		}
+		if !q.Until.IsZero() && ts.After(q.Until) {
+			return false
+		}
+	}
 	return true
 }
 
@@ -141,6 +189,53 @@ type QueryResponse struct {
 	XMLName xml.Name      `xml:"QueryResponse"`
 	Total   int           `xml:"total"`
 	Records []core.Record `xml:"record,omitempty"`
+}
+
+// Plan strategies reported by the query planner.
+const (
+	// PlanIndex means the planner answered from secondary-index posting
+	// lists, fetching only candidate records.
+	PlanIndex = "index"
+	// PlanScan means the planner fell back to the linear scan path
+	// because no indexed field was constrained (or no index exists).
+	PlanScan = "scan"
+)
+
+// QueryPlan describes how the planner answered a planned query; it is
+// returned to the caller so access patterns are observable end-to-end.
+type QueryPlan struct {
+	// Strategy is PlanIndex or PlanScan.
+	Strategy string `xml:"strategy"`
+	// Dims names the index dimensions used (empty for scans).
+	Dims []string `xml:"dim,omitempty"`
+	// Postings is the number of index posting entries read.
+	Postings int `xml:"postings"`
+	// Candidates is the number of records fetched and decoded; for an
+	// index strategy this is the planner's whole record-level cost.
+	Candidates int `xml:"candidates"`
+	// Cached reports that the result came from the engine's result
+	// cache without touching the store (Postings and Candidates then
+	// describe the original computation).
+	Cached bool `xml:"cached"`
+}
+
+// PlannedQueryResponse returns matching records plus the plan used.
+type PlannedQueryResponse struct {
+	XMLName xml.Name      `xml:"PlannedQueryResponse"`
+	Total   int           `xml:"total"`
+	Plan    QueryPlan     `xml:"plan"`
+	Records []core.Record `xml:"record,omitempty"`
+}
+
+// SessionsRequest asks for the distinct recorded session identifiers.
+type SessionsRequest struct {
+	XMLName xml.Name `xml:"SessionsRequest"`
+}
+
+// SessionsResponse lists distinct session identifiers, sorted.
+type SessionsResponse struct {
+	XMLName  xml.Name `xml:"SessionsResponse"`
+	Sessions []ids.ID `xml:"session,omitempty"`
 }
 
 // CountRequest asks for store statistics.

@@ -2,7 +2,6 @@ package preserv
 
 import (
 	"fmt"
-	"sort"
 
 	"preserv/internal/core"
 	"preserv/internal/ids"
@@ -10,23 +9,15 @@ import (
 )
 
 // Sessions lists the distinct session identifiers recorded in a store,
-// sorted. It scans all records; sessions are the unit a scientist
-// navigates by ("a workflow run is usually referred to as a session").
+// sorted; sessions are the unit a scientist navigates by ("a workflow
+// run is usually referred to as a session"). It is answered from the
+// store's session index — the distinct index terms — without fetching a
+// single record. The index covers session references on every record
+// kind, so a session documented only by actor-state p-assertions is
+// listed too (earlier versions derived the list from interaction
+// records alone and would have missed it).
 func Sessions(c *Client) ([]ids.ID, error) {
-	records, _, err := c.Query(&prep.Query{Kind: core.KindInteraction.String()})
-	if err != nil {
-		return nil, fmt.Errorf("preserv: listing sessions: %w", err)
-	}
-	seen := make(map[ids.ID]bool)
-	var out []ids.ID
-	for i := range records {
-		if sid, ok := records[i].GroupID(core.GroupSession); ok && !seen[sid] {
-			seen[sid] = true
-			out = append(out, sid)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out, nil
+	return c.Sessions()
 }
 
 // Consolidate copies every record from the source stores into dst —

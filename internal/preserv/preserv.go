@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"preserv/internal/core"
+	"preserv/internal/ids"
 	"preserv/internal/prep"
+	"preserv/internal/query"
 	"preserv/internal/soap"
 	"preserv/internal/store"
 )
@@ -49,18 +51,24 @@ func (p *StorePlugIn) Handle(_ string, body []byte) (interface{}, error) {
 	return &prep.RecordResponse{Accepted: accepted, Rejects: rejects}, nil
 }
 
-// QueryPlugIn handles queries and counts.
+// QueryPlugIn handles queries (scanned and planned), session listings
+// and counts.
 type QueryPlugIn struct {
 	store    *store.Store
+	engine   *query.Engine
 	requests atomic.Int64
 }
 
-// NewQueryPlugIn returns a query plug-in over s.
-func NewQueryPlugIn(s *store.Store) *QueryPlugIn { return &QueryPlugIn{store: s} }
+// NewQueryPlugIn returns a query plug-in over s. Planned-query actions
+// run through an internal/query engine (secondary indexes plus a result
+// cache); the plain query action keeps the scan path the paper measures.
+func NewQueryPlugIn(s *store.Store) *QueryPlugIn {
+	return &QueryPlugIn{store: s, engine: query.New(s)}
+}
 
 // Actions implements soap.Handler.
 func (p *QueryPlugIn) Actions() []string {
-	return []string{prep.ActionQuery, prep.ActionCount}
+	return []string{prep.ActionQuery, prep.ActionPlannedQuery, prep.ActionSessions, prep.ActionCount}
 }
 
 // Handle implements soap.Handler.
@@ -77,6 +85,22 @@ func (p *QueryPlugIn) Handle(action string, body []byte) (interface{}, error) {
 			return nil, err
 		}
 		return &prep.QueryResponse{Total: total, Records: records}, nil
+	case prep.ActionPlannedQuery:
+		var q prep.Query
+		if err := xml.Unmarshal(body, &q); err != nil {
+			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad query: " + err.Error()}
+		}
+		records, total, plan, err := p.engine.Query(&q)
+		if err != nil {
+			return nil, err
+		}
+		return &prep.PlannedQueryResponse{Total: total, Plan: *plan, Records: records}, nil
+	case prep.ActionSessions:
+		sessions, err := p.engine.Sessions()
+		if err != nil {
+			return nil, err
+		}
+		return &prep.SessionsResponse{Sessions: sessions}, nil
 	case prep.ActionCount:
 		cnt, err := p.store.Count()
 		if err != nil {
@@ -191,13 +215,35 @@ func (c *Client) Record(asserter core.ActorID, records []core.Record) (*prep.Rec
 	return &resp, nil
 }
 
-// Query retrieves records matching q.
+// Query retrieves records matching q via the store's scan path.
 func (c *Client) Query(q *prep.Query) ([]core.Record, int, error) {
 	var resp prep.QueryResponse
 	if err := soap.Post(c.hc, c.url, prep.ActionQuery, q, &resp); err != nil {
 		return nil, 0, fmt.Errorf("preserv: query: %w", err)
 	}
 	return resp.Records, resp.Total, nil
+}
+
+// QueryPlanned retrieves records matching q via the store's query
+// planner (secondary indexes plus result cache), returning the plan the
+// server chose alongside the results. Results are identical to Query.
+func (c *Client) QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error) {
+	var resp prep.PlannedQueryResponse
+	if err := soap.Post(c.hc, c.url, prep.ActionPlannedQuery, q, &resp); err != nil {
+		return nil, 0, nil, fmt.Errorf("preserv: planned query: %w", err)
+	}
+	plan := resp.Plan
+	return resp.Records, resp.Total, &plan, nil
+}
+
+// Sessions lists the distinct session identifiers recorded in the
+// store, sorted, answered from the store's session index.
+func (c *Client) Sessions() ([]ids.ID, error) {
+	var resp prep.SessionsResponse
+	if err := soap.Post(c.hc, c.url, prep.ActionSessions, &prep.SessionsRequest{}, &resp); err != nil {
+		return nil, fmt.Errorf("preserv: sessions: %w", err)
+	}
+	return resp.Sessions, nil
 }
 
 // Count retrieves store statistics.

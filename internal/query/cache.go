@@ -1,0 +1,106 @@
+package query
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"preserv/internal/core"
+	"preserv/internal/prep"
+)
+
+// cacheEntry is one cached query result, pinned to the store generation
+// it was computed at.
+type cacheEntry struct {
+	key     string
+	gen     uint64
+	records []core.Record
+	total   int
+	plan    prep.QueryPlan
+}
+
+// resultCache is a small mutex-guarded LRU. Entries are valid only while
+// the store generation is unchanged; stale hits are evicted on lookup,
+// so recording anything invalidates the whole cache implicitly.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return &resultCache{}
+	}
+	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string, gen uint64) ([]core.Record, int, prep.QueryPlan, bool) {
+	if c.cap == 0 {
+		return nil, 0, prep.QueryPlan{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, 0, prep.QueryPlan{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		return nil, 0, prep.QueryPlan{}, false
+	}
+	c.ll.MoveToFront(el)
+	// Hand out a fresh slice header so a caller appending to the result
+	// cannot disturb the cached copy.
+	return append([]core.Record(nil), e.records...), e.total, e.plan, true
+}
+
+func (c *resultCache) put(key string, gen uint64, records []core.Record, total int, plan prep.QueryPlan) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.gen, e.records, e.total, e.plan = gen, records, total, plan
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, records: records, total: total, plan: plan})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of live entries (for tests).
+func (c *resultCache) len() int {
+	if c.cap == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheKey renders the canonical form of a predicate. Every field that
+// can change the result participates. Free-form fields (asserter,
+// service, state kind) are %q-quoted so embedded separators cannot make
+// two different predicates collide on one key.
+func cacheKey(q *prep.Query) string {
+	since, until := "-", "-"
+	if !q.Since.IsZero() {
+		since = fmt.Sprintf("%d", q.Since.UnixNano())
+	}
+	if !q.Until.IsZero() {
+		until = fmt.Sprintf("%d", q.Until.UnixNano())
+	}
+	return fmt.Sprintf("i=%s|s=%s|g=%s|d=%s|k=%q|a=%q|v=%q|t=%q|since=%s|until=%s|l=%d",
+		q.InteractionID, q.SessionID, q.GroupID, q.DataID,
+		q.Kind, q.Asserter, q.Service, q.StateKind, since, until, q.Limit)
+}

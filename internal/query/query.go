@@ -1,0 +1,246 @@
+// Package query plans and executes queries over the provenance store
+// using the secondary indexes of internal/index. A prep.Query is a
+// conjunctive predicate; the planner picks the most selective indexed
+// dimensions, intersects their sorted posting lists, point-fetches only
+// the candidate records, and applies the remaining constraints
+// residually. Queries that constrain no indexed field fall back to the
+// store's scan path, so results are always identical to a full scan —
+// only the access pattern changes.
+//
+// The engine also keeps a small LRU result cache keyed by the canonical
+// predicate and the store's content generation, so repeated reads of an
+// unchanged store (a dashboard polling a session, a comparison re-run)
+// are answered without touching the backend at all.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/index"
+	"preserv/internal/prep"
+	"preserv/internal/store"
+)
+
+// DefaultCacheSize is the result cache capacity of New.
+const DefaultCacheSize = 256
+
+// Engine executes planned queries over one store.
+type Engine struct {
+	s     *store.Store
+	cache *resultCache
+}
+
+// New returns an engine over s with the default result cache.
+func New(s *store.Store) *Engine { return NewSized(s, DefaultCacheSize) }
+
+// NewSized returns an engine with a result cache of the given capacity;
+// zero or negative disables caching.
+func NewSized(s *store.Store, cacheSize int) *Engine {
+	return &Engine{s: s, cache: newResultCache(cacheSize)}
+}
+
+// Store returns the engine's underlying store.
+func (e *Engine) Store() *store.Store { return e.s }
+
+// dimRef is one indexed equality constraint of a predicate.
+type dimRef struct {
+	dim  string
+	term string
+}
+
+// plannedDims lists the indexed equality constraints of q in descending
+// selectivity order. The order is fixed rather than estimated: an
+// interaction or data identifier pins a handful of records, a session a
+// few hundred, a state kind or service a kind-sized slice, an actor
+// potentially most of the store. Kind and time range are never chosen
+// here — kind is checked for free on the storage-key prefix, and a time
+// bound is applied residually unless it is the only constraint.
+func plannedDims(q *prep.Query) []dimRef {
+	var out []dimRef
+	if q.InteractionID.Valid() {
+		out = append(out, dimRef{index.DimInteraction, q.InteractionID.String()})
+	}
+	if q.DataID.Valid() {
+		out = append(out, dimRef{index.DimData, q.DataID.String()})
+	}
+	if q.SessionID.Valid() {
+		out = append(out, dimRef{index.DimSession, q.SessionID.String()})
+	}
+	if q.GroupID.Valid() {
+		out = append(out, dimRef{index.DimGroup, q.GroupID.String()})
+	}
+	if q.StateKind != "" {
+		out = append(out, dimRef{index.DimState, q.StateKind})
+	}
+	if q.Service != "" {
+		out = append(out, dimRef{index.DimService, string(q.Service)})
+	}
+	if q.Asserter != "" {
+		out = append(out, dimRef{index.DimActor, string(q.Asserter)})
+	}
+	return out
+}
+
+// maxIntersectDims bounds how many posting lists are intersected; beyond
+// the two most selective lists, residual filtering on the fetched
+// candidates is cheaper than another index scan.
+const maxIntersectDims = 2
+
+// Query evaluates q, preferring secondary indexes over scans, and
+// reports the plan it used. Results are identical to store.Query: same
+// records, same storage-key order, same Total/Limit semantics.
+func (e *Engine) Query(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, 0, nil, err
+	}
+	gen := e.s.Generation()
+	key := cacheKey(q)
+	if recs, total, plan, ok := e.cache.get(key, gen); ok {
+		plan.Cached = true
+		return recs, total, &plan, nil
+	}
+	recs, total, plan, err := e.run(q)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	// Cache only selective results: scan fallbacks and oversized index
+	// results can approach the whole store, and an entry-count-bounded
+	// LRU must not pin hundreds of near-store-sized slices in memory.
+	if plan.Strategy == prep.PlanIndex && len(recs) <= MaxCachedRecords {
+		e.cache.put(key, gen, recs, total, *plan)
+	}
+	return recs, total, plan, nil
+}
+
+// MaxCachedRecords bounds the per-entry size of the result cache; a
+// larger result is recomputed on every query rather than pinned.
+const MaxCachedRecords = 1024
+
+func (e *Engine) run(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error) {
+	dims := plannedDims(q)
+	timed := !q.Since.IsZero() || !q.Until.IsZero()
+	if len(dims) == 0 && !timed {
+		// Nothing indexed is constrained: the scan path is optimal (and
+		// already kind-pruned by storage-key prefix).
+		recs, total, err := e.s.Query(q)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return recs, total, &prep.QueryPlan{Strategy: prep.PlanScan}, nil
+	}
+
+	ix, err := e.s.Index()
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("query: opening index: %w", err)
+	}
+	plan := &prep.QueryPlan{Strategy: prep.PlanIndex}
+
+	// Candidate generation: posting lists of the chosen dimensions,
+	// intersected (sorted merges over sorted lists).
+	var candidates []string
+	if len(dims) > 0 {
+		chosen := dims
+		if len(chosen) > maxIntersectDims {
+			chosen = chosen[:maxIntersectDims]
+		}
+		for i, d := range chosen {
+			list, err := ix.Postings(d.dim, d.term)
+			if err != nil {
+				return nil, 0, nil, fmt.Errorf("query: scanning %s postings: %w", d.dim, err)
+			}
+			plan.Dims = append(plan.Dims, d.dim)
+			plan.Postings += len(list)
+			if i == 0 {
+				candidates = list
+			} else {
+				candidates = intersectSorted(candidates, list)
+			}
+			if len(candidates) == 0 {
+				break
+			}
+		}
+	} else {
+		// Time range is the only constraint: range-scan the time index.
+		plan.Dims = []string{index.DimTime}
+		err := ix.ScanTimeRange(q.Since, q.Until, func(skey string) error {
+			plan.Postings++
+			candidates = append(candidates, skey)
+			return nil
+		})
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("query: scanning time range: %w", err)
+		}
+		// Time order is not storage-key order; restore scan-path order.
+		sort.Strings(candidates)
+	}
+
+	// Kind is free to check on the storage-key prefix, before any fetch.
+	kindPrefix := ""
+	switch q.Kind {
+	case core.KindInteraction.String():
+		kindPrefix = "i/"
+	case core.KindActorState.String():
+		kindPrefix = "s/"
+	}
+
+	var out []core.Record
+	total := 0
+	for _, skey := range candidates {
+		if kindPrefix != "" && !strings.HasPrefix(skey, kindPrefix) {
+			continue
+		}
+		r, ok, err := e.s.GetRecord(skey)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if !ok {
+			// Dangling posting (record put failed after its posting was
+			// written, or rebuild raced a writer): skip it.
+			continue
+		}
+		plan.Candidates++
+		if !q.Matches(r) {
+			continue
+		}
+		total++
+		if q.Limit == 0 || len(out) < q.Limit {
+			out = append(out, *r)
+		}
+	}
+	return out, total, plan, nil
+}
+
+// Sessions enumerates the distinct session identifiers in the store,
+// sorted, straight off the session index — no record is fetched.
+func (e *Engine) Sessions() ([]ids.ID, error) {
+	ix, err := e.s.Index()
+	if err != nil {
+		return nil, fmt.Errorf("query: opening index: %w", err)
+	}
+	return ix.Sessions()
+}
+
+// intersectSorted merges two ascending string slices into their
+// intersection.
+func intersectSorted(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+

@@ -1,0 +1,461 @@
+package query
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/prep"
+	"preserv/internal/store"
+)
+
+var seq = &ids.SeqSource{Prefix: 0xE1}
+
+var t0 = time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+
+// sessionData remembers what populateSessions wrote, for predicates.
+type sessionData struct {
+	id       ids.ID
+	dataOut  ids.ID // last produced datum
+	services []core.ActorID
+}
+
+// populateSessions records n sessions of perSession activities each
+// (one interaction + one script actor-state per activity) through the
+// Store layer, so the write-through index is maintained.
+func populateSessions(t testing.TB, s *store.Store, n, perSession int) []sessionData {
+	t.Helper()
+	var out []sessionData
+	for i := 0; i < n; i++ {
+		sd := sessionData{id: seq.NewID()}
+		var records []core.Record
+		prev := seq.NewID() // workflow input
+		for a := 0; a < perSession; a++ {
+			service := core.ActorID(fmt.Sprintf("svc:stage-%d", a%3))
+			sd.services = append(sd.services, service)
+			in := core.Interaction{ID: seq.NewID(), Sender: "svc:enactor", Receiver: service, Operation: "run"}
+			produced := seq.NewID()
+			groups := []core.GroupRef{{Type: core.GroupSession, ID: sd.id, Seq: uint64(a + 1)}}
+			ts := t0.Add(time.Duration(i*perSession+a) * time.Minute)
+			records = append(records,
+				*core.NewInteractionRecord(&core.InteractionPAssertion{
+					LocalID:     fmt.Sprintf("e%d", a),
+					Asserter:    "svc:enactor",
+					Interaction: in,
+					View:        core.SenderView,
+					Request:     core.Message{Name: "invoke", Parts: []core.MessagePart{{Name: "in", DataID: prev}}},
+					Response:    core.Message{Name: "result", Parts: []core.MessagePart{{Name: "out", DataID: produced}}},
+					Groups:      groups,
+					Timestamp:   ts,
+				}),
+				*core.NewActorStateRecord(&core.ActorStatePAssertion{
+					LocalID:     fmt.Sprintf("s%d", a),
+					Asserter:    "svc:enactor",
+					Interaction: in,
+					View:        core.SenderView,
+					StateKind:   core.StateScript,
+					Content:     core.Bytes("script " + string(service)),
+					Groups:      groups,
+					Timestamp:   ts,
+				}),
+			)
+			prev = produced
+			sd.dataOut = produced
+		}
+		if _, rejects, err := s.Record("svc:enactor", records); err != nil || len(rejects) > 0 {
+			t.Fatalf("populate: err=%v rejects=%v", err, rejects)
+		}
+		out = append(out, sd)
+	}
+	return out
+}
+
+// countingBackend wraps a Backend and counts Scan invocations by prefix.
+type countingBackend struct {
+	store.Backend
+	mu    sync.Mutex
+	scans map[string]int
+}
+
+func newCountingBackend(b store.Backend) *countingBackend {
+	return &countingBackend{Backend: b, scans: make(map[string]int)}
+}
+
+func (c *countingBackend) Scan(prefix string, fn func(string, []byte) error) error {
+	c.mu.Lock()
+	c.scans[prefix]++
+	c.mu.Unlock()
+	return c.Backend.Scan(prefix, fn)
+}
+
+// recordScans reports how many Scan calls hit the record keyspace
+// ("i/", "s/" or any prefix thereof) — the full-store scans the planner
+// must avoid.
+func (c *countingBackend) recordScans() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for prefix, count := range c.scans {
+		if strings.HasPrefix(prefix, "i/") || strings.HasPrefix(prefix, "s/") || prefix == "" {
+			n += count
+		}
+	}
+	return n
+}
+
+func (c *countingBackend) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scans = make(map[string]int)
+}
+
+func TestSessionQueriesAvoidRecordScans(t *testing.T) {
+	// The acceptance check of the subsystem: session-scoped lineage and
+	// categorize queries must be answered from posting lists and point
+	// Gets — zero Scan calls over the record keyspace — and still agree
+	// exactly with the scan path.
+	cb := newCountingBackend(store.NewMemoryBackend())
+	s := store.New(cb)
+	sessions := populateSessions(t, s, 50, 6)
+	e := NewSized(s, 0) // cache off: every query must hit the planner
+	if _, err := s.Index(); err != nil {
+		t.Fatal(err)
+	}
+
+	target := sessions[17]
+	queries := []*prep.Query{
+		// trace.Build's lineage fetch.
+		{Kind: core.KindInteraction.String(), SessionID: target.id},
+		// compare.CategorizeSessions' two fetches.
+		{Kind: core.KindActorState.String(), StateKind: core.StateScript, SessionID: target.id},
+		// data-scoped lookup.
+		{DataID: target.dataOut},
+	}
+	for _, q := range queries {
+		want, wantTotal, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb.reset()
+		got, total, plan, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := cb.recordScans(); n != 0 {
+			t.Errorf("query %+v: %d record-keyspace scans, want 0 (plan %+v)", q, n, plan)
+		}
+		if plan.Strategy != prep.PlanIndex {
+			t.Errorf("query %+v: strategy = %s, want index", q, plan.Strategy)
+		}
+		if total != wantTotal || !reflect.DeepEqual(got, want) {
+			t.Errorf("query %+v: planner results differ from scan path (%d vs %d records)", q, len(got), len(want))
+		}
+	}
+}
+
+func TestPlannerIntersectsPostingLists(t *testing.T) {
+	cb := newCountingBackend(store.NewMemoryBackend())
+	s := store.New(cb)
+	sessions := populateSessions(t, s, 10, 6)
+	e := NewSized(s, 0)
+
+	q := &prep.Query{
+		SessionID: sessions[3].id,
+		Service:   sessions[3].services[0],
+		Kind:      core.KindInteraction.String(),
+	}
+	want, wantTotal, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, total, plan, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Dims) != 2 {
+		t.Errorf("dims = %v, want a two-way intersection", plan.Dims)
+	}
+	if total != wantTotal || !reflect.DeepEqual(got, want) {
+		t.Errorf("intersection results differ from scan path")
+	}
+	// The candidates actually fetched must be the intersection, not the
+	// union: no more than the session's record count.
+	if plan.Candidates > 12 {
+		t.Errorf("candidates = %d, want at most the session's records", plan.Candidates)
+	}
+}
+
+// backends yields a fresh store over each backend flavour.
+func backends(t *testing.T) map[string]*store.Store {
+	t.Helper()
+	fb, err := store.NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := store.NewKVBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kb.Close() })
+	return map[string]*store.Store{
+		"memory": store.New(store.NewMemoryBackend()),
+		"file":   store.New(fb),
+		"kvdb":   store.New(kb),
+	}
+}
+
+func TestPlannerMatchesScanAcrossBackends(t *testing.T) {
+	// Identical results to the scan path, for a matrix of predicates,
+	// over memory, file and kvdb.
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			sessions := populateSessions(t, s, 6, 4)
+			e := NewSized(s, 0)
+			target := sessions[2]
+			queries := []*prep.Query{
+				{},
+				{SessionID: target.id},
+				{SessionID: target.id, Kind: core.KindInteraction.String()},
+				{SessionID: target.id, Kind: core.KindActorState.String(), StateKind: core.StateScript},
+				{GroupID: target.id},
+				{Asserter: "svc:enactor", SessionID: target.id},
+				{Service: target.services[1]},
+				{DataID: target.dataOut},
+				{DataID: seq.NewID()},
+				{SessionID: target.id, Limit: 3},
+				{Since: t0.Add(5 * time.Minute), Until: t0.Add(10 * time.Minute)},
+				{Since: t0.Add(5 * time.Minute), Until: t0.Add(10 * time.Minute), Kind: core.KindInteraction.String()},
+				{SessionID: seq.NewID()},
+			}
+			for _, q := range queries {
+				want, wantTotal, err := s.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, total, _, err := e.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if total != wantTotal {
+					t.Errorf("%s %+v: total %d, scan path %d", name, q, total, wantTotal)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s %+v: records differ from scan path (%d vs %d)", name, q, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+func TestResultCacheHitsAndInvalidation(t *testing.T) {
+	s := store.New(store.NewMemoryBackend())
+	sessions := populateSessions(t, s, 3, 4)
+	e := New(s)
+
+	q := &prep.Query{SessionID: sessions[0].id}
+	first, total1, plan1, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan1.Cached {
+		t.Error("first query reported a cache hit")
+	}
+	second, total2, plan2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan2.Cached {
+		t.Error("repeat query missed the cache")
+	}
+	if total1 != total2 || !reflect.DeepEqual(first, second) {
+		t.Error("cached result differs from computed result")
+	}
+
+	// Appending to a returned slice must not corrupt the cache.
+	_ = append(second, second[0])
+	third, _, _, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Error("caller mutation leaked into the cache")
+	}
+
+	// Recording anything bumps the generation and invalidates the entry.
+	populateSessions(t, s, 1, 1)
+	_, _, plan3, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan3.Cached {
+		t.Error("cache served a stale generation")
+	}
+
+	// An idempotent re-record also bumps the generation: its posting
+	// re-puts may have repaired an index deficit the cached results
+	// were computed against.
+	gen := s.Generation()
+	recs, _, err := s.Query(&prep.Query{SessionID: sessions[0].id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rejects, err := s.Record("svc:enactor", recs); err != nil || len(rejects) > 0 {
+		t.Fatalf("re-record: err=%v rejects=%v", err, rejects)
+	}
+	if s.Generation() == gen {
+		t.Error("idempotent re-record did not advance the generation")
+	}
+}
+
+func TestResultCacheEvicts(t *testing.T) {
+	s := store.New(store.NewMemoryBackend())
+	sessions := populateSessions(t, s, 5, 2)
+	e := NewSized(s, 2)
+	for _, sd := range sessions {
+		if _, _, _, err := e.Query(&prep.Query{SessionID: sd.id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.cache.len(); n != 2 {
+		t.Errorf("cache holds %d entries, want capacity 2", n)
+	}
+}
+
+func TestEngineSessions(t *testing.T) {
+	s := store.New(store.NewMemoryBackend())
+	sessions := populateSessions(t, s, 4, 2)
+	e := New(s)
+	got, err := e.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sessions) {
+		t.Fatalf("sessions = %d, want %d", len(got), len(sessions))
+	}
+	want := make(map[ids.ID]bool)
+	for _, sd := range sessions {
+		want[sd.id] = true
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Errorf("unexpected session %v", id)
+		}
+	}
+}
+
+func TestZeroTimestampRecordsExcludedFromTimeQueries(t *testing.T) {
+	// A record without a timestamp is absent from the time index; the
+	// scan path must agree (Matches excludes it), keeping the two paths
+	// identical.
+	s := store.New(store.NewMemoryBackend())
+	session := seq.NewID()
+	in := core.Interaction{ID: seq.NewID(), Sender: "svc:enactor", Receiver: "svc:gzip", Operation: "run"}
+	rec := *core.NewInteractionRecord(&core.InteractionPAssertion{
+		LocalID:     "e0",
+		Asserter:    "svc:enactor",
+		Interaction: in,
+		View:        core.SenderView,
+		Request:     core.Message{Name: "invoke"},
+		Response:    core.Message{Name: "result"},
+		Groups:      []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: 1}},
+		// Timestamp deliberately zero.
+	})
+	if _, rejects, err := s.Record("svc:enactor", []core.Record{rec}); err != nil || len(rejects) > 0 {
+		t.Fatalf("record: err=%v rejects=%v", err, rejects)
+	}
+	e := NewSized(s, 0)
+	for _, q := range []*prep.Query{
+		{Until: t0},
+		{Since: t0.Add(-time.Hour), Until: t0},
+		{SessionID: session, Until: t0},
+	} {
+		want, wantTotal, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, total, _, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantTotal != 0 || total != 0 || len(want) != 0 || len(got) != 0 {
+			t.Errorf("%+v: zero-timestamp record matched a time query (scan %d, planner %d)", q, wantTotal, total)
+		}
+	}
+	// Without a time bound both paths still return it.
+	got, total, _, err := e.Query(&prep.Query{SessionID: session})
+	if err != nil || total != 1 || len(got) != 1 {
+		t.Errorf("untimed query: %d/%d err=%v", len(got), total, err)
+	}
+}
+
+// faultyBackend fails Puts of posting keys while armed.
+type faultyBackend struct {
+	store.Backend
+	failPostings bool
+}
+
+func (f *faultyBackend) Put(key string, value []byte) error {
+	if f.failPostings && strings.HasPrefix(key, "x/") {
+		return fmt.Errorf("injected posting failure")
+	}
+	return f.Backend.Put(key, value)
+}
+
+func TestIndexSelfHealsAfterFailedAdd(t *testing.T) {
+	// A record committed whose posting writes then fail must not stay
+	// invisible to the planner for the process lifetime: the store
+	// drops its index handle, and the next use re-runs the Open-time
+	// deficit check, which rebuilds.
+	fb := &faultyBackend{Backend: store.NewMemoryBackend()}
+	s := store.New(fb)
+	sessions := populateSessions(t, s, 1, 2)
+
+	fb.failPostings = true
+	target := seq.NewID()
+	in := core.Interaction{ID: seq.NewID(), Sender: "svc:enactor", Receiver: "svc:gzip", Operation: "run"}
+	rec := *core.NewInteractionRecord(&core.InteractionPAssertion{
+		LocalID:     "e0",
+		Asserter:    "svc:enactor",
+		Interaction: in,
+		View:        core.SenderView,
+		Request:     core.Message{Name: "invoke"},
+		Response:    core.Message{Name: "result"},
+		Groups:      []core.GroupRef{{Type: core.GroupSession, ID: target, Seq: 1}},
+		Timestamp:   t0,
+	})
+	if _, _, err := s.Record("svc:enactor", []core.Record{rec}); err == nil {
+		t.Fatal("Record succeeded despite injected posting failure")
+	}
+	fb.failPostings = false
+
+	// The record is committed (scan sees it); the planner must too,
+	// without any client retry.
+	e := NewSized(s, 0)
+	_, scanTotal, err := s.Query(&prep.Query{SessionID: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, total, _, err := e.Query(&prep.Query{SessionID: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanTotal != 1 || total != 1 || len(got) != 1 {
+		t.Fatalf("after failed Add: scan=%d planner=%d, want both 1 (index not healed)", scanTotal, total)
+	}
+	_ = sessions
+}
+
+func TestQueryValidateRejected(t *testing.T) {
+	e := New(store.New(store.NewMemoryBackend()))
+	if _, _, _, err := e.Query(&prep.Query{Kind: "bogus"}); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, _, _, err := e.Query(&prep.Query{Since: t0, Until: t0.Add(-time.Hour)}); err == nil {
+		t.Error("empty time range accepted")
+	}
+}

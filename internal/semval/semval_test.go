@@ -138,12 +138,27 @@ func TestValidWorkflowPasses(t *testing.T) {
 	if rep.EdgesChecked != 2 {
 		t.Errorf("edges checked = %d, want 2 (collate→encode, encode→gzip)", rep.EdgesChecked)
 	}
-	// Access pattern: 1 listing call + 1 call per interaction.
-	if rep.StoreCalls != 4 {
-		t.Errorf("store calls = %d, want 4", rep.StoreCalls)
+	// Access pattern: one planner-indexed session listing, nothing else.
+	if rep.StoreCalls != 1 {
+		t.Errorf("store calls = %d, want 1", rep.StoreCalls)
 	}
 	if rep.RegistryCalls == 0 {
 		t.Error("registry calls not counted")
+	}
+
+	// The legacy path (1 listing + 1 re-fetch per interaction, the
+	// Figure 5 access pattern) must reach the same verdict.
+	legacyVal := *f.val
+	legacyVal.Legacy = true
+	legacy, err := legacyVal.ValidateSession(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.StoreCalls != 4 {
+		t.Errorf("legacy store calls = %d, want 4", legacy.StoreCalls)
+	}
+	if !legacy.Valid() || legacy.Interactions != rep.Interactions || legacy.EdgesChecked != rep.EdgesChecked {
+		t.Errorf("legacy path disagrees: %+v vs %+v", legacy, rep)
 	}
 }
 

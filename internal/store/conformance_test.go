@@ -1,0 +1,212 @@
+package store
+
+// Conformance test for the Backend contract, run against every backend
+// flavour. The secondary-index subsystem (internal/index) depends on
+// exactly these properties: sorted prefix Scan order (posting lists come
+// out merge-ready), Put idempotency for identical content (rebuild
+// re-puts postings), and Count agreeing with Scan (index consistency
+// checks compare posting counts to record counts).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// backendUnderTest names one flavour and how to (re)open it.
+type backendUnderTest struct {
+	name string
+	open func(t *testing.T) Backend
+}
+
+func allBackends() []backendUnderTest {
+	return []backendUnderTest{
+		{"memory", func(t *testing.T) Backend { return NewMemoryBackend() }},
+		{"file", func(t *testing.T) Backend {
+			b, err := NewFileBackend(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}},
+		{"kvdb", func(t *testing.T) Backend {
+			b, err := NewKVBackend(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { b.Close() })
+			return b
+		}},
+	}
+}
+
+func TestBackendConformance(t *testing.T) {
+	for _, but := range allBackends() {
+		t.Run(but.name, func(t *testing.T) {
+			t.Run("GetRoundTrip", func(t *testing.T) { conformGetRoundTrip(t, but.open(t)) })
+			t.Run("ScanSortedOrder", func(t *testing.T) { conformScanSorted(t, but.open(t)) })
+			t.Run("ScanPrefixScoped", func(t *testing.T) { conformScanPrefix(t, but.open(t)) })
+			t.Run("PutIdempotentRePut", func(t *testing.T) { conformRePut(t, but.open(t)) })
+			t.Run("PutOverwriteLastWins", func(t *testing.T) { conformOverwrite(t, but.open(t)) })
+			t.Run("CountMatchesScan", func(t *testing.T) { conformCount(t, but.open(t)) })
+			t.Run("EmptyValueRoundTrips", func(t *testing.T) { conformEmptyValue(t, but.open(t)) })
+			t.Run("ScanErrorPropagates", func(t *testing.T) { conformScanError(t, but.open(t)) })
+		})
+	}
+}
+
+func conformGetRoundTrip(t *testing.T, b Backend) {
+	if _, ok, err := b.Get("absent"); err != nil || ok {
+		t.Fatalf("Get(absent) = ok=%v err=%v, want miss without error", ok, err)
+	}
+	if err := b.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := b.Get("k1")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get(k1) = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func conformScanSorted(t *testing.T, b Backend) {
+	// Insert out of order; Scan must visit in sorted key order.
+	keys := []string{"x/b/2", "x/a/9", "x/b/1", "x/a/10", "x/c/0"}
+	for _, k := range keys {
+		if err := b.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var visited []string
+	if err := b.Scan("x/", func(k string, v []byte) error {
+		if string(v) != k {
+			t.Errorf("value mismatch at %s: %q", k, v)
+		}
+		visited = append(visited, k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(visited) {
+		t.Errorf("scan order not sorted: %v", visited)
+	}
+	if len(visited) != len(keys) {
+		t.Errorf("scan visited %d keys, want %d", len(visited), len(keys))
+	}
+}
+
+func conformScanPrefix(t *testing.T, b Backend) {
+	for _, k := range []string{"i/1", "i/2", "i0", "ij/3", "s/1"} {
+		if err := b.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var visited []string
+	if err := b.Scan("i/", func(k string, _ []byte) error {
+		visited = append(visited, k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range visited {
+		if !strings.HasPrefix(k, "i/") {
+			t.Errorf("scan leaked key %q outside prefix", k)
+		}
+	}
+	if len(visited) != 2 {
+		t.Errorf("prefix scan visited %v, want exactly i/1 i/2", visited)
+	}
+}
+
+func conformRePut(t *testing.T, b Backend) {
+	// Keys are write-once at the Store layer, but backends must accept
+	// re-putting identical content: index rebuild re-derives postings
+	// over existing entries.
+	if err := b.Put("k", []byte("same")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("k", []byte("same")); err != nil {
+		t.Fatalf("idempotent re-put rejected: %v", err)
+	}
+	v, ok, err := b.Get("k")
+	if err != nil || !ok || string(v) != "same" {
+		t.Fatalf("after re-put: %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func conformOverwrite(t *testing.T, b Backend) {
+	// The contract allows a backend to reject overwrites with different
+	// content; a backend that accepts them must be last-write-wins.
+	if err := b.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Put("k", []byte("new"))
+	v, ok, gerr := b.Get("k")
+	if gerr != nil || !ok {
+		t.Fatalf("Get after overwrite: ok=%v err=%v", ok, gerr)
+	}
+	if err != nil {
+		if string(v) != "old" {
+			t.Fatalf("overwrite rejected but value changed to %q", v)
+		}
+		return
+	}
+	if string(v) != "new" {
+		t.Fatalf("overwrite accepted but Get = %q, want last write", v)
+	}
+}
+
+func conformCount(t *testing.T, b Backend) {
+	for i := 0; i < 7; i++ {
+		if err := b.Put(fmt.Sprintf("p/%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Put("q/0", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, prefix := range []string{"p/", "q/", "r/", ""} {
+		scanned := 0
+		if err := b.Scan(prefix, func(string, []byte) error { scanned++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		counted, err := b.Count(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counted != scanned {
+			t.Errorf("Count(%q) = %d but Scan visited %d", prefix, counted, scanned)
+		}
+	}
+}
+
+func conformEmptyValue(t *testing.T, b Backend) {
+	// Index postings are empty-valued keys; they must round-trip.
+	if err := b.Put("empty", nil); err != nil {
+		t.Fatalf("empty value rejected: %v", err)
+	}
+	v, ok, err := b.Get("empty")
+	if err != nil || !ok || len(v) != 0 {
+		t.Fatalf("empty value round-trip: %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func conformScanError(t *testing.T, b Backend) {
+	for _, k := range []string{"e/1", "e/2", "e/3"} {
+		if err := b.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := fmt.Errorf("stop here")
+	visited := 0
+	err := b.Scan("e/", func(string, []byte) error {
+		visited++
+		return sentinel
+	})
+	if err != sentinel {
+		t.Errorf("scan error = %v, want the callback's error", err)
+	}
+	if visited != 1 {
+		t.Errorf("scan continued after error: visited %d", visited)
+	}
+}

@@ -12,8 +12,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"preserv/internal/core"
+	"preserv/internal/index"
 	"preserv/internal/prep"
 )
 
@@ -41,10 +43,19 @@ type Backend interface {
 }
 
 // Store is the provenance store: validation, idempotent recording and
-// query evaluation over a Backend.
+// query evaluation over a Backend, with secondary indexes
+// (internal/index) maintained write-through on Record.
 type Store struct {
 	mu sync.RWMutex
 	b  Backend
+	// idx is the secondary index, opened lazily on first use so that New
+	// keeps its error-free signature; a store recorded before indexing
+	// existed is rebuilt at that point. Open failures are not latched:
+	// a transient backend error must not disable the store for good.
+	idx *index.Index
+	// gen counts content changes; the query engine keys its result cache
+	// on it so cached results are invalidated by new records.
+	gen atomic.Uint64
 }
 
 // New wraps a backend in a Store.
@@ -56,6 +67,50 @@ func (s *Store) BackendName() string { return s.b.Name() }
 // Close closes the underlying backend.
 func (s *Store) Close() error { return s.b.Close() }
 
+// Generation returns the store's content generation: it changes whenever
+// a record is accepted, so equal generations imply equal query results.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// ensureIndexLocked opens (rebuilding if necessary) the secondary index.
+// Callers must hold s.mu. Only success is cached — a failed Open is
+// retried on the next call.
+func (s *Store) ensureIndexLocked() (*index.Index, error) {
+	if s.idx != nil {
+		return s.idx, nil
+	}
+	idx, err := index.Open(s.b)
+	if err != nil {
+		return nil, err
+	}
+	s.idx = idx
+	return idx, nil
+}
+
+// Index returns the store's secondary index, opening it (and rebuilding
+// it from a scan, for stores recorded before indexing existed) on first
+// call.
+func (s *Store) Index() (*index.Index, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ensureIndexLocked()
+}
+
+// GetRecord fetches and decodes one record by its storage key — the
+// point lookup the query planner uses to resolve posting-list candidates.
+func (s *Store) GetRecord(key string) (*core.Record, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	value, ok, err := s.b.Get(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	r, err := core.DecodeRecord(value)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: corrupt record at %s: %w", key, err)
+	}
+	return r, true, nil
+}
+
 // Record validates and stores a batch of p-assertions asserted by
 // asserter. It returns the number accepted and a reject entry for each
 // refused record. Storage is idempotent: re-recording an identical
@@ -66,7 +121,23 @@ func (s *Store) Record(asserter core.ActorID, records []core.Record) (int, []pre
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	idx, err := s.ensureIndexLocked()
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: opening index: %w", err)
+	}
 	accepted := 0
+	touched := 0
+	// The generation must advance whenever anything was committed or
+	// repaired, even if a later record in the batch errors out — a
+	// missed bump would let the query engine's cache serve stale
+	// results as fresh. Idempotent re-records count too: their posting
+	// re-puts may have just repaired an index deficit that cached
+	// results were computed against.
+	defer func() {
+		if touched > 0 {
+			s.gen.Add(1)
+		}
+	}()
 	var rejects []prep.Reject
 	for i := range records {
 		r := &records[i]
@@ -91,7 +162,16 @@ func (s *Store) Record(asserter core.ActorID, records []core.Record) (int, []pre
 			return accepted, rejects, fmt.Errorf("store: checking %s: %w", key, err)
 		} else if ok {
 			if string(existing) == string(encoded) {
-				accepted++ // idempotent re-record
+				// Idempotent re-record. Re-put the postings too: if a
+				// previous attempt committed the record but failed before
+				// (or during) indexing, the client's retry lands here and
+				// must repair the deficit, not skip past it.
+				if err := idx.Add(r); err != nil {
+					s.idx = nil // force a deficit check + rebuild on next use
+					return accepted, rejects, fmt.Errorf("store: indexing %s: %w", key, err)
+				}
+				accepted++
+				touched++
 				continue
 			}
 			rejects = append(rejects, prep.Reject{
@@ -102,6 +182,20 @@ func (s *Store) Record(asserter core.ActorID, records []core.Record) (int, []pre
 		}
 		if err := s.b.Put(key, encoded); err != nil {
 			return accepted, rejects, fmt.Errorf("store: putting %s: %w", key, err)
+		}
+		// The record is committed from here on: count it for the
+		// generation bump even if indexing then fails.
+		touched++
+		// Write-through index maintenance: postings go in right after the
+		// record, so a failure between the two leaves a posting deficit.
+		// Dropping the cached index handle forces the next use through
+		// index.Open, whose consistency check detects the deficit and
+		// rebuilds — the planner never keeps serving an index that is
+		// missing a committed record. (A crash here is repaired the same
+		// way at the next Open, or by a client retry of the batch.)
+		if err := idx.Add(r); err != nil {
+			s.idx = nil
+			return accepted, rejects, fmt.Errorf("store: indexing %s: %w", key, err)
 		}
 		accepted++
 	}
@@ -253,15 +347,17 @@ func (m *MemoryBackend) Scan(prefix string, fn func(string, []byte) error) error
 	return nil
 }
 
-// Count implements Backend.
+// Count implements Backend. Like Scan it binary-searches the sorted key
+// cache, so prefix counts (the planner's selectivity probes) cost
+// O(log n + matches) rather than a full sweep.
 func (m *MemoryBackend) Count(prefix string) (int, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := m.sortedKeys()
+	start := sort.SearchStrings(keys, prefix)
 	n := 0
-	for k := range m.items {
-		if strings.HasPrefix(k, prefix) {
-			n++
-		}
+	for i := start; i < len(keys) && strings.HasPrefix(keys[i], prefix); i++ {
+		n++
 	}
 	return n, nil
 }

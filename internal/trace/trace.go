@@ -54,9 +54,11 @@ type Graph struct {
 }
 
 // Build fetches a session's interaction records and assembles its
-// dataflow graph.
+// dataflow graph. The fetch goes through the store's query planner, so
+// on a multi-session store it touches only the session's posting list
+// rather than scanning every record.
 func Build(client *preserv.Client, session ids.ID) (*Graph, error) {
-	records, _, err := client.Query(&prep.Query{
+	records, _, _, err := client.QueryPlanned(&prep.Query{
 		Kind:      core.KindInteraction.String(),
 		SessionID: session,
 	})
