@@ -6,6 +6,7 @@
 //	benchfig -exp fig5           # Figure 5: use-case query sweeps
 //	benchfig -exp gran           # E7: granularity ablation
 //	benchfig -exp dist           # E8: distributed stores
+//	benchfig -exp ingest         # batched-vs-legacy write-path sweep
 //	benchfig -exp all            # everything
 //
 // By default the sweeps run at laptop scale (seconds); -paper selects
@@ -116,6 +117,22 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	runIngest := func() {
+		records := map[string]int{"memory": 5000, "kvdb": 5000, "file": 500}
+		if *paper {
+			records = map[string]int{"memory": 50000, "kvdb": 50000, "file": 2000}
+		}
+		for _, backend := range []string{"memory", "file", "kvdb"} {
+			// The legacy file-backend emulation writes one file pair per
+			// posting (~40 files per record) — that cost is the point, but
+			// it bounds how many records the sweep can afford there.
+			if _, err := bench.RunIngestSweep(backend, []int{1, 4, 8}, 100, records[backend], out); err != nil {
+				log.Fatalf("benchfig: ingest: %v", err)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+
 	switch *exp {
 	case "e1":
 		runE1()
@@ -127,12 +144,15 @@ func main() {
 		runGran()
 	case "dist":
 		runDist()
+	case "ingest":
+		runIngest()
 	case "all":
 		runE1()
 		runFig4()
 		runFig5()
 		runGran()
 		runDist()
+		runIngest()
 	default:
 		log.Fatalf("benchfig: unknown experiment %q", *exp)
 	}

@@ -1,0 +1,280 @@
+package bench
+
+// Ingest benchmarking for the concurrent batched write path: records/sec
+// through store.Store.Record across backends × writer counts × batch
+// sizes, with a faithful emulation of the pre-refactor write path (one
+// global mutex across each Record call, every posting its own backend
+// Put) as the baseline, so the refactor's speedup is a number rather
+// than a claim.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/index"
+	"preserv/internal/ontology"
+	"preserv/internal/store"
+)
+
+// IngestOptions configures one ingest measurement.
+type IngestOptions struct {
+	// Backend selects "memory", "file" or "kvdb".
+	Backend string
+	// Writers is how many goroutines record concurrently.
+	Writers int
+	// BatchSize is how many records each Record call carries.
+	BatchSize int
+	// Records is the total workload size across all writers.
+	Records int
+	// Legacy routes the workload through a faithful emulation of the
+	// pre-refactor write path: one global mutex across each whole Record
+	// call, per-record gob encoding, and one backend Put per index
+	// posting (on the file backend, one file pair per posting).
+	Legacy bool
+}
+
+func (o IngestOptions) withDefaults() IngestOptions {
+	if o.Backend == "" {
+		o.Backend = "memory"
+	}
+	if o.Writers <= 0 {
+		o.Writers = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 100
+	}
+	if o.Records <= 0 {
+		o.Records = 2000
+	}
+	return o
+}
+
+// IngestResult is one measured ingest configuration.
+type IngestResult struct {
+	Backend       string
+	Writers       int
+	BatchSize     int
+	Records       int
+	Legacy        bool
+	Elapsed       time.Duration
+	RecordsPerSec float64
+}
+
+// unbatchedBackend degrades PutBatch to the pre-refactor cost model:
+// one backend Put per pair (one lock acquisition each; on the file
+// backend, one file pair per posting).
+type unbatchedBackend struct {
+	store.Backend
+}
+
+func (u unbatchedBackend) PutBatch(kvs []store.KV) error {
+	for _, p := range kvs {
+		if err := u.Backend.Put(p.Key, p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingestBackend opens the requested backend flavour in dir (ignored for
+// memory).
+func ingestBackend(flavour, dir string) (store.Backend, error) {
+	switch flavour {
+	case "memory":
+		return store.NewMemoryBackend(), nil
+	case "file":
+		return store.NewFileBackend(dir)
+	case "kvdb":
+		return store.NewKVBackend(dir)
+	}
+	return nil, fmt.Errorf("bench: unknown backend %q", flavour)
+}
+
+// ingestWorkload pre-generates per-writer record batches (measure-
+// workflow shaped, distinct sessions per writer so writers do not
+// contend on storage keys, which is the realistic multi-client shape).
+func ingestWorkload(o IngestOptions) [][][]core.Record {
+	perWriter := (o.Records + o.Writers - 1) / o.Writers
+	work := make([][][]core.Record, o.Writers)
+	for w := 0; w < o.Writers; w++ {
+		src := &ids.SeqSource{Prefix: 0x16000 + uint64(w)<<24}
+		gen := &populator{ids: src, session: src.NewID()}
+		encoded := gen.value(ontology.TypeGroupEncoded)
+		for len(gen.batch) < perWriter {
+			gen.permutationUnit(encoded)
+		}
+		records := gen.batch[:perWriter]
+		var batches [][]core.Record
+		for len(records) > 0 {
+			n := o.BatchSize
+			if n > len(records) {
+				n = len(records)
+			}
+			batches = append(batches, records[:n])
+			records = records[n:]
+		}
+		work[w] = batches
+	}
+	return work
+}
+
+// legacyIngester replays the pre-refactor store write path line for
+// line: the whole Record call under one global mutex, per-record gob
+// encoding, a Get-then-Put commit, and write-through indexing that puts
+// every posting individually (idx.Add over an unbatched backend).
+type legacyIngester struct {
+	mu  sync.Mutex
+	b   store.Backend
+	idx *index.Index
+}
+
+func newLegacyIngester(b store.Backend) (*legacyIngester, error) {
+	ub := unbatchedBackend{Backend: b}
+	idx, err := index.Open(ub)
+	if err != nil {
+		return nil, err
+	}
+	return &legacyIngester{b: ub, idx: idx}, nil
+}
+
+func (l *legacyIngester) record(records []core.Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range records {
+		r := &records[i]
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		encoded, err := core.EncodeRecordLegacy(r)
+		if err != nil {
+			return err
+		}
+		key := r.StorageKey()
+		if _, ok, err := l.b.Get(key); err != nil {
+			return err
+		} else if ok {
+			return fmt.Errorf("bench: legacy ingest collision at %s", key)
+		}
+		if err := l.b.Put(key, encoded); err != nil {
+			return err
+		}
+		if err := l.idx.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunIngest measures one ingest configuration and reports records/sec.
+func RunIngest(opts IngestOptions) (*IngestResult, error) {
+	o := opts.withDefaults()
+	dir, err := os.MkdirTemp("", "preserv-ingest")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	b, err := ingestBackend(o.Backend, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+
+	work := ingestWorkload(o)
+	total := 0
+	for _, batches := range work {
+		for _, batch := range batches {
+			total += len(batch)
+		}
+	}
+
+	var record func(batch []core.Record) error
+	if o.Legacy {
+		legacy, err := newLegacyIngester(b)
+		if err != nil {
+			return nil, err
+		}
+		record = legacy.record
+	} else {
+		s := store.New(b)
+		record = func(batch []core.Record) error {
+			acc, rejects, err := s.Record(batch[0].Asserter(), batch)
+			if err != nil {
+				return err
+			}
+			if len(rejects) > 0 || acc != len(batch) {
+				return fmt.Errorf("bench: ingest accepted %d/%d, %d rejects", acc, len(batch), len(rejects))
+			}
+			return nil
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, o.Writers)
+	start := time.Now()
+	for w := range work {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, batch := range work[w] {
+				if err := record(batch); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IngestResult{
+		Backend:       o.Backend,
+		Writers:       o.Writers,
+		BatchSize:     o.BatchSize,
+		Records:       total,
+		Legacy:        o.Legacy,
+		Elapsed:       elapsed,
+		RecordsPerSec: float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// RunIngestSweep measures the batched path against the legacy emulation
+// across writer counts, writing one line per configuration.
+func RunIngestSweep(backend string, writerCounts []int, batchSize, records int, w io.Writer) ([]IngestResult, error) {
+	if len(writerCounts) == 0 {
+		writerCounts = []int{1, 2, 4, 8}
+	}
+	var out []IngestResult
+	for _, writers := range writerCounts {
+		for _, legacy := range []bool{true, false} {
+			r, err := RunIngest(IngestOptions{
+				Backend:   backend,
+				Writers:   writers,
+				BatchSize: batchSize,
+				Records:   records,
+				Legacy:    legacy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, *r)
+			if w != nil {
+				label := "batched"
+				if legacy {
+					label = "legacy "
+				}
+				fmt.Fprintf(w, "ingest %s %s writers=%d batch=%d: %.0f records/s (%.2fs for %d)\n",
+					r.Backend, label, r.Writers, r.BatchSize, r.RecordsPerSec, r.Elapsed.Seconds(), r.Records)
+			}
+		}
+	}
+	return out, nil
+}

@@ -250,6 +250,16 @@ func (d delayBackend) Put(key string, value []byte) error {
 	return d.Backend.Put(key, value)
 }
 
+// PutBatch implements store.Backend. The modelled latency is per write
+// operation, not per pair — a batch is one operation, which is exactly
+// the saving the batched write path buys on a slow store.
+func (d delayBackend) PutBatch(kvs []store.KV) error {
+	if d.delay > 0 && len(kvs) > 0 {
+		time.Sleep(d.delay)
+	}
+	return d.Backend.PutBatch(kvs)
+}
+
 func (o *DistOptions) newBackend() (store.Backend, error) {
 	var inner store.Backend
 	if o.Backend == "kvdb" {

@@ -115,23 +115,35 @@ func (r *SyncRecorder) Stats() Stats {
 // store invocation during Flush.
 const DefaultBatchSize = 100
 
+// DefaultFlushConcurrency is how many record batches an AsyncRecorder
+// keeps in flight at once during Flush.
+const DefaultFlushConcurrency = 4
+
 // AsyncRecorder accumulates p-assertions in a local journal file and
 // ships them on Flush. Record is cheap — "p-assertion recording may
 // require just a few milliseconds to prepare a record to be temporarily
 // stored in a file and submitted asynchronously".
+//
+// Flush is a streaming pipeline: the journal is decoded incrementally
+// and batches ship through a bounded pool of concurrent POSTs, batches
+// striped round-robin across the configured endpoints. The bounded
+// channel between decoder and shippers is the backpressure — at most
+// roughly 2× the concurrency's worth of batches is ever materialised,
+// however large the backlog grew.
 type AsyncRecorder struct {
-	mu        sync.Mutex
-	asserter  core.ActorID
-	clients   []*preserv.Client
-	journal   *os.File
-	bw        *bufio.Writer
-	enc       *gob.Encoder
-	path      string
-	batchSize int
-	pending   int64
-	recorded  atomic.Int64
-	shipped   atomic.Int64
-	closed    bool
+	mu          sync.Mutex
+	asserter    core.ActorID
+	clients     []*preserv.Client
+	journal     *os.File
+	bw          *bufio.Writer
+	enc         *gob.Encoder
+	path        string
+	batchSize   int
+	concurrency int
+	pending     int64
+	recorded    atomic.Int64
+	shipped     atomic.Int64
+	closed      bool
 }
 
 // NewAsyncRecorder creates an asynchronous recorder journaling to
@@ -158,6 +170,14 @@ func NewAsyncRecorder(asserter core.ActorID, journalPath string, batchSize int, 
 		path:      journalPath,
 		batchSize: batchSize,
 	}, nil
+}
+
+// SetFlushConcurrency bounds how many batches Flush keeps in flight at
+// once; n <= 0 restores DefaultFlushConcurrency.
+func (r *AsyncRecorder) SetFlushConcurrency(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.concurrency = n
 }
 
 // Record implements Recorder: it only appends to the local journal.
@@ -200,63 +220,93 @@ func (r *AsyncRecorder) flushLocked() error {
 		return fmt.Errorf("client: rewinding journal: %w", err)
 	}
 	dec := gob.NewDecoder(bufio.NewReaderSize(r.journal, 64<<10))
-	var batches [][]core.Record
-	var batch []core.Record
-	for {
-		var rec core.Record
-		if err := dec.Decode(&rec); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return fmt.Errorf("client: reading journal: %w", err)
-		}
-		batch = append(batch, rec)
-		if len(batch) >= r.batchSize {
-			batches = append(batches, batch)
-			batch = nil
-		}
-	}
-	if len(batch) > 0 {
-		batches = append(batches, batch)
+
+	workers := r.concurrency
+	if workers <= 0 {
+		workers = DefaultFlushConcurrency
 	}
 
-	// Stripe batches across endpoints; each endpoint ships its share
-	// sequentially, endpoints proceed in parallel (E8's distributed
-	// submission).
-	perClient := make([][][]core.Record, len(r.clients))
-	for i, b := range batches {
-		ci := i % len(r.clients)
-		perClient[ci] = append(perClient[ci], b)
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(r.clients))
-	for ci := range r.clients {
-		if len(perClient[ci]) == 0 {
-			continue
+	// Decode → ship pipeline. The channel's bound is the backpressure:
+	// once every worker is mid-POST and the queue is full, the decoder
+	// blocks instead of materialising the rest of the backlog.
+	batches := make(chan []core.Record, workers)
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Uint64 // round-robin endpoint cursor
+		failed   atomic.Bool
+		errOnce  sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
+		errOnce.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(ci int) {
+		go func() {
 			defer wg.Done()
-			for _, b := range perClient[ci] {
+			for b := range batches {
+				if failed.Load() {
+					continue // drain the channel without shipping
+				}
+				// Batches stripe round-robin over the endpoints (E8's
+				// distributed submission), whichever worker carries them.
+				ci := int(next.Add(1)-1) % len(r.clients)
 				resp, err := r.clients[ci].Record(r.asserter, b)
 				if err != nil {
-					errs[ci] = err
-					return
+					fail(err)
+					continue
 				}
 				r.shipped.Add(int64(resp.Accepted))
 				if len(resp.Rejects) > 0 {
-					errs[ci] = fmt.Errorf("%w: %d rejects, first: %s",
-						ErrRejected, len(resp.Rejects), resp.Rejects[0].Reason)
-					return
+					fail(fmt.Errorf("%w: %d rejects, first: %s",
+						ErrRejected, len(resp.Rejects), resp.Rejects[0].Reason))
 				}
 			}
-		}(ci)
+		}()
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+
+	var decodeErr error
+	batch := make([]core.Record, 0, r.batchSize)
+	for !failed.Load() {
+		var rec core.Record
+		if err := dec.Decode(&rec); err != nil {
+			if err != io.EOF {
+				decodeErr = fmt.Errorf("client: reading journal: %w", err)
+			}
+			break
 		}
+		batch = append(batch, rec)
+		if len(batch) >= r.batchSize {
+			batches <- batch
+			batch = make([]core.Record, 0, r.batchSize)
+		}
+	}
+	if len(batch) > 0 && decodeErr == nil && !failed.Load() {
+		batches <- batch
+	}
+	close(batches)
+	wg.Wait()
+	errOnce.Lock()
+	err := firstErr
+	errOnce.Unlock()
+	if decodeErr != nil {
+		err = decodeErr
+	}
+	if err != nil {
+		// The journal is kept whole: the retry re-ships everything and
+		// the store's idempotent recording absorbs the overlap. The
+		// streaming decode may have stopped mid-file (and its buffered
+		// reader read ahead of it), so restore the append position —
+		// otherwise the next Record would overwrite unshipped bytes.
+		if _, serr := r.journal.Seek(0, io.SeekEnd); serr != nil {
+			return fmt.Errorf("client: restoring journal position after failed flush: %w (flush: %v)", serr, err)
+		}
+		return err
 	}
 
 	// All shipped: reset the journal.

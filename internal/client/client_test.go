@@ -3,8 +3,11 @@ package client
 import (
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -387,3 +390,147 @@ func TestManyBatches(t *testing.T) {
 type testingDiscard struct{}
 
 func (testingDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestAsyncRecorderPipelinedFlush(t *testing.T) {
+	// A large backlog ships fully through the bounded-concurrency
+	// pipeline, whatever the concurrency setting.
+	for _, workers := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			pc, svc := startStore(t)
+			journal := filepath.Join(t.TempDir(), "j.gob")
+			r, err := NewAsyncRecorder("svc:enactor", journal, 7, pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			r.SetFlushConcurrency(workers)
+			session := seq.NewID()
+			const n = 100
+			for i := 0; i < n; i++ {
+				if err := r.Record(mkRecord(session)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := r.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Stats(); got.Shipped != n {
+				t.Fatalf("Shipped = %d, want %d", got.Shipped, n)
+			}
+			if r.Pending() != 0 {
+				t.Fatalf("Pending = %d after flush", r.Pending())
+			}
+			st := svc.Stats()
+			if st.RecordsAccepted != n {
+				t.Fatalf("store accepted %d, want %d", st.RecordsAccepted, n)
+			}
+		})
+	}
+}
+
+func TestAsyncRecorderFlushConcurrencyBounded(t *testing.T) {
+	// The pipeline must never have more batches in flight than its
+	// concurrency bound: count concurrent POSTs at the HTTP layer.
+	const workers = 3
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	var inFlight, maxInFlight atomic.Int64
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		cur := inFlight.Add(1)
+		for {
+			prev := maxInFlight.Load()
+			if cur <= prev || maxInFlight.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond) // widen the race window
+		svc.Handler().ServeHTTP(w, req)
+		inFlight.Add(-1)
+	})
+	ts := httptest.NewServer(wrapped)
+	defer ts.Close()
+
+	journal := filepath.Join(t.TempDir(), "j.gob")
+	r, err := NewAsyncRecorder("svc:enactor", journal, 2, preserv.NewClient(ts.URL, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetFlushConcurrency(workers)
+	session := seq.NewID()
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := r.Record(mkRecord(session)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats(); got.Shipped != n {
+		t.Fatalf("Shipped = %d, want %d", got.Shipped, n)
+	}
+	if peak := maxInFlight.Load(); peak > workers {
+		t.Fatalf("observed %d concurrent POSTs, bound is %d", peak, workers)
+	}
+	if peak := maxInFlight.Load(); peak < 2 {
+		t.Errorf("observed %d concurrent POSTs — pipeline is not overlapping shipments", peak)
+	}
+}
+
+func TestAsyncRecorderRecordAfterFailedFlush(t *testing.T) {
+	// Regression: the streaming flush decodes the journal through a
+	// buffered reader that reads ahead of the decode position. A failed
+	// flush must restore the file's append position, or the next
+	// Record() overwrites unshipped journal bytes mid-file and the
+	// retry decodes garbage. Needs a journal larger than the 64KB read
+	// buffer to bite.
+	svc := preserv.NewService(store.New(store.NewMemoryBackend()))
+	var failing atomic.Bool
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if failing.Load() {
+			http.Error(w, "injected outage", http.StatusInternalServerError)
+			return
+		}
+		svc.Handler().ServeHTTP(w, req)
+	})
+	ts := httptest.NewServer(wrapped)
+	defer ts.Close()
+
+	journal := filepath.Join(t.TempDir(), "j.gob")
+	r, err := NewAsyncRecorder("svc:enactor", journal, 25, preserv.NewClient(ts.URL, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	session := seq.NewID()
+	// Big enough (~1MB) that the decoder is nowhere near EOF when the
+	// outage hits — the buffered reader's read-ahead must not have
+	// already walked the file offset to the end by accident.
+	const first = 3000
+	for i := 0; i < first; i++ {
+		if err := r.Record(mkRecord(session)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	failing.Store(true)
+	if err := r.Flush(); err == nil {
+		t.Fatal("flush through outage should fail")
+	}
+	failing.Store(false)
+	const extra = 10
+	for i := 0; i < extra; i++ {
+		if err := r.Record(mkRecord(session)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("Pending after retry = %d", r.Pending())
+	}
+	st := svc.Stats()
+	if st.RecordsAccepted != first+extra {
+		t.Fatalf("store accepted %d, want %d", st.RecordsAccepted, first+extra)
+	}
+}

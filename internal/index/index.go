@@ -35,6 +35,7 @@ import (
 
 	"preserv/internal/core"
 	"preserv/internal/ids"
+	"preserv/internal/kv"
 )
 
 // Index dimensions. Each names one secondary index over the records.
@@ -83,6 +84,9 @@ const (
 // the store maintains the index write-through on Record).
 type KV interface {
 	Put(key string, value []byte) error
+	// PutBatch stores several pairs in one backend operation, preserving
+	// slice order — the property AddBatch's commit-marker layout needs.
+	PutBatch(kvs []kv.Pair) error
 	Get(key string) (value []byte, ok bool, err error)
 	Scan(prefix string, fn func(key string, value []byte) error) error
 	Count(prefix string) (int, error)
@@ -165,6 +169,22 @@ func (ix *Index) deficit(kindTag string) (int, error) {
 // Open-time consistency check does not re-trigger a rebuild forever.
 func (ix *Index) Rebuild() error {
 	skipped := map[string]int{"i": 0, "s": 0}
+	// Postings are flushed in bounded chunks: one backend batch per
+	// rebuildChunk records keeps rebuild memory flat while still
+	// amortising the per-write cost (and, on the file backend, packing
+	// postings into a handful of segment files rather than thousands).
+	const rebuildChunk = 4096
+	var pending []kv.Pair
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if err := ix.kv.PutBatch(pending); err != nil {
+			return fmt.Errorf("index: rebuilding postings: %w", err)
+		}
+		pending = pending[:0]
+		return nil
+	}
 	for _, prefix := range []string{"i/", "s/"} {
 		kindTag := prefix[:1]
 		err := ix.kv.Scan(prefix, func(key string, value []byte) error {
@@ -173,11 +193,20 @@ func (ix *Index) Rebuild() error {
 				skipped[kindTag]++
 				return nil
 			}
-			return ix.Add(r)
+			for _, pk := range postingKeys(r) {
+				pending = append(pending, kv.Pair{Key: pk})
+			}
+			if len(pending) >= rebuildChunk {
+				return flush()
+			}
+			return nil
 		})
 		if err != nil {
 			return err
 		}
+	}
+	if err := flush(); err != nil {
+		return err
 	}
 	for kindTag, n := range skipped {
 		key := deficitKeyPrefix + kindTag
@@ -194,13 +223,34 @@ func (ix *Index) Rebuild() error {
 	return nil
 }
 
-// Add writes the posting entries for one record. The store calls this
-// write-through after each accepted record put.
+// Add writes the posting entries for one record.
 func (ix *Index) Add(r *core.Record) error {
-	for _, key := range postingKeys(r) {
-		if err := ix.kv.Put(key, nil); err != nil {
-			return fmt.Errorf("index: putting posting %s: %w", key, err)
+	return ix.AddBatch([]*core.Record{r})
+}
+
+// AddBatch writes the posting entries for a batch of records in ONE
+// backend batch put — the store calls this once per accepted Record
+// call, so a multi-record ingest batch costs one backend write for all
+// its postings (~20 per record) instead of one write each.
+//
+// Ordering within the batch preserves the commit-marker property: each
+// record's kind posting is last among its postings, and PutBatch
+// implementations keep slice order, so a crash that durably keeps only a
+// prefix of the batch leaves a kind-posting deficit for every
+// incompletely indexed record — exactly what the Open-time consistency
+// check counts.
+func (ix *Index) AddBatch(records []*core.Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	pairs := make([]kv.Pair, 0, len(records)*16)
+	for _, r := range records {
+		for _, key := range postingKeys(r) {
+			pairs = append(pairs, kv.Pair{Key: key})
 		}
+	}
+	if err := ix.kv.PutBatch(pairs); err != nil {
+		return fmt.Errorf("index: putting %d postings for %d records: %w", len(pairs), len(records), err)
 	}
 	return nil
 }

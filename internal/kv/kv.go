@@ -1,0 +1,15 @@
+// Package kv declares the key/value pair type shared by the storage
+// backends' batched write primitive. It lives in its own leaf package so
+// that both internal/store (which declares the Backend interface) and
+// internal/index (which flushes posting batches through a structural
+// slice of that interface, and must not import store) can name the same
+// type in their method signatures.
+package kv
+
+// Pair is one key/value entry of a batched write. A nil Value is a
+// legitimate empty value (the secondary index's posting entries carry no
+// content at all).
+type Pair struct {
+	Key   string
+	Value []byte
+}

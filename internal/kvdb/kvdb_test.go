@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"preserv/internal/kv"
 )
 
 func openTemp(t *testing.T) *DB {
@@ -471,5 +473,126 @@ func TestQuickMatchesReferenceMap(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPutBatchRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []kv.Pair{
+		{Key: "b", Value: []byte("beta")},
+		{Key: "a", Value: []byte("alpha")},
+		{Key: "c", Value: nil},
+	}
+	if err := db.PutBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	check := func(d *DB) {
+		t.Helper()
+		for _, p := range pairs {
+			v, err := d.Get(p.Key)
+			if err != nil || !bytes.Equal(v, p.Value) {
+				t.Fatalf("Get(%s) = %q err=%v, want %q", p.Key, v, err, p.Value)
+			}
+		}
+		if d.Len() != len(pairs) {
+			t.Fatalf("Len = %d, want %d", d.Len(), len(pairs))
+		}
+	}
+	check(db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	check(db2)
+}
+
+func TestPutBatchTornTailKeepsPrefix(t *testing.T) {
+	// A batch is one contiguous append of individually CRC-framed
+	// records, so a torn tail must recover a strict prefix of the batch
+	// — the property the index layer's commit-marker ordering needs.
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutBatch([]kv.Pair{
+		{Key: "k1", Value: []byte("v1")},
+		{Key: "k2", Value: []byte("v2")},
+		{Key: "k3", Value: []byte("v3")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, dataFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for _, want := range []struct{ k, v string }{{"k1", "v1"}, {"k2", "v2"}} {
+		v, err := db2.Get(want.k)
+		if err != nil || string(v) != want.v {
+			t.Fatalf("Get(%s) after torn batch tail = %q err=%v", want.k, v, err)
+		}
+	}
+	if _, err := db2.Get("k3"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn final batch record should be gone, got err=%v", err)
+	}
+}
+
+func TestPutBatchOverwriteAccountsGarbage(t *testing.T) {
+	db := openTemp(t)
+	if err := db.Put("k", []byte("old-value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutBatch([]kv.Pair{{Key: "k", Value: []byte("new")}}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get("k")
+	if err != nil || string(v) != "new" {
+		t.Fatalf("Get = %q err=%v, want new", v, err)
+	}
+	if db.GarbageBytes() == 0 {
+		t.Error("superseded record not counted as garbage")
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d, want 1", db.Len())
+	}
+}
+
+func TestPutBatchValidation(t *testing.T) {
+	db := openTemp(t)
+	if err := db.PutBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := db.PutBatch([]kv.Pair{{Key: "", Value: nil}}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := db.PutBatch([]kv.Pair{{Key: "ok"}, {Key: strings.Repeat("k", MaxKeyLen+1)}}); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if db.Len() != 0 {
+		t.Errorf("failed batches left %d keys", db.Len())
+	}
+	db.Close()
+	if err := db.PutBatch([]kv.Pair{{Key: "k"}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("PutBatch on closed db = %v, want ErrClosed", err)
 	}
 }

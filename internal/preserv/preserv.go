@@ -7,6 +7,7 @@
 package preserv
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"net"
@@ -116,6 +117,11 @@ type Stats struct {
 	RecordRequests  int64
 	RecordsAccepted int64
 	QueryRequests   int64
+	// QueryCacheHits / QueryCacheMisses are the planned-query result
+	// cache's cumulative lookup outcomes (a stale entry counts as a
+	// miss).
+	QueryCacheHits   int64
+	QueryCacheMisses int64
 }
 
 // Service is a PReServ instance: a store plus the translator wiring.
@@ -143,20 +149,30 @@ func (svc *Service) Handler() http.Handler { return svc.handler }
 
 // Stats returns a snapshot of service counters.
 func (svc *Service) Stats() Stats {
+	cache := svc.queryP.engine.CacheStats()
 	return Stats{
-		RecordRequests:  svc.storeP.requests.Load(),
-		RecordsAccepted: svc.storeP.recordsAccepted.Load(),
-		QueryRequests:   svc.queryP.requests.Load(),
+		RecordRequests:   svc.storeP.requests.Load(),
+		RecordsAccepted:  svc.storeP.recordsAccepted.Load(),
+		QueryRequests:    svc.queryP.requests.Load(),
+		QueryCacheHits:   cache.Hits,
+		QueryCacheMisses: cache.Misses,
 	}
 }
+
+// DefaultDrainTimeout is how long Server.Close waits for in-flight
+// requests to finish before forcibly closing their connections.
+const DefaultDrainTimeout = 5 * time.Second
 
 // Server is a listening PReServ endpoint.
 type Server struct {
 	// URL is the service endpoint, e.g. "http://127.0.0.1:8734".
-	URL     string
-	ln      net.Listener
-	httpSrv *http.Server
-	done    chan struct{}
+	URL string
+	// DrainTimeout bounds how long Close waits for in-flight requests;
+	// zero means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	ln           net.Listener
+	httpSrv      *http.Server
+	done         chan struct{}
 }
 
 // Serve starts serving svc on addr (use "127.0.0.1:0" to pick a free
@@ -180,9 +196,24 @@ func Serve(svc *Service, addr string) (*Server, error) {
 	return srv, nil
 }
 
-// Close stops the server and waits for the serve loop to exit.
+// Close stops the server gracefully: the listener closes immediately
+// (no new connections), in-flight record and query requests get up to
+// DrainTimeout to complete their responses, and only then are the
+// remaining connections forcibly closed. It waits for the serve loop to
+// exit before returning.
 func (s *Server) Close() error {
-	err := s.httpSrv.Close()
+	timeout := s.DrainTimeout
+	if timeout <= 0 {
+		timeout = DefaultDrainTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.httpSrv.Shutdown(ctx)
+	if err != nil {
+		// Drain deadline passed (or shutdown failed) with requests still
+		// running: cut the stragglers off rather than hang.
+		_ = s.httpSrv.Close()
+	}
 	<-s.done
 	return err
 }

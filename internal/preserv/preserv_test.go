@@ -2,6 +2,9 @@ package preserv
 
 import (
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -256,5 +259,123 @@ func TestServeBadAddress(t *testing.T) {
 	svc := NewService(store.New(store.NewMemoryBackend()))
 	if _, err := Serve(svc, "256.0.0.1:99999"); err == nil {
 		t.Error("bad address should fail")
+	}
+}
+
+func TestStatsSurfaceQueryCacheCounters(t *testing.T) {
+	client, svc := startServer(t)
+	session := seq.NewID()
+	if _, err := client.Record("svc:enactor", []core.Record{mkRecord(session, "svc:gzip")}); err != nil {
+		t.Fatal(err)
+	}
+	q := &prep.Query{SessionID: session}
+	if _, _, _, err := client.QueryPlanned(q); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.QueryCacheMisses == 0 || st.QueryCacheHits != 0 {
+		t.Fatalf("after cold query: hits=%d misses=%d, want a miss and no hit", st.QueryCacheHits, st.QueryCacheMisses)
+	}
+	if _, _, plan, err := client.QueryPlanned(q); err != nil || !plan.Cached {
+		t.Fatalf("second query: cached=%v err=%v", plan != nil && plan.Cached, err)
+	}
+	st = svc.Stats()
+	if st.QueryCacheHits != 1 {
+		t.Fatalf("after warm query: hits=%d misses=%d, want exactly 1 hit", st.QueryCacheHits, st.QueryCacheMisses)
+	}
+}
+
+// slowServer starts a Server whose handler blocks until release is
+// closed — the in-flight request Close must drain (or cut off).
+func slowServer(t *testing.T, started chan<- struct{}, release <-chan struct{}) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(started) })
+		select {
+		case <-release:
+			fmt.Fprint(w, "drained")
+		case <-time.After(5 * time.Second):
+		}
+	})
+	srv := &Server{
+		URL:     "http://" + ln.Addr().String(),
+		ln:      ln,
+		httpSrv: &http.Server{Handler: h},
+		done:    make(chan struct{}),
+	}
+	go func() {
+		defer close(srv.done)
+		_ = srv.httpSrv.Serve(ln)
+	}()
+	return srv
+}
+
+func TestCloseDrainsInFlightRequests(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv := slowServer(t, started, release)
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+	<-started
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// Close must wait for the in-flight response, not kill it: give the
+	// shutdown a moment to start draining, then let the handler finish.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned %v while a request was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close after drain: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request: body=%q err=%v, want drained response", r.body, r.err)
+	}
+}
+
+func TestCloseDrainTimeoutCutsStragglers(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	srv := slowServer(t, started, release)
+	srv.DrainTimeout = 50 * time.Millisecond
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := http.Get(srv.URL)
+		errCh <- err
+	}()
+	<-started
+	if err := srv.Close(); err == nil {
+		t.Fatal("Close should report the drain deadline being exceeded")
+	}
+	// The hung request is forcibly cut, not left dangling.
+	select {
+	case <-errCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight request still dangling after forced close")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"preserv/internal/core"
 	"preserv/internal/prep"
@@ -27,6 +28,10 @@ type resultCache struct {
 	cap int
 	ll  *list.List
 	m   map[string]*list.Element
+	// hits/misses count lookups for monitoring (preserv.Stats surfaces
+	// them). A stale entry evicted on lookup counts as a miss.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -38,20 +43,24 @@ func newResultCache(capacity int) *resultCache {
 
 func (c *resultCache) get(key string, gen uint64) ([]core.Record, int, prep.QueryPlan, bool) {
 	if c.cap == 0 {
+		c.misses.Add(1)
 		return nil, 0, prep.QueryPlan{}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
+		c.misses.Add(1)
 		return nil, 0, prep.QueryPlan{}, false
 	}
 	e := el.Value.(*cacheEntry)
 	if e.gen != gen {
 		c.ll.Remove(el)
 		delete(c.m, key)
+		c.misses.Add(1)
 		return nil, 0, prep.QueryPlan{}, false
 	}
+	c.hits.Add(1)
 	c.ll.MoveToFront(el)
 	// Hand out a fresh slice header so a caller appending to the result
 	// cannot disturb the cached copy.

@@ -46,6 +46,18 @@ func NewSized(s *store.Store, cacheSize int) *Engine {
 // Store returns the engine's underlying store.
 func (e *Engine) Store() *store.Store { return e.s }
 
+// CacheStats reports the result cache's cumulative lookup outcomes. A
+// lookup that finds a stale (wrong-generation) entry counts as a miss.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// CacheStats returns a snapshot of the engine's result-cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{Hits: e.cache.hits.Load(), Misses: e.cache.misses.Load()}
+}
+
 // dimRef is one indexed equality constraint of a predicate.
 type dimRef struct {
 	dim  string

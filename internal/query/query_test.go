@@ -393,7 +393,9 @@ func TestZeroTimestampRecordsExcludedFromTimeQueries(t *testing.T) {
 	}
 }
 
-// faultyBackend fails Puts of posting keys while armed.
+// faultyBackend fails writes of posting keys while armed, on both the
+// single-put and the batched path (Store.Record flushes postings through
+// PutBatch).
 type faultyBackend struct {
 	store.Backend
 	failPostings bool
@@ -404,6 +406,17 @@ func (f *faultyBackend) Put(key string, value []byte) error {
 		return fmt.Errorf("injected posting failure")
 	}
 	return f.Backend.Put(key, value)
+}
+
+func (f *faultyBackend) PutBatch(kvs []store.KV) error {
+	if f.failPostings {
+		for _, p := range kvs {
+			if strings.HasPrefix(p.Key, "x/") {
+				return fmt.Errorf("injected posting failure")
+			}
+		}
+	}
+	return f.Backend.PutBatch(kvs)
 }
 
 func TestIndexSelfHealsAfterFailedAdd(t *testing.T) {

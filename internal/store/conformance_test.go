@@ -52,7 +52,126 @@ func TestBackendConformance(t *testing.T) {
 			t.Run("CountMatchesScan", func(t *testing.T) { conformCount(t, but.open(t)) })
 			t.Run("EmptyValueRoundTrips", func(t *testing.T) { conformEmptyValue(t, but.open(t)) })
 			t.Run("ScanErrorPropagates", func(t *testing.T) { conformScanError(t, but.open(t)) })
+			t.Run("PutBatchRoundTrip", func(t *testing.T) { conformPutBatch(t, but.open(t)) })
+			t.Run("PutBatchSortedScan", func(t *testing.T) { conformPutBatchSortedScan(t, but.open(t)) })
+			t.Run("PutBatchWriteOnceRePut", func(t *testing.T) { conformPutBatchRePut(t, but.open(t)) })
+			t.Run("PutBatchCountConsistency", func(t *testing.T) { conformPutBatchCount(t, but.open(t)) })
+			t.Run("PutBatchEmptyAndInvalid", func(t *testing.T) { conformPutBatchEdge(t, but.open(t)) })
 		})
+	}
+}
+
+func conformPutBatch(t *testing.T, b Backend) {
+	// A batch must be equivalent to the same sequence of Puts: every
+	// pair Get-able afterwards, empty values (postings) included.
+	batch := []KV{
+		{Key: "x/kind/i/abc", Value: nil},
+		{Key: "i/1", Value: []byte("record-one")},
+		{Key: "x/sess/s1/abc", Value: []byte{}},
+		{Key: "s/2", Value: []byte("record-two")},
+	}
+	if err := b.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range batch {
+		v, ok, err := b.Get(p.Key)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) after batch: ok=%v err=%v", p.Key, ok, err)
+		}
+		if string(v) != string(p.Value) {
+			t.Errorf("Get(%s) = %q, want %q", p.Key, v, p.Value)
+		}
+	}
+}
+
+func conformPutBatchSortedScan(t *testing.T, b Backend) {
+	// Keys written out of order, split across Put and PutBatch, must
+	// still scan in sorted order — posting lists stay merge-ready
+	// however they were written.
+	if err := b.Put("x/a/5", []byte("x/a/5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutBatch([]KV{
+		{Key: "x/b/2", Value: []byte("x/b/2")},
+		{Key: "x/a/9", Value: []byte("x/a/9")},
+		{Key: "x/a/1", Value: []byte("x/a/1")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutBatch([]KV{{Key: "x/a/3", Value: []byte("x/a/3")}}); err != nil {
+		t.Fatal(err)
+	}
+	var visited []string
+	if err := b.Scan("x/", func(k string, v []byte) error {
+		if string(v) != k {
+			t.Errorf("value mismatch at %s: %q", k, v)
+		}
+		visited = append(visited, k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(visited) {
+		t.Errorf("scan order not sorted after batch writes: %v", visited)
+	}
+	if len(visited) != 5 {
+		t.Errorf("scan visited %d keys, want 5: %v", len(visited), visited)
+	}
+}
+
+func conformPutBatchRePut(t *testing.T, b Backend) {
+	// Re-putting identical content through a batch must be accepted
+	// (idempotent client retries flush the same postings again), and a
+	// batch overlapping existing keys must behave per key like Put.
+	batch := []KV{{Key: "k", Value: []byte("same")}, {Key: "x/p/k", Value: nil}}
+	if err := b.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutBatch(batch); err != nil {
+		t.Fatalf("idempotent batch re-put rejected: %v", err)
+	}
+	v, ok, err := b.Get("k")
+	if err != nil || !ok || string(v) != "same" {
+		t.Fatalf("after batch re-put: %q ok=%v err=%v", v, ok, err)
+	}
+	if n, err := b.Count(""); err != nil || n != 2 {
+		t.Fatalf("Count after duplicate batches = %d err=%v, want 2", n, err)
+	}
+}
+
+func conformPutBatchCount(t *testing.T, b Backend) {
+	var batch []KV
+	for i := 0; i < 9; i++ {
+		batch = append(batch, KV{Key: fmt.Sprintf("p/%d", i), Value: []byte("v")})
+	}
+	batch = append(batch, KV{Key: "q/0", Value: []byte("v")})
+	if err := b.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, prefix := range []string{"p/", "q/", "r/", ""} {
+		scanned := 0
+		if err := b.Scan(prefix, func(string, []byte) error { scanned++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		counted, err := b.Count(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counted != scanned {
+			t.Errorf("Count(%q) = %d but Scan visited %d", prefix, counted, scanned)
+		}
+	}
+}
+
+func conformPutBatchEdge(t *testing.T, b Backend) {
+	if err := b.PutBatch(nil); err != nil {
+		t.Fatalf("empty batch must be a no-op, got %v", err)
+	}
+	if err := b.PutBatch([]KV{{Key: "ok", Value: nil}, {Key: "", Value: nil}}); err == nil {
+		t.Fatal("batch containing an empty key must be rejected")
+	}
+	if n, err := b.Count(""); err != nil || n != 0 {
+		t.Fatalf("store not empty after rejected/empty batches: n=%d err=%v", n, err)
 	}
 }
 

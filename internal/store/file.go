@@ -2,28 +2,57 @@ package store
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
 
-// FileBackend stores one file per record under a directory, PReServ's
-// "file system" backend. File names are derived from the storage key:
-// a sanitised, hash-suffixed form that is filesystem-safe while still
-// grouping an interaction's records by prefix. A sidecar index file is
-// unnecessary — the directory itself is the index.
+// FileBackend stores records in files under a directory, PReServ's
+// "file system" backend, in two layouts:
+//
+//   - A single Put writes one record file plus a key sidecar (file names
+//     derived from the storage key: sanitised, hash-suffixed forms that
+//     are filesystem-safe while still grouping an interaction's records
+//     by prefix).
+//   - A PutBatch packs the whole batch into ONE segment file — the
+//     layout that keeps a record's ~20 index postings from costing ~20
+//     file pairs each. Segments are written to a temp file and renamed
+//     into place, so a batch is visible atomically; per-entry CRCs guard
+//     recovery against torn segments all the same.
+//
+// A sidecar index file is unnecessary — the directory itself is the
+// index, rebuilt into memory on open.
 type FileBackend struct {
 	mu  sync.RWMutex
 	dir string
-	// keys maps storage key -> file name; rebuilt on open.
-	keys map[string]string
+	// keys maps storage key -> location; rebuilt on open.
+	keys map[string]fileLoc
+	// segSeq numbers segment files; monotonically increasing so open
+	// replays segments in write order (last write wins).
+	segSeq uint64
 }
 
-const fileExt = ".rec"
+// fileLoc locates one value: a whole record file (off < 0) or a byte
+// range within a packed segment.
+type fileLoc struct {
+	file string
+	off  int64
+	vlen int
+}
+
+const (
+	fileExt = ".rec"
+	segExt  = ".seg"
+	// segMagic heads every packed segment file.
+	segMagic = "PSEG1\n"
+)
 
 // NewFileBackend opens (creating if necessary) a file backend rooted at
 // dir and indexes any records already present.
@@ -31,25 +60,101 @@ func NewFileBackend(dir string) (*FileBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	fb := &FileBackend{dir: dir, keys: make(map[string]string)}
+	fb := &FileBackend{dir: dir, keys: make(map[string]fileLoc)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
 	}
+	// Segments replay in sequence order so that a key rewritten in a
+	// later segment resolves to its newest location.
+	var segs []string
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), fileExt) {
-			continue
+		name := e.Name()
+		switch {
+		case e.IsDir():
+		case strings.HasSuffix(name, fileExt):
+			keyPath := filepath.Join(dir, name+".key")
+			keyBytes, err := os.ReadFile(keyPath)
+			if err != nil {
+				// A record file without its key sidecar is a torn write;
+				// skip it rather than fail the whole store.
+				continue
+			}
+			fb.keys[string(keyBytes)] = fileLoc{file: name, off: -1}
+		case strings.HasSuffix(name, segExt):
+			segs = append(segs, name)
 		}
-		keyPath := filepath.Join(dir, e.Name()+".key")
-		keyBytes, err := os.ReadFile(keyPath)
-		if err != nil {
-			// A record file without its key sidecar is a torn write;
-			// skip it rather than fail the whole store.
-			continue
+	}
+	sort.Strings(segs)
+	for _, name := range segs {
+		if seq, err := strconv.ParseUint(strings.TrimSuffix(name, segExt), 16, 64); err == nil && seq > fb.segSeq {
+			fb.segSeq = seq
 		}
-		fb.keys[string(keyBytes)] = e.Name()
+		if err := fb.loadSegment(name); err != nil {
+			return nil, err
+		}
 	}
 	return fb, nil
+}
+
+// loadSegment indexes the entries of one packed segment. A corrupt entry
+// ends the replay of that segment (everything after a torn write is
+// unreliable) without failing the open — the same torn-write tolerance
+// the record-file layout has.
+func (f *FileBackend) loadSegment(name string) error {
+	data, err := os.ReadFile(filepath.Join(f.dir, name))
+	if err != nil {
+		return fmt.Errorf("store: reading segment %s: %w", name, err)
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return nil // not a segment we understand; leave it alone
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		key, valOff, valLen, next, ok := parseSegEntry(data, off)
+		if !ok {
+			break
+		}
+		f.keys[key] = fileLoc{file: name, off: int64(valOff), vlen: valLen}
+		off = next
+	}
+	return nil
+}
+
+// Segment entry layout: uvarint keyLen, uvarint valLen, key, value,
+// 4-byte big-endian CRC32 over key+value. Lengths are validated in
+// uint64 before any int conversion so a corrupt varint cannot overflow
+// the bounds check into a panic — corruption must parse as torn, not
+// crash the open.
+func parseSegEntry(data []byte, off int) (key string, valOff, valLen, next int, ok bool) {
+	kl, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return "", 0, 0, 0, false
+	}
+	vl, m := binary.Uvarint(data[off+n:])
+	if m <= 0 {
+		return "", 0, 0, 0, false
+	}
+	hdr := off + n + m
+	rest := uint64(len(data) - hdr)
+	if kl == 0 || kl > rest || vl > rest-kl || rest-kl-vl < 4 {
+		return "", 0, 0, 0, false
+	}
+	body := data[hdr : hdr+int(kl)+int(vl)]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(data[hdr+int(kl)+int(vl):]) {
+		return "", 0, 0, 0, false
+	}
+	return string(body[:kl]), hdr + int(kl), int(vl), hdr + int(kl) + int(vl) + 4, true
+}
+
+func appendSegEntry(buf []byte, key string, value []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = binary.AppendUvarint(buf, uint64(len(value)))
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf[len(buf)-len(key)-len(value):]))
+	return append(buf, crc[:]...)
 }
 
 // Name implements Backend.
@@ -62,12 +167,34 @@ func fileNameFor(key string) string {
 
 // Put implements Backend. The record body is written first, then the key
 // sidecar; a crash between the two leaves an orphan that open skips.
+//
+// Overwriting a key that lives in a packed segment is rejected unless
+// the content is identical: the two layouts have no durable ordering
+// between them, so reopen could not tell which write was last. Within
+// one layout, overwrites stay last-write-wins (same record file name;
+// higher segment sequence).
 func (f *FileBackend) Put(key string, value []byte) error {
 	if key == "" {
 		return fmt.Errorf("store: empty key")
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if loc, ok := f.keys[key]; ok && loc.off >= 0 {
+		existing, found, err := f.readLoc(loc)
+		if err != nil {
+			// Writing the record file anyway would plant a copy a restart
+			// silently loses to the segment (record files replay first);
+			// surface the read failure instead.
+			return fmt.Errorf("store: checking segment-stored %s before overwrite: %w", key, err)
+		}
+		if found {
+			if string(existing) != string(value) {
+				return fmt.Errorf("store: %s is segment-stored; cross-layout overwrite with different content", key)
+			}
+			return nil // identical re-put; the segment copy already serves it
+		}
+		// Segment file vanished underneath us: write the record file.
+	}
 	name := fileNameFor(key)
 	path := filepath.Join(f.dir, name)
 	if err := os.WriteFile(path, value, 0o644); err != nil {
@@ -76,24 +203,111 @@ func (f *FileBackend) Put(key string, value []byte) error {
 	if err := os.WriteFile(path+".key", []byte(key), 0o644); err != nil {
 		return fmt.Errorf("store: writing key sidecar: %w", err)
 	}
-	f.keys[key] = name
+	f.keys[key] = fileLoc{file: name, off: -1}
+	return nil
+}
+
+// PutBatch implements Backend: the whole batch lands in one packed
+// segment file — two syscall-visible writes (temp file + rename) no
+// matter how many pairs, where the per-Put layout would cost two files
+// per pair. The rename makes the batch visible atomically.
+func (f *FileBackend) PutBatch(kvs []KV) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	for _, p := range kvs {
+		if p.Key == "" {
+			return fmt.Errorf("store: empty key")
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Mirror Put's cross-layout guard: a key stored as a record file may
+	// only be re-put through a batch with identical content, since
+	// reopen replays segments after record files and would otherwise
+	// resurrect whichever copy replays last.
+	for _, p := range kvs {
+		loc, ok := f.keys[p.Key]
+		if !ok || loc.off >= 0 {
+			continue
+		}
+		existing, found, err := f.readLoc(loc)
+		if err == nil && found && string(existing) != string(p.Value) {
+			return fmt.Errorf("store: %s is file-stored; cross-layout overwrite with different content", p.Key)
+		}
+	}
+	f.segSeq++
+	name := fmt.Sprintf("%016x%s", f.segSeq, segExt)
+
+	buf := []byte(segMagic)
+	type loc struct {
+		key  string
+		off  int64
+		vlen int
+	}
+	locs := make([]loc, 0, len(kvs))
+	for _, p := range kvs {
+		buf = appendSegEntry(buf, p.Key, p.Value)
+		// The value sits immediately before the entry's trailing CRC.
+		locs = append(locs, loc{key: p.Key, off: int64(len(buf) - 4 - len(p.Value)), vlen: len(p.Value)})
+	}
+
+	path := filepath.Join(f.dir, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("store: writing segment %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publishing segment %s: %w", name, err)
+	}
+	for _, l := range locs {
+		f.keys[l.key] = fileLoc{file: name, off: l.off, vlen: l.vlen}
+	}
 	return nil
 }
 
 // Get implements Backend.
 func (f *FileBackend) Get(key string) ([]byte, bool, error) {
 	f.mu.RLock()
-	name, ok := f.keys[key]
+	loc, ok := f.keys[key]
 	f.mu.RUnlock()
 	if !ok {
 		return nil, false, nil
 	}
-	data, err := os.ReadFile(filepath.Join(f.dir, name))
+	return f.readLoc(loc)
+}
+
+// readLoc fetches the value at a location: a whole record file or a
+// byte range within a segment.
+func (f *FileBackend) readLoc(loc fileLoc) ([]byte, bool, error) {
+	path := filepath.Join(f.dir, loc.file)
+	if loc.off < 0 {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, false, nil
+			}
+			return nil, false, fmt.Errorf("store: reading %s: %w", loc.file, err)
+		}
+		return data, true, nil
+	}
+	if loc.vlen == 0 {
+		// Empty segment values (index postings) need no file access —
+		// the hot posting-resolution path must not pay an open per key.
+		return []byte{}, true, nil
+	}
+	fh, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, false, nil
 		}
-		return nil, false, fmt.Errorf("store: reading %s: %w", name, err)
+		return nil, false, fmt.Errorf("store: opening segment %s: %w", loc.file, err)
+	}
+	defer fh.Close()
+	data := make([]byte, loc.vlen)
+	if _, err := fh.ReadAt(data, loc.off); err != nil {
+		return nil, false, fmt.Errorf("store: reading segment %s: %w", loc.file, err)
 	}
 	return data, true, nil
 }

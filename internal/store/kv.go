@@ -31,6 +31,13 @@ func (k *KVBackend) Put(key string, value []byte) error {
 	return k.db.Put(key, value)
 }
 
+// PutBatch implements Backend: the whole batch is serialised into one
+// contiguous log append inside kvdb, costing one lock acquisition and
+// one write syscall.
+func (k *KVBackend) PutBatch(kvs []KV) error {
+	return k.db.PutBatch(kvs)
+}
+
 // Get implements Backend.
 func (k *KVBackend) Get(key string) ([]byte, bool, error) {
 	v, err := k.db.Get(key)

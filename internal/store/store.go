@@ -9,6 +9,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"strings"
 	"sync"
@@ -16,6 +17,7 @@ import (
 
 	"preserv/internal/core"
 	"preserv/internal/index"
+	"preserv/internal/kv"
 	"preserv/internal/prep"
 )
 
@@ -24,12 +26,22 @@ import (
 // accepted idempotently.
 var ErrDuplicate = errors.New("store: duplicate record key")
 
+// KV is one key/value pair of a batched write (an alias of kv.Pair so
+// that internal/index can name the same type without importing store).
+type KV = kv.Pair
+
 // Backend persists encoded records under their storage keys.
 // Implementations must be safe for concurrent use.
 type Backend interface {
 	// Put stores a record under key. Keys are write-once: backends may
 	// reject overwrites (the Store layer handles idempotency first).
 	Put(key string, value []byte) error
+	// PutBatch stores several pairs in one backend operation, with the
+	// same per-key semantics as Put. Implementations amortise the
+	// per-write cost (one lock acquisition, one log append, one packed
+	// segment file) and preserve slice order, so a crash durably keeps
+	// at most a prefix of the batch.
+	PutBatch(kvs []KV) error
 	// Get returns the value under key, or (nil, false, nil) if absent.
 	Get(key string) (value []byte, ok bool, err error)
 	// Scan visits every key with the given prefix in sorted key order.
@@ -42,9 +54,24 @@ type Backend interface {
 	Name() string
 }
 
+// recordStripes is how many lock stripes guard record commits. Writers
+// to different keys almost never contend; writers to the same key (an
+// idempotent client retry, or two asserters racing on one interaction
+// key) serialise on the key's stripe so the Get-then-Put check stays
+// atomic per key.
+const recordStripes = 64
+
 // Store is the provenance store: validation, idempotent recording and
 // query evaluation over a Backend, with secondary indexes
 // (internal/index) maintained write-through on Record.
+//
+// Concurrency: Record calls run in parallel. Validation and encoding
+// happen outside any lock; each record's commit (the per-key
+// exists/identical/conflict check plus the Put) holds only that key's
+// lock stripe; the call's posting entries are flushed in one backend
+// batch at the end. The mu mutex only guards the lazily opened index
+// handle — it is not held across backend operations, so readers never
+// wait behind an ingest batch.
 type Store struct {
 	mu sync.RWMutex
 	b  Backend
@@ -56,10 +83,18 @@ type Store struct {
 	// gen counts content changes; the query engine keys its result cache
 	// on it so cached results are invalidated by new records.
 	gen atomic.Uint64
+	// stripes are the per-key commit locks; seed salts the stripe hash.
+	stripes [recordStripes]sync.Mutex
+	seed    maphash.Seed
 }
 
 // New wraps a backend in a Store.
-func New(b Backend) *Store { return &Store{b: b} }
+func New(b Backend) *Store { return &Store{b: b, seed: maphash.MakeSeed()} }
+
+// stripeFor maps a storage key to its commit lock.
+func (s *Store) stripeFor(key string) *sync.Mutex {
+	return &s.stripes[maphash.String(s.seed, key)%recordStripes]
+}
 
 // BackendName reports which backend the store runs on.
 func (s *Store) BackendName() string { return s.b.Name() }
@@ -90,9 +125,24 @@ func (s *Store) ensureIndexLocked() (*index.Index, error) {
 // it from a scan, for stores recorded before indexing existed) on first
 // call.
 func (s *Store) Index() (*index.Index, error) {
+	s.mu.RLock()
+	idx := s.idx
+	s.mu.RUnlock()
+	if idx != nil {
+		return idx, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ensureIndexLocked()
+}
+
+// dropIndex discards the cached index handle after a failed posting
+// write, forcing the next use through index.Open's deficit check (which
+// detects the missing postings and rebuilds).
+func (s *Store) dropIndex() {
+	s.mu.Lock()
+	s.idx = nil
+	s.mu.Unlock()
 }
 
 // GetRecord fetches and decodes one record by its storage key — the
@@ -115,30 +165,23 @@ func (s *Store) GetRecord(key string) (*core.Record, bool, error) {
 // asserter. It returns the number accepted and a reject entry for each
 // refused record. Storage is idempotent: re-recording an identical
 // record is counted as accepted.
+//
+// Concurrent Record calls proceed in parallel: validation and encoding
+// run lock-free, commits serialise only per storage key (stripe locks),
+// and the call's posting entries ship to the backend as one batch.
 func (s *Store) Record(asserter core.ActorID, records []core.Record) (int, []prep.Reject, error) {
 	if asserter == "" {
 		return 0, nil, fmt.Errorf("store: empty asserter")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	idx, err := s.ensureIndexLocked()
-	if err != nil {
-		return 0, nil, fmt.Errorf("store: opening index: %w", err)
+	// Phase 1 — validate and encode outside any lock.
+	type staged struct {
+		i       int
+		r       *core.Record
+		key     string
+		encoded []byte
 	}
-	accepted := 0
-	touched := 0
-	// The generation must advance whenever anything was committed or
-	// repaired, even if a later record in the batch errors out — a
-	// missed bump would let the query engine's cache serve stale
-	// results as fresh. Idempotent re-records count too: their posting
-	// re-puts may have just repaired an index deficit that cached
-	// results were computed against.
-	defer func() {
-		if touched > 0 {
-			s.gen.Add(1)
-		}
-	}()
 	var rejects []prep.Reject
+	batch := make([]staged, 0, len(records))
 	for i := range records {
 		r := &records[i]
 		if err := r.Validate(); err != nil {
@@ -157,49 +200,128 @@ func (s *Store) Record(asserter core.ActorID, records []core.Record) (int, []pre
 			rejects = append(rejects, prep.Reject{Index: i, Reason: err.Error()})
 			continue
 		}
-		key := r.StorageKey()
-		if existing, ok, err := s.b.Get(key); err != nil {
-			return accepted, rejects, fmt.Errorf("store: checking %s: %w", key, err)
-		} else if ok {
-			if string(existing) == string(encoded) {
+		batch = append(batch, staged{i: i, r: r, key: r.StorageKey(), encoded: encoded})
+	}
+
+	idx, err := s.Index()
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: opening index: %w", err)
+	}
+
+	accepted := 0
+	touched := 0
+	// The generation must advance whenever anything was committed or
+	// repaired, even if the batch errors out part-way — a missed bump
+	// would let the query engine's cache serve stale results as fresh.
+	// Idempotent re-records count too: their posting re-puts may have
+	// just repaired an index deficit that cached results were computed
+	// against.
+	defer func() {
+		if touched > 0 {
+			s.gen.Add(1)
+		}
+	}()
+
+	// toIndex accumulates this call's accepted records; their postings
+	// flush in one backend batch. A flush failure drops the cached index
+	// handle, so the next use re-runs index.Open's deficit check and
+	// rebuilds — the planner never keeps serving an index that is
+	// missing a committed record. (A crash is repaired the same way at
+	// the next Open, or by a client retry of the batch.)
+	toIndex := make([]*core.Record, 0, len(batch))
+	flushIndex := func() error {
+		if len(toIndex) == 0 {
+			return nil
+		}
+		if err := idx.AddBatch(toIndex); err != nil {
+			s.dropIndex()
+			return fmt.Errorf("store: indexing batch: %w", err)
+		}
+		toIndex = toIndex[:0]
+		return nil
+	}
+
+	// Phase 2 — commit each record under its key's lock stripe, so the
+	// exists/identical/conflict decision is atomic per key while
+	// unrelated keys commit in parallel.
+	for _, st := range batch {
+		mu := s.stripeFor(st.key)
+		mu.Lock()
+		existing, ok, err := s.b.Get(st.key)
+		if err != nil {
+			mu.Unlock()
+			// Best-effort flush so already-committed records get their
+			// commit-marker postings before the error surfaces.
+			_ = flushIndex()
+			sortRejects(rejects)
+			return accepted, rejects, fmt.Errorf("store: checking %s: %w", st.key, err)
+		}
+		if ok {
+			mu.Unlock()
+			if sameRecordBytes(existing, st.encoded) {
 				// Idempotent re-record. Re-put the postings too: if a
 				// previous attempt committed the record but failed before
 				// (or during) indexing, the client's retry lands here and
 				// must repair the deficit, not skip past it.
-				if err := idx.Add(r); err != nil {
-					s.idx = nil // force a deficit check + rebuild on next use
-					return accepted, rejects, fmt.Errorf("store: indexing %s: %w", key, err)
-				}
+				toIndex = append(toIndex, st.r)
 				accepted++
 				touched++
 				continue
 			}
 			rejects = append(rejects, prep.Reject{
-				Index:  i,
-				Reason: fmt.Sprintf("%v: %s", ErrDuplicate, key),
+				Index:  st.i,
+				Reason: fmt.Sprintf("%v: %s", ErrDuplicate, st.key),
 			})
 			continue
 		}
-		if err := s.b.Put(key, encoded); err != nil {
-			return accepted, rejects, fmt.Errorf("store: putting %s: %w", key, err)
+		err = s.b.Put(st.key, st.encoded)
+		mu.Unlock()
+		if err != nil {
+			_ = flushIndex()
+			sortRejects(rejects)
+			return accepted, rejects, fmt.Errorf("store: putting %s: %w", st.key, err)
 		}
 		// The record is committed from here on: count it for the
 		// generation bump even if indexing then fails.
 		touched++
-		// Write-through index maintenance: postings go in right after the
-		// record, so a failure between the two leaves a posting deficit.
-		// Dropping the cached index handle forces the next use through
-		// index.Open, whose consistency check detects the deficit and
-		// rebuilds — the planner never keeps serving an index that is
-		// missing a committed record. (A crash here is repaired the same
-		// way at the next Open, or by a client retry of the batch.)
-		if err := idx.Add(r); err != nil {
-			s.idx = nil
-			return accepted, rejects, fmt.Errorf("store: indexing %s: %w", key, err)
-		}
+		toIndex = append(toIndex, st.r)
 		accepted++
 	}
+
+	// Phase 3 — one batched index flush for the whole call.
+	if err := flushIndex(); err != nil {
+		sortRejects(rejects)
+		return accepted, rejects, err
+	}
+	sortRejects(rejects)
 	return accepted, rejects, nil
+}
+
+// sortRejects restores submission order: validation rejects are staged
+// before commit-time conflicts, so without the sort a conflict on an
+// early record would trail a validation failure on a later one.
+func sortRejects(rejects []prep.Reject) {
+	sort.Slice(rejects, func(i, j int) bool { return rejects[i].Index < rejects[j].Index })
+}
+
+// sameRecordBytes reports whether an existing stored blob holds the same
+// record as a freshly encoded one. Byte equality is the fast path; on
+// mismatch the existing blob is decoded and canonically re-encoded, so a
+// record stored in the legacy gob format is still recognised as an
+// idempotent re-record rather than flagged as a duplicate conflict.
+func sameRecordBytes(existing, encoded []byte) bool {
+	if string(existing) == string(encoded) {
+		return true
+	}
+	r, err := core.DecodeRecord(existing)
+	if err != nil {
+		return false
+	}
+	re, err := core.EncodeRecord(r)
+	if err != nil {
+		return false
+	}
+	return string(re) == string(encoded)
 }
 
 // Query evaluates q and returns matching records (up to q.Limit) plus
@@ -295,6 +417,26 @@ func (m *MemoryBackend) Put(key string, value []byte) error {
 		m.sorted = nil
 	}
 	m.items[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// PutBatch implements Backend: the whole batch goes in under one lock
+// acquisition, so a multi-hundred-posting index flush costs one
+// contended section instead of one per posting.
+func (m *MemoryBackend) PutBatch(kvs []KV) error {
+	for _, p := range kvs {
+		if p.Key == "" {
+			return fmt.Errorf("store: empty key")
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range kvs {
+		if _, exists := m.items[p.Key]; !exists {
+			m.sorted = nil
+		}
+		m.items[p.Key] = append([]byte(nil), p.Value...)
+	}
 	return nil
 }
 
