@@ -7,6 +7,7 @@
 //	benchfig -exp gran           # E7: granularity ablation
 //	benchfig -exp dist           # E8: distributed stores
 //	benchfig -exp ingest         # batched-vs-legacy write-path sweep
+//	benchfig -exp query          # streaming-vs-materializing read-path sweep
 //	benchfig -exp all            # everything
 //
 // By default the sweeps run at laptop scale (seconds); -paper selects
@@ -133,6 +134,19 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	runQuery := func() {
+		sessions, per, reps := 50, 24, 20
+		if *paper {
+			sessions, per, reps = 200, 48, 50
+		}
+		points, err := bench.RunQueryReadSweep(sessions, per, reps, *seed, progress)
+		if err != nil {
+			log.Fatalf("benchfig: query: %v", err)
+		}
+		bench.RenderQueryRead(out, points)
+		fmt.Fprintln(out)
+	}
+
 	switch *exp {
 	case "e1":
 		runE1()
@@ -146,6 +160,8 @@ func main() {
 		runDist()
 	case "ingest":
 		runIngest()
+	case "query":
+		runQuery()
 	case "all":
 		runE1()
 		runFig4()
@@ -153,6 +169,7 @@ func main() {
 		runGran()
 		runDist()
 		runIngest()
+		runQuery()
 	default:
 		log.Fatalf("benchfig: unknown experiment %q", *exp)
 	}

@@ -10,6 +10,12 @@
 //	provq -store URL -registry URL validate -session SESSION
 //	provq -store URL lineage -session SESSION -data DATAID
 //	provq -store URL consolidate -from URL1,URL2,...
+//	provq -backend file|kvdb -dir PATH compact
+//
+// compact is an offline maintenance command: it opens the store
+// directory directly (no server may have it open) and merges the file
+// backend's accumulated posting segments — or the kvdb backend's dead
+// log space — away.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"preserv/internal/preserv"
 	"preserv/internal/registry"
 	"preserv/internal/semval"
+	"preserv/internal/store"
 	"preserv/internal/trace"
 )
 
@@ -36,11 +43,19 @@ func main() {
 	session := flag.String("session", "", "session id (validate, lineage)")
 	dataID := flag.String("data", "", "data id (lineage)")
 	from := flag.String("from", "", "comma-separated source store URLs (consolidate)")
+	backend := flag.String("backend", "file", "backend flavour: file or kvdb (compact)")
+	dir := flag.String("dir", "", "store directory (compact)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: provq [flags] count|sessions|categorize|compare|validate|lineage|consolidate")
+		fmt.Fprintln(os.Stderr, "usage: provq [flags] count|sessions|categorize|compare|validate|lineage|consolidate|compact")
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "compact" {
+		if err := runCompact(*backend, *dir, os.Stdout); err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		return
 	}
 	client := preserv.NewClient(*storeURL, nil)
 
@@ -181,4 +196,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "provq: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+}
+
+// runCompact performs offline store maintenance on a local directory:
+// merging the file backend's per-Record posting segments into one, or
+// rewriting kvdb's log without its dead bytes.
+func runCompact(backend, dir string, out *os.File) error {
+	if dir == "" {
+		return fmt.Errorf("compact needs -dir PATH")
+	}
+	switch backend {
+	case "file":
+		fb, err := store.NewFileBackend(dir)
+		if err != nil {
+			return err
+		}
+		before := fb.Segments()
+		if err := fb.Compact(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "compacted %s: %d posting segment(s) -> %d\n", dir, before, fb.Segments())
+		return fb.Close()
+	case "kvdb":
+		kb, err := store.NewKVBackend(dir)
+		if err != nil {
+			return err
+		}
+		if err := kb.Compact(); err != nil {
+			kb.Close()
+			return err
+		}
+		fmt.Fprintf(out, "compacted kvdb log in %s\n", dir)
+		return kb.Close()
+	}
+	return fmt.Errorf("unknown backend %q (want file or kvdb)", backend)
 }

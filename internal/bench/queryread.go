@@ -1,0 +1,324 @@
+package bench
+
+// Query read-path benchmarking: the measurable payoff of the cost-based
+// streaming read path (seekable posting iterators, leapfrog
+// intersection, batched candidate fetch, cursor paging) over the
+// materializing path it replaced — fixed-priority dimension order,
+// whole posting lists allocated up front, one point Get per candidate.
+// The old path is emulated faithfully here so the speedup stays a
+// number rather than a claim.
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/experiment"
+	"preserv/internal/ids"
+	"preserv/internal/index"
+	"preserv/internal/ontology"
+	"preserv/internal/prep"
+	"preserv/internal/query"
+	"preserv/internal/store"
+)
+
+// materializingQuery replays the pre-refactor read path line for line:
+// indexed equality dims in the old fixed priority order, the two most
+// selective posting lists fully materialised and merged, then one
+// GetRecord per surviving candidate.
+func materializingQuery(s *store.Store, q *prep.Query) ([]core.Record, int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, 0, err
+	}
+	type dimRef struct{ dim, term string }
+	var dims []dimRef
+	if q.InteractionID.Valid() {
+		dims = append(dims, dimRef{index.DimInteraction, q.InteractionID.String()})
+	}
+	if q.DataID.Valid() {
+		dims = append(dims, dimRef{index.DimData, q.DataID.String()})
+	}
+	if q.SessionID.Valid() {
+		dims = append(dims, dimRef{index.DimSession, q.SessionID.String()})
+	}
+	if q.GroupID.Valid() {
+		dims = append(dims, dimRef{index.DimGroup, q.GroupID.String()})
+	}
+	if q.StateKind != "" {
+		dims = append(dims, dimRef{index.DimState, q.StateKind})
+	}
+	if q.Service != "" {
+		dims = append(dims, dimRef{index.DimService, string(q.Service)})
+	}
+	if q.Asserter != "" {
+		dims = append(dims, dimRef{index.DimActor, string(q.Asserter)})
+	}
+	timed := !q.Since.IsZero() || !q.Until.IsZero()
+	if len(dims) == 0 && !timed {
+		return s.Query(q)
+	}
+	ix, err := s.Index()
+	if err != nil {
+		return nil, 0, err
+	}
+	var candidates []string
+	if len(dims) > 0 {
+		const maxIntersectDims = 2
+		chosen := dims
+		if len(chosen) > maxIntersectDims {
+			chosen = chosen[:maxIntersectDims]
+		}
+		for i, d := range chosen {
+			list, err := ix.Postings(d.dim, d.term)
+			if err != nil {
+				return nil, 0, err
+			}
+			if i == 0 {
+				candidates = list
+			} else {
+				candidates = intersectSorted(candidates, list)
+			}
+			if len(candidates) == 0 {
+				break
+			}
+		}
+	} else {
+		err := ix.ScanTimeRange(q.Since, q.Until, func(skey string) error {
+			candidates = append(candidates, skey)
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		sort.Strings(candidates)
+	}
+	kindPrefix := ""
+	switch q.Kind {
+	case core.KindInteraction.String():
+		kindPrefix = "i/"
+	case core.KindActorState.String():
+		kindPrefix = "s/"
+	}
+	var out []core.Record
+	total := 0
+	for _, skey := range candidates {
+		if kindPrefix != "" && !strings.HasPrefix(skey, kindPrefix) {
+			continue
+		}
+		r, ok, err := s.GetRecord(skey)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			continue
+		}
+		if !q.Matches(r) {
+			continue
+		}
+		total++
+		if q.Limit == 0 || len(out) < q.Limit {
+			out = append(out, *r)
+		}
+	}
+	return out, total, nil
+}
+
+// intersectSorted merges two ascending string slices into their
+// intersection — the old path's merge primitive.
+func intersectSorted(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// QueryReadResult is one materializing-vs-streaming comparison point.
+type QueryReadResult struct {
+	// Workload names the query shape.
+	Workload string
+	// Sessions is the store's session count, Records its record count.
+	Sessions int
+	Records  int
+	// MaterializeMillis and StreamMillis are per-operation wall times.
+	MaterializeMillis float64
+	StreamMillis      float64
+	// Speedup is MaterializeMillis / StreamMillis.
+	Speedup float64
+}
+
+// populateSessionsDirect fills a store (no HTTP in the way — this sweep
+// measures the read path itself) with the given number of sessions and
+// returns their identifiers in recording order.
+func populateSessionsDirect(s *store.Store, sessions, interactionsPer int, seed int64) ([]ids.ID, error) {
+	out := make([]ids.ID, 0, sessions)
+	for i := 0; i < sessions; i++ {
+		src := &ids.SeqSource{Prefix: uint64(seed+int64(i))&0xFFFF | 0x1A0000 | uint64(i)<<24}
+		p := &populator{ids: src, session: src.NewID()}
+		encoded := p.value(ontology.TypeGroupEncoded)
+		units := (interactionsPer + 5) / 6
+		for u := 0; u < units; u++ {
+			p.permutationUnit(encoded)
+		}
+		if acc, rejects, err := s.Record(experiment.SvcEnactor, p.batch); err != nil || len(rejects) > 0 || acc != len(p.batch) {
+			return nil, fmt.Errorf("bench: populating session %d: accepted %d/%d, rejects %d, err %v",
+				i, acc, len(p.batch), len(rejects), err)
+		}
+		out = append(out, p.session)
+	}
+	return out, nil
+}
+
+// RunQueryReadSweep populates a memory-backed store and measures the
+// streaming read path against the materializing emulation across the
+// read shapes the use cases lean on. Results are asserted identical
+// between the two paths before anything is timed — a speedup over a
+// wrong answer would be worthless.
+func RunQueryReadSweep(sessions, interactionsPer, reps int, seed int64, progress io.Writer) ([]QueryReadResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	s := store.New(store.NewMemoryBackend())
+	sids, err := populateSessionsDirect(s, sessions, interactionsPer, seed)
+	if err != nil {
+		return nil, err
+	}
+	cnt, err := s.Count()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Index(); err != nil {
+		return nil, err
+	}
+	e := query.NewSized(s, 0) // cache off: every run must execute
+	target := sids[len(sids)/2]
+
+	type workload struct {
+		name string
+		q    prep.Query
+		// page selects a cursor-paged first-page read of the given size
+		// (0 = full query).
+		page int
+	}
+	workloads := []workload{
+		// trace.Build's lineage fetch: one session's interactions.
+		{name: "session-lineage", q: prep.Query{Kind: core.KindInteraction.String(), SessionID: target}},
+		// A selective list intersected with a store-sized one: the old
+		// path materialises the full actor posting list every time, the
+		// new path leapfrogs it with one seek per session record.
+		{name: "session+actor", q: prep.Query{SessionID: target, Asserter: experiment.SvcEnactor}},
+		// compare's script fetch: kind-pruned state postings of one
+		// session.
+		{name: "session-scripts", q: prep.Query{Kind: core.KindActorState.String(), StateKind: core.StateScript, SessionID: target}},
+		// A dashboard peeking at the newest slice of a store-wide
+		// result: the paged path terminates after one page of 10, the
+		// old path resolved every candidate in the store to show them.
+		{name: "first-page-10", q: prep.Query{Kind: core.KindInteraction.String(), Asserter: experiment.SvcEnactor}, page: 10},
+	}
+
+	timeIt := func(fn func() error) (float64, error) {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / 1000 / float64(reps), nil
+	}
+
+	var results []QueryReadResult
+	for _, w := range workloads {
+		q := w.q
+		// Correctness gate: identical records from both paths.
+		wantRecs, wantTotal, err := materializingQuery(s, &q)
+		if err != nil {
+			return nil, err
+		}
+		if w.page == 0 {
+			gotRecs, gotTotal, _, err := e.Query(&q)
+			if err != nil {
+				return nil, err
+			}
+			if gotTotal != wantTotal || !reflect.DeepEqual(gotRecs, wantRecs) {
+				return nil, fmt.Errorf("bench: %s: streaming result diverges from materializing path", w.name)
+			}
+		} else {
+			gotRecs, _, _, _, err := e.QueryPage(&q, "", w.page)
+			if err != nil {
+				return nil, err
+			}
+			wantPage := wantRecs
+			if len(wantPage) > w.page {
+				wantPage = wantPage[:w.page]
+			}
+			if !reflect.DeepEqual(gotRecs, wantPage) {
+				return nil, fmt.Errorf("bench: %s: paged result diverges from materializing path", w.name)
+			}
+		}
+
+		matMs, err := timeIt(func() error {
+			limit := q
+			if w.page > 0 {
+				// The old path had no paging: a client wanting the first
+				// N still paid for the full candidate resolution.
+				limit.Limit = w.page
+			}
+			_, _, err := materializingQuery(s, &limit)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		strMs, err := timeIt(func() error {
+			if w.page > 0 {
+				_, _, _, _, err := e.QueryPage(&q, "", w.page)
+				return err
+			}
+			_, _, _, err := e.Query(&q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := QueryReadResult{
+			Workload:          w.name,
+			Sessions:          sessions,
+			Records:           cnt.Records,
+			MaterializeMillis: matMs,
+			StreamMillis:      strMs,
+		}
+		if strMs > 0 {
+			p.Speedup = matMs / strMs
+		}
+		results = append(results, p)
+		if progress != nil {
+			fmt.Fprintf(progress, "query n=%-3d sessions %-16s materialize=%9.3fms stream=%9.3fms speedup=%.1fx\n",
+				p.Sessions, p.Workload, p.MaterializeMillis, p.StreamMillis, p.Speedup)
+		}
+	}
+	return results, nil
+}
+
+// RenderQueryRead writes the comparison table.
+func RenderQueryRead(w io.Writer, points []QueryReadResult) {
+	fmt.Fprintf(w, "Streaming vs materializing read path (ms) on a multi-session store\n")
+	fmt.Fprintf(w, "%-16s %9s %9s %12s %12s %9s\n", "workload", "sessions", "records", "materialize", "stream", "speedup")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-16s %9d %9d %12.3f %12.3f %8.1fx\n",
+			p.Workload, p.Sessions, p.Records, p.MaterializeMillis, p.StreamMillis, p.Speedup)
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+func TestQueryReadSweepShapeAndAgreement(t *testing.T) {
+	// The sweep itself asserts result equality between the streaming
+	// and materializing paths before timing anything; this test pins
+	// that it runs and reports every workload.
+	points, err := RunQueryReadSweep(8, 12, 2, 2005, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("sweep produced %d workloads, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.Sessions != 8 || p.Records == 0 {
+			t.Errorf("%s: malformed point %+v", p.Workload, p)
+		}
+		if p.MaterializeMillis <= 0 || p.StreamMillis <= 0 {
+			t.Errorf("%s: unmeasured point %+v", p.Workload, p)
+		}
+	}
+}
+
+func TestQueryReadStreamingWinsAtFiftySessions(t *testing.T) {
+	// The acceptance criterion: a measured win over the materializing
+	// path at >= 50 sessions. first-page-10 (early termination) runs
+	// ~10x and session+actor (leapfrog vs materialised store-wide list)
+	// ~2x on idle hardware; the asserted margins are far below that so
+	// only a regression to materializing behaviour trips them, and one
+	// retry absorbs a load spike on a shared runner.
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short mode")
+	}
+	floors := map[string]float64{"session+actor": 1.15, "first-page-10": 2.0}
+	var lastErr string
+	for attempt := 0; attempt < 2; attempt++ {
+		points, err := RunQueryReadSweep(50, 24, 50, 2005, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]QueryReadResult{}
+		for _, p := range points {
+			byName[p.Workload] = p
+		}
+		lastErr = ""
+		for name, floor := range floors {
+			p, ok := byName[name]
+			if !ok {
+				t.Fatalf("workload %s missing from sweep", name)
+			}
+			if p.Speedup < floor {
+				lastErr = name + ": speedup below floor"
+				t.Logf("attempt %d: %s speedup %.2fx (materialize %.3fms, stream %.3fms), floor %.2fx",
+					attempt, name, p.Speedup, p.MaterializeMillis, p.StreamMillis, floor)
+			}
+		}
+		if lastErr == "" {
+			return
+		}
+	}
+	t.Fatalf("streaming read path shows no win after retry: %s", lastErr)
+}
+
+func BenchmarkQueryReadStreaming50Sessions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunQueryReadSweep(50, 24, 3, 2005, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

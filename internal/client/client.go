@@ -144,6 +144,21 @@ type AsyncRecorder struct {
 	recorded    atomic.Int64
 	shipped     atomic.Int64
 	closed      bool
+	// autoFlushAt triggers a background flush once pending reaches it
+	// (0 disables); flushing marks one in flight so Record never stacks
+	// a second goroutine behind it. retryAt is the failure backoff:
+	// after a failed background flush it holds the backlog level that
+	// must accumulate before another attempt, so a dead endpoint costs
+	// one failed flush per threshold's worth of new records instead of
+	// one O(journal) attempt per Record call.
+	autoFlushAt int64
+	retryAt     int64
+	flushing    bool
+	// autoFlushErr keeps the most recent background-flush failure for
+	// AutoFlushErr. The journal itself is kept whole on failure, so the
+	// error is informational: the next flush (background or explicit)
+	// re-ships everything.
+	autoFlushErr error
 }
 
 // NewAsyncRecorder creates an asynchronous recorder journaling to
@@ -180,6 +195,58 @@ func (r *AsyncRecorder) SetFlushConcurrency(n int) {
 	r.concurrency = n
 }
 
+// SetAutoFlushThreshold arranges for a background flush whenever the
+// journal backlog reaches n pending records, so a long-running actor
+// ships continuously instead of accumulating everything until an
+// explicit Flush or Close. n <= 0 disables (the default — the paper's
+// record-everything-then-ship-after-execution mode). While a background
+// flush is shipping, Record calls block behind it — that is the
+// recorder's natural backpressure: the backlog can never outgrow one
+// threshold's worth plus one in-flight flush. A failed background flush
+// keeps the journal whole (the next flush re-ships, idempotent
+// recording absorbs the overlap) and is reported by AutoFlushErr.
+func (r *AsyncRecorder) SetAutoFlushThreshold(n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.autoFlushAt = n
+	r.retryAt = 0
+}
+
+// AutoFlushErr returns (and clears) the most recent background-flush
+// failure, nil if none since the last call.
+func (r *AsyncRecorder) AutoFlushErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.autoFlushErr
+	r.autoFlushErr = nil
+	return err
+}
+
+// maybeAutoFlushLocked spawns the background shipper when the backlog
+// crossed the threshold and none is already in flight. Callers hold
+// r.mu.
+func (r *AsyncRecorder) maybeAutoFlushLocked() {
+	if r.autoFlushAt <= 0 || r.pending < r.autoFlushAt || r.pending < r.retryAt || r.flushing || r.closed {
+		return
+	}
+	r.flushing = true
+	go func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.flushing = false
+		if r.closed || r.pending == 0 {
+			return // Close or an explicit Flush got here first
+		}
+		if err := r.flushLocked(); err != nil {
+			r.autoFlushErr = err
+			// Back off: the journal is whole, so re-attempting on the
+			// very next Record would just replay the same failure. Wait
+			// for another threshold's worth of backlog first.
+			r.retryAt = r.pending + r.autoFlushAt
+		}
+	}()
+}
+
 // Record implements Recorder: it only appends to the local journal.
 func (r *AsyncRecorder) Record(records ...core.Record) error {
 	if len(records) == 0 {
@@ -197,6 +264,7 @@ func (r *AsyncRecorder) Record(records ...core.Record) error {
 	}
 	r.pending += int64(len(records))
 	r.recorded.Add(int64(len(records)))
+	r.maybeAutoFlushLocked()
 	return nil
 }
 
@@ -309,7 +377,8 @@ func (r *AsyncRecorder) flushLocked() error {
 		return err
 	}
 
-	// All shipped: reset the journal.
+	// All shipped: reset the journal (and any auto-flush backoff — the
+	// endpoint evidently recovered).
 	if err := r.journal.Truncate(0); err != nil {
 		return fmt.Errorf("client: truncating journal: %w", err)
 	}
@@ -319,6 +388,7 @@ func (r *AsyncRecorder) flushLocked() error {
 	r.bw.Reset(r.journal)
 	r.enc = gob.NewEncoder(r.bw)
 	r.pending = 0
+	r.retryAt = 0
 	return nil
 }
 

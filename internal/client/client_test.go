@@ -534,3 +534,121 @@ func TestAsyncRecorderRecordAfterFailedFlush(t *testing.T) {
 		t.Fatalf("store accepted %d, want %d", st.RecordsAccepted, first+extra)
 	}
 }
+
+func TestAsyncRecorderAutoFlushOnBacklog(t *testing.T) {
+	// With a threshold set, crossing the backlog triggers shipping in
+	// the background — no explicit Flush needed.
+	client, svc := startStore(t)
+	r, err := NewAsyncRecorder("svc:enactor", filepath.Join(t.TempDir(), "journal"), 5, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetAutoFlushThreshold(10)
+
+	session := seq.NewID()
+	for i := 0; i < 25; i++ {
+		if err := r.Record(mkRecord(session)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.Stats().Shipped >= 10 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if shipped := r.Stats().Shipped; shipped < 10 {
+		t.Fatalf("background flush shipped %d records, want >= 10 without an explicit Flush", shipped)
+	}
+	if err := r.AutoFlushErr(); err != nil {
+		t.Fatalf("background flush errored: %v", err)
+	}
+
+	// An explicit Flush ships the remainder; everything lands exactly
+	// once (idempotent store, distinct records).
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Stats().RecordsAccepted; got != 25 {
+		t.Fatalf("store accepted %d records, want 25", got)
+	}
+	if r.Pending() != 0 {
+		t.Errorf("pending = %d after flush, want 0", r.Pending())
+	}
+}
+
+func TestAsyncRecorderAutoFlushDisabledByDefault(t *testing.T) {
+	client, svc := startStore(t)
+	r, err := NewAsyncRecorder("svc:enactor", filepath.Join(t.TempDir(), "journal"), 5, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	session := seq.NewID()
+	for i := 0; i < 30; i++ {
+		if err := r.Record(mkRecord(session)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := svc.Stats().RecordsAccepted; got != 0 {
+		t.Errorf("recorder shipped %d records without a threshold or Flush", got)
+	}
+	if r.Pending() != 30 {
+		t.Errorf("pending = %d, want 30", r.Pending())
+	}
+}
+
+func TestAsyncRecorderAutoFlushFailureKeepsJournal(t *testing.T) {
+	// A dead endpoint fails the background flush; the journal must stay
+	// whole, the error must surface through AutoFlushErr, and a later
+	// flush against a live endpoint re-ships everything.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	r, err := NewAsyncRecorder("svc:enactor", filepath.Join(t.TempDir(), "journal"), 4, preserv.NewClient(dead.URL, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetAutoFlushThreshold(3)
+	session := seq.NewID()
+	for i := 0; i < 6; i++ {
+		if err := r.Record(mkRecord(session)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		r.mu.Lock()
+		failed := r.autoFlushErr != nil
+		r.mu.Unlock()
+		if failed {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := r.AutoFlushErr(); err == nil {
+		t.Fatal("background flush against a dead endpoint reported no error")
+	}
+	if r.Pending() != 6 {
+		t.Errorf("pending = %d after failed background flush, want 6 (journal kept whole)", r.Pending())
+	}
+	// The failure backs the trigger off: the next Record must not spawn
+	// another full-journal attempt (the journal is whole; replaying it
+	// immediately would just repeat the failure per Record call).
+	if err := r.Record(mkRecord(session)); err != nil {
+		t.Fatalf("Record after failed background flush: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := r.AutoFlushErr(); err != nil {
+		t.Errorf("auto-flush re-fired immediately after a failure: %v", err)
+	}
+	// A clean Close (no endpoint swap possible here) surfaces the
+	// shipping failure rather than losing data silently.
+	if err := r.Close(); err == nil {
+		t.Error("Close shipped to a dead endpoint without error")
+	}
+}

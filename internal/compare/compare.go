@@ -45,7 +45,8 @@ type Categorization struct {
 	// InteractionsScanned counts interaction records visited; the
 	// paper's Figure 5 x-axis.
 	InteractionsScanned int
-	// StoreCalls counts provenance store invocations made.
+	// StoreCalls counts logical provenance store queries made (a
+	// cursor-paged stream counts once, however many pages it spans).
 	StoreCalls int
 	// Elapsed is the wall time of the categorisation.
 	Elapsed time.Duration
@@ -72,23 +73,6 @@ func newCategorization() *Categorization {
 	return &Categorization{
 		categories:       make(map[string]*Category),
 		byServiceSession: make(map[core.ActorID]map[ids.ID]map[string]bool),
-	}
-}
-
-// ingest merges a batch of interaction records and the script
-// actor-state records documenting them into the categorization,
-// visiting scripts interaction by interaction exactly as the legacy
-// per-interaction queries do.
-func (cat *Categorization) ingest(interactions, scripts []core.Record) {
-	byInteraction := make(map[ids.ID][]*core.Record, len(scripts))
-	for j := range scripts {
-		s := &scripts[j]
-		byInteraction[s.InteractionID()] = append(byInteraction[s.InteractionID()], s)
-	}
-	for i := range interactions {
-		r := &interactions[i]
-		cat.InteractionsScanned++
-		cat.ingestScripts(r, byInteraction[r.InteractionID()])
 	}
 }
 
@@ -135,10 +119,13 @@ func (cat *Categorization) finish(start time.Time) {
 }
 
 // Categorize builds the category mapping for every interaction in the
-// store. The default path costs two store calls — one for the
-// interaction records, one planner-indexed call for all script
-// p-assertions — independent of the interaction count; Legacy restores
-// the paper's one-call-per-interaction pattern.
+// store. The default path costs two logical store queries — one paged
+// stream of the script p-assertions, one of the interaction records —
+// independent of the interaction count; Legacy restores the paper's
+// one-call-per-interaction pattern. Both streams are cursor-paged, so
+// the store never buffers the full result set, and the interaction
+// stream (the large side of the join) is consumed record by record
+// without being materialised here either.
 func (c *Categorizer) Categorize() (*Categorization, error) {
 	if c.Legacy {
 		return c.categorizeLegacy()
@@ -146,22 +133,33 @@ func (c *Categorizer) Categorize() (*Categorization, error) {
 	start := time.Now()
 	cat := newCategorization()
 
-	interactions, _, _, err := c.Store.QueryPlanned(&prep.Query{Kind: core.KindInteraction.String()})
-	if err != nil {
-		return nil, fmt.Errorf("compare: listing interactions: %w", err)
-	}
-	cat.StoreCalls++
-
-	scripts, _, _, err := c.Store.QueryPlanned(&prep.Query{
+	// The scripts stream first, into the interaction-keyed join map
+	// (scripts are the small side: one per activity).
+	byInteraction := make(map[ids.ID][]*core.Record)
+	_, err := c.Store.QueryStream(&prep.Query{
 		Kind:      core.KindActorState.String(),
 		StateKind: core.StateScript,
+	}, 0, func(r *core.Record) error {
+		s := *r
+		byInteraction[s.InteractionID()] = append(byInteraction[s.InteractionID()], &s)
+		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("compare: fetching scripts: %w", err)
 	}
 	cat.StoreCalls++
 
-	cat.ingest(interactions, scripts)
+	// The interactions then stream through the join one at a time.
+	_, err = c.Store.QueryStream(&prep.Query{Kind: core.KindInteraction.String()}, 0, func(r *core.Record) error {
+		cat.InteractionsScanned++
+		cat.ingestScripts(r, byInteraction[r.InteractionID()])
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("compare: listing interactions: %w", err)
+	}
+	cat.StoreCalls++
+
 	cat.finish(start)
 	return cat, nil
 }
@@ -186,45 +184,55 @@ func (c *Categorizer) CategorizeSessions(sessions ...ids.ID) (*Categorization, e
 			continue
 		}
 		seen[session] = true
-		interactions, _, _, err := c.Store.QueryPlanned(&prep.Query{
-			Kind:      core.KindInteraction.String(),
-			SessionID: session,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("compare: listing session %v interactions: %w", session, err)
-		}
-		cat.StoreCalls++
-		scripts, _, _, err := c.Store.QueryPlanned(&prep.Query{
+		// The session's scripts stream into the join map first...
+		byInteraction := make(map[ids.ID][]*core.Record)
+		_, err := c.Store.QueryStream(&prep.Query{
 			Kind:      core.KindActorState.String(),
 			StateKind: core.StateScript,
 			SessionID: session,
+		}, 0, func(r *core.Record) error {
+			s := *r
+			byInteraction[s.InteractionID()] = append(byInteraction[s.InteractionID()], &s)
+			return nil
 		})
 		if err != nil {
 			return nil, fmt.Errorf("compare: fetching session %v scripts: %w", session, err)
 		}
 		cat.StoreCalls++
-		covered := make(map[ids.ID]bool, len(scripts))
-		for j := range scripts {
-			covered[scripts[j].InteractionID()] = true
-		}
-		for i := range interactions {
-			iid := interactions[i].InteractionID()
-			if covered[iid] {
-				continue
+		// ...then the interactions stream through one at a time; one
+		// whose scripts carry no session group falls back to a single
+		// interaction-scoped fetch (cached in the join map, so further
+		// views of the same interaction reuse it).
+		_, err = c.Store.QueryStream(&prep.Query{
+			Kind:      core.KindInteraction.String(),
+			SessionID: session,
+		}, 0, func(r *core.Record) error {
+			iid := r.InteractionID()
+			refs, ok := byInteraction[iid]
+			if !ok {
+				extra, _, _, err := c.Store.QueryPlanned(&prep.Query{
+					InteractionID: iid,
+					Kind:          core.KindActorState.String(),
+					StateKind:     core.StateScript,
+				})
+				if err != nil {
+					return fmt.Errorf("compare: fetching scripts for %v: %w", iid, err)
+				}
+				cat.StoreCalls++
+				refs = make([]*core.Record, 0, len(extra))
+				for j := range extra {
+					refs = append(refs, &extra[j])
+				}
+				byInteraction[iid] = refs
 			}
-			covered[iid] = true
-			extra, _, _, err := c.Store.QueryPlanned(&prep.Query{
-				InteractionID: iid,
-				Kind:          core.KindActorState.String(),
-				StateKind:     core.StateScript,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("compare: fetching scripts for %v: %w", iid, err)
-			}
-			cat.StoreCalls++
-			scripts = append(scripts, extra...)
+			cat.InteractionsScanned++
+			cat.ingestScripts(r, refs)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compare: listing session %v interactions: %w", session, err)
 		}
-		cat.ingest(interactions, scripts)
+		cat.StoreCalls++
 	}
 	cat.finish(start)
 	return cat, nil

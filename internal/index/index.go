@@ -89,6 +89,10 @@ type KV interface {
 	PutBatch(kvs []kv.Pair) error
 	Get(key string) (value []byte, ok bool, err error)
 	Scan(prefix string, fn func(key string, value []byte) error) error
+	// ScanFrom is Scan restricted to keys >= from — what lets a posting
+	// iterator resume a partially consumed list without re-reading its
+	// head.
+	ScanFrom(prefix, from string, fn func(key string, value []byte) error) error
 	Count(prefix string) (int, error)
 }
 
@@ -362,6 +366,9 @@ func (ix *Index) ScanPostings(dim, term string, fn func(storageKey string) error
 }
 
 // Postings materialises the sorted posting list of (dim, term).
+// Streaming reads should prefer Iter: a materialised list costs memory
+// proportional to the term's cardinality however few entries the caller
+// consumes.
 func (ix *Index) Postings(dim, term string) ([]string, error) {
 	var out []string
 	err := ix.ScanPostings(dim, term, func(skey string) error {
@@ -369,6 +376,119 @@ func (ix *Index) Postings(dim, term string) ([]string, error) {
 		return nil
 	})
 	return out, err
+}
+
+// iterChunk is how many posting keys one buffer refill pulls from the
+// backend. Large enough to amortise the seek (binary search + lock) over
+// a run of sequential Next calls, small enough that a leapfrog
+// intersection skipping most of a long list never drags whole sublists
+// into memory.
+const iterChunk = 64
+
+// PostingIter is a seekable cursor over one term's sorted posting list.
+// It streams the underlying key range in bounded chunks, so neither a
+// long sequential read nor a sparse skip-heavy intersection ever
+// materialises the full list. The zero value is not usable; call Iter.
+//
+// Iterators read the live index: postings added after a refill appear
+// when the next chunk is pulled. That is the same read-uncommitted view
+// a materialised Postings call has — one Record batch may be seen
+// partially — and queries tolerate it the same way (a posting without a
+// stored record is skipped at fetch time).
+type PostingIter struct {
+	kv     KV
+	prefix string // full posting key prefix of (dim, term)
+	buf    []string
+	pos    int    // next unread entry of buf
+	next   string // lower bound for the next refill ("" = list start)
+	done   bool   // backend range exhausted
+	read   int    // posting entries pulled from the backend (plan stats)
+}
+
+// Iter opens a cursor over the (dim, term) posting list.
+func (ix *Index) Iter(dim, term string) *PostingIter {
+	return &PostingIter{kv: ix.kv, prefix: postingKeyPrefix(dim, term)}
+}
+
+// Read reports how many posting entries the iterator has pulled from
+// the backend — the actual read cost a query plan attributes to it.
+func (it *PostingIter) Read() int { return it.read }
+
+// refill pulls the next chunk of storage keys at or above `from`.
+func (it *PostingIter) refill(from string) error {
+	it.buf = it.buf[:0]
+	it.pos = 0
+	err := it.kv.ScanFrom(it.prefix, from, func(key string, _ []byte) error {
+		it.buf = append(it.buf, key[len(it.prefix):])
+		if len(it.buf) >= iterChunk {
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		return err
+	}
+	it.read += len(it.buf)
+	if len(it.buf) < iterChunk {
+		it.done = true // range exhausted; the buffer tail is all that is left
+	} else {
+		it.next = it.prefix + it.buf[len(it.buf)-1] + "\x00"
+	}
+	return nil
+}
+
+// Next returns the next storage key of the list, or ok=false at the end.
+func (it *PostingIter) Next() (skey string, ok bool, err error) {
+	if it.pos >= len(it.buf) {
+		if it.done {
+			return "", false, nil
+		}
+		if err := it.refill(it.next); err != nil {
+			return "", false, err
+		}
+		if it.pos >= len(it.buf) {
+			return "", false, nil
+		}
+	}
+	skey = it.buf[it.pos]
+	it.pos++
+	return skey, true, nil
+}
+
+// Seek advances to the first storage key >= target and returns it (or
+// ok=false if the list holds none). Seeking backwards is not supported:
+// a target at or before the last returned key just yields the next
+// entries in order.
+func (it *PostingIter) Seek(target string) (skey string, ok bool, err error) {
+	// Serve from the buffer when the target lies inside it.
+	if it.pos < len(it.buf) {
+		rest := it.buf[it.pos:]
+		i := sort.SearchStrings(rest, target)
+		if i < len(rest) {
+			it.pos += i + 1
+			return rest[i], true, nil
+		}
+		if it.done {
+			return "", false, nil
+		}
+	} else if it.done {
+		return "", false, nil
+	}
+	// Past the buffer: one backend seek directly to the target, skipping
+	// the entries in between without reading them.
+	from := it.prefix + target
+	if from < it.next {
+		from = it.next
+	}
+	if err := it.refill(from); err != nil {
+		return "", false, err
+	}
+	if it.pos >= len(it.buf) {
+		return "", false, nil
+	}
+	skey = it.buf[it.pos]
+	it.pos++
+	return skey, true, nil
 }
 
 // CountPostings reports the length of the (dim, term) posting list — the

@@ -1,8 +1,8 @@
 package index_test
 
 import (
-	. "preserv/internal/index"
 	"fmt"
+	. "preserv/internal/index"
 	"testing"
 	"time"
 
@@ -322,5 +322,111 @@ func TestIndexPersistsAcrossReopen(t *testing.T) {
 	}
 	if n != 2 {
 		t.Fatalf("postings after reopen = %d, want 2", n)
+	}
+}
+
+func TestPostingIterSequential(t *testing.T) {
+	// Next must visit exactly what Postings materialises, in order —
+	// across chunk refills (the store holds several chunks' worth).
+	backend := store.NewMemoryBackend()
+	ix, err := Open(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := seq.NewID()
+	const n = 150 // > 2 × iterChunk
+	for i := 0; i < n; i++ {
+		inter, _, _ := makeActivity(session, "svc:enactor", "svc:gzip", uint64(i+1), t0)
+		if err := ix.Add(&inter); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ix.Postings(DimSession, session.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != n {
+		t.Fatalf("postings = %d, want %d", len(want), n)
+	}
+	it := ix.Iter(DimSession, session.String())
+	var got []string
+	for {
+		k, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("iterator visited %d keys, Postings %d; diverged", len(got), len(want))
+	}
+	if it.Read() != n {
+		t.Errorf("Read() = %d, want %d", it.Read(), n)
+	}
+	// Next past the end stays exhausted.
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Errorf("Next after end: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPostingIterSeek(t *testing.T) {
+	backend := store.NewMemoryBackend()
+	ix, err := Open(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := seq.NewID()
+	const n = 150
+	for i := 0; i < n; i++ {
+		inter, _, _ := makeActivity(session, "svc:enactor", "svc:gzip", uint64(i+1), t0)
+		if err := ix.Add(&inter); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ix.Postings(DimSession, session.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seek to an existing key is inclusive.
+	it := ix.Iter(DimSession, session.String())
+	k, ok, err := it.Seek(want[100])
+	if err != nil || !ok || k != want[100] {
+		t.Fatalf("Seek(existing) = %q ok=%v err=%v, want %q", k, ok, err, want[100])
+	}
+	// The stream continues from there.
+	k, ok, err = it.Next()
+	if err != nil || !ok || k != want[101] {
+		t.Fatalf("Next after seek = %q ok=%v err=%v, want %q", k, ok, err, want[101])
+	}
+
+	// Seek between keys lands on the successor; a sparse seek far ahead
+	// must not read the skipped run.
+	it2 := ix.Iter(DimSession, session.String())
+	if _, ok, err := it2.Next(); !ok || err != nil {
+		t.Fatal("first Next failed")
+	}
+	readBefore := it2.Read()
+	k, ok, err = it2.Seek(want[len(want)-1])
+	if err != nil || !ok || k != want[len(want)-1] {
+		t.Fatalf("sparse Seek = %q ok=%v err=%v", k, ok, err)
+	}
+	if skipped := it2.Read() - readBefore; skipped > 2*64 {
+		t.Errorf("sparse seek read %d entries; the skipped run was not skipped", skipped)
+	}
+
+	// Seek past the end exhausts.
+	k, ok, err = it2.Seek(want[len(want)-1] + "\xff")
+	if err != nil || ok {
+		t.Fatalf("Seek past end = %q ok=%v err=%v, want exhausted", k, ok, err)
+	}
+
+	// A missing term yields an empty list.
+	it3 := ix.Iter(DimSession, seq.NewID().String())
+	if _, ok, err := it3.Next(); ok || err != nil {
+		t.Errorf("empty-term Next: ok=%v err=%v", ok, err)
 	}
 }

@@ -65,6 +65,11 @@ type DB struct {
 	// garbage counts bytes occupied by superseded or deleted records,
 	// used to decide when compaction is worthwhile.
 	garbage int64
+	// sorted caches the index's keys in sorted order; nil when dirty
+	// (a key was added or deleted since the last build). It turns the
+	// prefix/range scans the read path leans on from O(n log n) per call
+	// into a binary search plus a walk.
+	sorted []string
 }
 
 // Open opens (creating if necessary) the database in dir. A partially
@@ -170,6 +175,8 @@ func (db *DB) Put(key string, val []byte) error {
 	}
 	if prev, ok := db.index[key]; ok {
 		db.garbage += int64(headerSize + len(key) + prev.valLen)
+	} else {
+		db.sorted = nil
 	}
 	valOff := db.offset + headerSize + int64(len(key))
 	if err := db.appendRecord(0, key, val); err != nil {
@@ -244,10 +251,47 @@ func (db *DB) PutBatch(pairs []kv.Pair) error {
 	for _, l := range locs {
 		if prev, ok := db.index[l.key]; ok {
 			db.garbage += int64(headerSize + len(l.key) + prev.valLen)
+		} else {
+			db.sorted = nil
 		}
 		db.index[l.key] = l.loc
 	}
 	return nil
+}
+
+// GetBatch fetches several keys in one lock acquisition and one pass
+// over the log. The returned slices align with keys; present[i] is
+// false for absent keys. Reads are issued in log-offset order, so a
+// batch of point lookups degrades into one forward sweep of the file
+// rather than random seeking in request order.
+func (db *DB) GetBatch(keys []string) (values [][]byte, present []bool, err error) {
+	values = make([][]byte, len(keys))
+	present = make([]bool, len(keys))
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, nil, ErrClosed
+	}
+	type fetch struct {
+		i   int
+		loc entryLoc
+	}
+	fetches := make([]fetch, 0, len(keys))
+	for i, k := range keys {
+		if loc, ok := db.index[k]; ok {
+			fetches = append(fetches, fetch{i: i, loc: loc})
+		}
+	}
+	sort.Slice(fetches, func(a, b int) bool { return fetches[a].loc.off < fetches[b].loc.off })
+	for _, f := range fetches {
+		val := make([]byte, f.loc.valLen)
+		if _, err := db.f.ReadAt(val, f.loc.off); err != nil {
+			return nil, nil, fmt.Errorf("kvdb: batch reading %q: %w", keys[f.i], err)
+		}
+		values[f.i] = val
+		present[f.i] = true
+	}
+	return values, present, nil
 }
 
 // Get returns the value stored under key, or ErrNotFound.
@@ -291,6 +335,7 @@ func (db *DB) Delete(key string) error {
 		return err
 	}
 	delete(db.index, key)
+	db.sorted = nil
 	db.garbage += int64(headerSize+len(key)+prev.valLen) + int64(headerSize+len(key))
 	return nil
 }
@@ -302,33 +347,88 @@ func (db *DB) Len() int {
 	return len(db.index)
 }
 
-// Keys returns all live keys with the given prefix, sorted. An empty
-// prefix returns every key.
-func (db *DB) Keys(prefix string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	keys := make([]string, 0, len(db.index))
-	for k := range db.index {
-		if strings.HasPrefix(k, prefix) {
+// sortedKeysLocked returns the cached sorted key slice, rebuilding it if
+// a key was added or removed since the last build. Callers must hold the
+// write lock.
+func (db *DB) sortedKeysLocked() []string {
+	if db.sorted == nil {
+		keys := make([]string, 0, len(db.index))
+		for k := range db.index {
 			keys = append(keys, k)
 		}
+		sort.Strings(keys)
+		db.sorted = keys
 	}
-	sort.Strings(keys)
-	return keys
+	return db.sorted
+}
+
+// sortedSnapshot returns the sorted key cache, rebuilding only when
+// stale. Cache warm, the cost is one shared-lock acquisition: the slice
+// is immutable once built (writers replace, never mutate), so readers
+// iterate it concurrently; keys deleted after the build are absorbed by
+// the per-key Get re-check.
+func (db *DB) sortedSnapshot() []string {
+	db.mu.RLock()
+	keys := db.sorted
+	db.mu.RUnlock()
+	if keys != nil {
+		return keys
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.sortedKeysLocked()
+}
+
+// Keys returns all live keys with the given prefix, sorted. An empty
+// prefix returns every key. The result is the caller's to keep.
+func (db *DB) Keys(prefix string) []string {
+	keys := db.sortedSnapshot()
+	i := sort.SearchStrings(keys, prefix)
+	j := i
+	for j < len(keys) && strings.HasPrefix(keys[j], prefix) {
+		j++
+	}
+	return append([]string(nil), keys[i:j]...)
+}
+
+// CountPrefix reports how many live keys carry the prefix without
+// copying them — two binary searches on the sorted key cache, which is
+// what makes the query planner's per-dimension cardinality probes cheap.
+func (db *DB) CountPrefix(prefix string) int {
+	keys := db.sortedSnapshot()
+	i := sort.SearchStrings(keys, prefix)
+	j := sort.Search(len(keys)-i, func(n int) bool {
+		return !strings.HasPrefix(keys[i+n], prefix)
+	}) // prefix-carrying keys are contiguous from i
+	return j
 }
 
 // Scan calls fn for every live key with the given prefix, in sorted key
 // order, stopping early if fn returns an error (which Scan returns).
 func (db *DB) Scan(prefix string, fn func(key string, val []byte) error) error {
-	for _, k := range db.Keys(prefix) {
-		v, err := db.Get(k)
+	return db.ScanFrom(prefix, "", fn)
+}
+
+// ScanFrom is Scan restricted to keys >= from — the primitive behind
+// seekable posting iterators, which resume a prefix scan mid-list
+// without re-reading the keys already consumed. Keys stream off the
+// snapshot lazily: an early stop from fn ends the sweep without the
+// remaining range being copied or visited.
+func (db *DB) ScanFrom(prefix, from string, fn func(key string, val []byte) error) error {
+	lo := prefix
+	if from > lo {
+		lo = from
+	}
+	keys := db.sortedSnapshot()
+	for i := sort.SearchStrings(keys, lo); i < len(keys) && strings.HasPrefix(keys[i], prefix); i++ {
+		v, err := db.Get(keys[i])
 		if err != nil {
 			if errors.Is(err, ErrNotFound) {
-				continue // deleted between Keys and Get
+				continue // deleted between the key snapshot and Get
 			}
 			return err
 		}
-		if err := fn(k, v); err != nil {
+		if err := fn(keys[i], v); err != nil {
 			return err
 		}
 	}

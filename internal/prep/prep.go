@@ -26,6 +26,10 @@ const (
 	// the secondary-index query planner (internal/query), reporting the
 	// plan it chose alongside the results.
 	ActionPlannedQuery = "urn:prep:query-planned"
+	// ActionQueryPage retrieves one cursor-delimited page of a planned
+	// query's results, so clients stream large result sets instead of
+	// the store buffering them whole per request.
+	ActionQueryPage = "urn:prep:query-page"
 	// ActionSessions enumerates the distinct session identifiers
 	// recorded in the store, straight off the session index.
 	ActionSessions = "urn:prep:sessions"
@@ -206,12 +210,25 @@ const (
 type QueryPlan struct {
 	// Strategy is PlanIndex or PlanScan.
 	Strategy string `xml:"strategy"`
-	// Dims names the index dimensions used (empty for scans).
+	// Dims names the index dimensions used, in the order the planner
+	// chose them — most selective (the driving posting list) first
+	// (empty for scans).
 	Dims []string `xml:"dim,omitempty"`
-	// Postings is the number of index posting entries read.
+	// DimCounts aligns with Dims: the CountPostings cardinality
+	// estimate that made the planner pick this order — the cost model's
+	// inputs, surfaced so estimated-vs-actual drift is observable.
+	DimCounts []int `xml:"dimCount,omitempty"`
+	// EstCandidates is the planner's candidate estimate before
+	// execution: the driving posting list's cardinality. Compare with
+	// Candidates, the records actually fetched after intersection.
+	EstCandidates int `xml:"estCandidates"`
+	// Postings is the number of index posting entries actually read.
+	// With seekable iterators this can be far below the lists' summed
+	// cardinality: a leapfrog intersection skips over runs it proves
+	// irrelevant without reading them.
 	Postings int `xml:"postings"`
-	// Candidates is the number of records fetched and decoded; for an
-	// index strategy this is the planner's whole record-level cost.
+	// Candidates is the number of records fetched; for an index
+	// strategy this is the planner's whole record-level cost.
 	Candidates int `xml:"candidates"`
 	// Cached reports that the result came from the engine's result
 	// cache without touching the store (Postings and Candidates then
@@ -224,6 +241,33 @@ type PlannedQueryResponse struct {
 	XMLName xml.Name      `xml:"PlannedQueryResponse"`
 	Total   int           `xml:"total"`
 	Plan    QueryPlan     `xml:"plan"`
+	Records []core.Record `xml:"record,omitempty"`
+}
+
+// PageQueryRequest asks for one page of a query's results. After is the
+// cursor returned by the previous page (empty for the first page);
+// PageSize caps the page's record count (zero selects the store's
+// default). The query's Limit field is ignored — paging owns
+// truncation — and no total match count is reported: a page is computed
+// with early termination, without visiting the candidates beyond it.
+type PageQueryRequest struct {
+	XMLName  xml.Name `xml:"PageQueryRequest"`
+	Query    Query    `xml:"Query"`
+	After    string   `xml:"after,omitempty"`
+	PageSize int      `xml:"pageSize,omitempty"`
+}
+
+// PageQueryResponse returns one page of matching records in stable
+// storage-key order. Next is the cursor to pass as the following
+// request's After; Done reports that the result set is exhausted (a
+// final page may be both non-empty and Done=false when the store cannot
+// cheaply prove exhaustion — the following page then comes back empty
+// with Done=true).
+type PageQueryResponse struct {
+	XMLName xml.Name      `xml:"PageQueryResponse"`
+	Plan    QueryPlan     `xml:"plan"`
+	Next    string        `xml:"next,omitempty"`
+	Done    bool          `xml:"done"`
 	Records []core.Record `xml:"record,omitempty"`
 }
 

@@ -69,7 +69,7 @@ func NewQueryPlugIn(s *store.Store) *QueryPlugIn {
 
 // Actions implements soap.Handler.
 func (p *QueryPlugIn) Actions() []string {
-	return []string{prep.ActionQuery, prep.ActionPlannedQuery, prep.ActionSessions, prep.ActionCount}
+	return []string{prep.ActionQuery, prep.ActionPlannedQuery, prep.ActionQueryPage, prep.ActionSessions, prep.ActionCount}
 }
 
 // Handle implements soap.Handler.
@@ -96,6 +96,16 @@ func (p *QueryPlugIn) Handle(action string, body []byte) (interface{}, error) {
 			return nil, err
 		}
 		return &prep.PlannedQueryResponse{Total: total, Plan: *plan, Records: records}, nil
+	case prep.ActionQueryPage:
+		var req prep.PageQueryRequest
+		if err := xml.Unmarshal(body, &req); err != nil {
+			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad page query: " + err.Error()}
+		}
+		records, next, done, plan, err := p.engine.QueryPage(&req.Query, req.After, req.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		return &prep.PageQueryResponse{Plan: *plan, Next: next, Done: done, Records: records}, nil
 	case prep.ActionSessions:
 		sessions, err := p.engine.Sessions()
 		if err != nil {
@@ -122,6 +132,17 @@ type Stats struct {
 	// miss).
 	QueryCacheHits   int64
 	QueryCacheMisses int64
+	// QueryIndexPlans / QueryScanPlans count executed planner queries by
+	// strategy; QueryPages counts cursor-paged executions.
+	QueryIndexPlans int64
+	QueryScanPlans  int64
+	QueryPages      int64
+	// QueryCostProbes counts the planner's CountPostings cardinality
+	// probes; QueryPostingsRead and QueryCandidatesFetched are the read
+	// path's cumulative index-entry and record-fetch costs.
+	QueryCostProbes        int64
+	QueryPostingsRead      int64
+	QueryCandidatesFetched int64
 }
 
 // Service is a PReServ instance: a store plus the translator wiring.
@@ -150,12 +171,19 @@ func (svc *Service) Handler() http.Handler { return svc.handler }
 // Stats returns a snapshot of service counters.
 func (svc *Service) Stats() Stats {
 	cache := svc.queryP.engine.CacheStats()
+	planner := svc.queryP.engine.PlannerStats()
 	return Stats{
-		RecordRequests:   svc.storeP.requests.Load(),
-		RecordsAccepted:  svc.storeP.recordsAccepted.Load(),
-		QueryRequests:    svc.queryP.requests.Load(),
-		QueryCacheHits:   cache.Hits,
-		QueryCacheMisses: cache.Misses,
+		RecordRequests:         svc.storeP.requests.Load(),
+		RecordsAccepted:        svc.storeP.recordsAccepted.Load(),
+		QueryRequests:          svc.queryP.requests.Load(),
+		QueryCacheHits:         cache.Hits,
+		QueryCacheMisses:       cache.Misses,
+		QueryIndexPlans:        planner.IndexPlans,
+		QueryScanPlans:         planner.ScanPlans,
+		QueryPages:             planner.PagedQueries,
+		QueryCostProbes:        planner.CostProbes,
+		QueryPostingsRead:      planner.PostingsRead,
+		QueryCandidatesFetched: planner.CandidatesFetched,
 	}
 }
 
@@ -265,6 +293,50 @@ func (c *Client) QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPla
 	}
 	plan := resp.Plan
 	return resp.Records, resp.Total, &plan, nil
+}
+
+// QueryPage retrieves one cursor-delimited page of q's results via the
+// store's query planner: up to pageSize records with storage keys
+// strictly greater than after (empty after starts from the beginning).
+// The server computes each page with early termination — candidates
+// beyond it are never visited — so q.Limit is ignored and no total is
+// reported. Use resp.Next as the following call's after; resp.Done
+// reports exhaustion.
+func (c *Client) QueryPage(q *prep.Query, after string, pageSize int) (*prep.PageQueryResponse, error) {
+	req := &prep.PageQueryRequest{Query: *q, After: after, PageSize: pageSize}
+	var resp prep.PageQueryResponse
+	if err := soap.Post(c.hc, c.url, prep.ActionQueryPage, req, &resp); err != nil {
+		return nil, fmt.Errorf("preserv: page query: %w", err)
+	}
+	return &resp, nil
+}
+
+// QueryStream retrieves every record matching q by paging through
+// QueryPage, invoking fn once per record in storage-key order. The
+// store never buffers more than one page per request, however large the
+// result set; fn returning an error aborts the stream. pageSize <= 0
+// selects the server default. It returns the last page's plan (each
+// page is planned afresh; cardinalities can shift between pages as the
+// store grows).
+func (c *Client) QueryStream(q *prep.Query, pageSize int, fn func(r *core.Record) error) (*prep.QueryPlan, error) {
+	after := ""
+	var plan prep.QueryPlan
+	for {
+		resp, err := c.QueryPage(q, after, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		plan = resp.Plan
+		for i := range resp.Records {
+			if err := fn(&resp.Records[i]); err != nil {
+				return nil, err
+			}
+		}
+		if resp.Done || resp.Next == "" {
+			return &plan, nil
+		}
+		after = resp.Next
+	}
 }
 
 // Sessions lists the distinct session identifiers recorded in the

@@ -1,22 +1,28 @@
 // Package query plans and executes queries over the provenance store
 // using the secondary indexes of internal/index. A prep.Query is a
-// conjunctive predicate; the planner picks the most selective indexed
-// dimensions, intersects their sorted posting lists, point-fetches only
-// the candidate records, and applies the remaining constraints
-// residually. Queries that constrain no indexed field fall back to the
-// store's scan path, so results are always identical to a full scan —
-// only the access pattern changes.
+// conjunctive predicate; the planner probes the cardinality of every
+// indexed constraint, orders them by measured selectivity, intersects
+// their posting lists with seekable iterators (a leapfrog merge that
+// never materialises a list), point-fetches only the candidate records
+// in batched chunks, and applies the remaining constraints residually.
+// Queries that constrain no indexed field fall back to the store's scan
+// path, so results are always identical to a full scan — only the
+// access pattern changes.
 //
 // The engine also keeps a small LRU result cache keyed by the canonical
 // predicate and the store's content generation, so repeated reads of an
 // unchanged store (a dashboard polling a session, a comparison re-run)
-// are answered without touching the backend at all.
+// are answered without touching the backend at all. For large result
+// sets QueryPage serves cursor-delimited pages with early termination,
+// so a consumer streaming a big session never makes the store buffer
+// the whole answer.
 package query
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"preserv/internal/core"
 	"preserv/internal/ids"
@@ -28,10 +34,19 @@ import (
 // DefaultCacheSize is the result cache capacity of New.
 const DefaultCacheSize = 256
 
+// DefaultPageSize is the page size QueryPage uses when the caller asks
+// for zero; MaxPageSize caps what a caller may ask for, bounding the
+// store's per-request buffering however large the client's appetite.
+const (
+	DefaultPageSize = 256
+	MaxPageSize     = 4096
+)
+
 // Engine executes planned queries over one store.
 type Engine struct {
 	s     *store.Store
 	cache *resultCache
+	stats plannerCounters
 }
 
 // New returns an engine over s with the default result cache.
@@ -58,49 +73,123 @@ func (e *Engine) CacheStats() CacheStats {
 	return CacheStats{Hits: e.cache.hits.Load(), Misses: e.cache.misses.Load()}
 }
 
+// plannerCounters aggregates execution telemetry across queries.
+type plannerCounters struct {
+	indexPlans        atomic.Int64
+	scanPlans         atomic.Int64
+	pagedQueries      atomic.Int64
+	costProbes        atomic.Int64
+	postingsRead      atomic.Int64
+	candidatesFetched atomic.Int64
+}
+
+// PlannerStats is a snapshot of the engine's cumulative planner
+// telemetry (cache hits excluded — those never reach the planner).
+type PlannerStats struct {
+	// IndexPlans and ScanPlans count executed queries by strategy.
+	IndexPlans int64
+	ScanPlans  int64
+	// PagedQueries counts QueryPage executions (also included in the
+	// strategy counts).
+	PagedQueries int64
+	// CostProbes counts CountPostings cardinality probes issued.
+	CostProbes int64
+	// PostingsRead counts posting entries pulled by iterators and range
+	// scans; CandidatesFetched counts records fetched from the store.
+	PostingsRead      int64
+	CandidatesFetched int64
+}
+
+// PlannerStats returns a snapshot of the engine's planner counters.
+func (e *Engine) PlannerStats() PlannerStats {
+	return PlannerStats{
+		IndexPlans:        e.stats.indexPlans.Load(),
+		ScanPlans:         e.stats.scanPlans.Load(),
+		PagedQueries:      e.stats.pagedQueries.Load(),
+		CostProbes:        e.stats.costProbes.Load(),
+		PostingsRead:      e.stats.postingsRead.Load(),
+		CandidatesFetched: e.stats.candidatesFetched.Load(),
+	}
+}
+
 // dimRef is one indexed equality constraint of a predicate.
 type dimRef struct {
 	dim  string
 	term string
+	// count is the posting list's measured cardinality (CountPostings).
+	count int
+	// exact reports that posting presence under this dimension is
+	// exactly equivalent to the predicate clause it covers, so a
+	// candidate surviving the intersection needs no residual re-check of
+	// that clause. Session is the one inexact dimension: a record
+	// carrying several session groups is posted under each, while
+	// Query.Matches compares only the first.
+	exact bool
 }
 
-// plannedDims lists the indexed equality constraints of q in descending
-// selectivity order. The order is fixed rather than estimated: an
-// interaction or data identifier pins a handful of records, a session a
-// few hundred, a state kind or service a kind-sized slice, an actor
-// potentially most of the store. Kind and time range are never chosen
-// here — kind is checked for free on the storage-key prefix, and a time
-// bound is applied residually unless it is the only constraint.
-func plannedDims(q *prep.Query) []dimRef {
+// candidateDims lists the indexed equality constraints of q. The order
+// is the legacy fixed-priority order — it survives only as the
+// deterministic tiebreak when measured cardinalities are equal.
+func candidateDims(q *prep.Query) []dimRef {
 	var out []dimRef
 	if q.InteractionID.Valid() {
-		out = append(out, dimRef{index.DimInteraction, q.InteractionID.String()})
+		out = append(out, dimRef{dim: index.DimInteraction, term: q.InteractionID.String(), exact: true})
 	}
 	if q.DataID.Valid() {
-		out = append(out, dimRef{index.DimData, q.DataID.String()})
+		out = append(out, dimRef{dim: index.DimData, term: q.DataID.String(), exact: true})
 	}
 	if q.SessionID.Valid() {
-		out = append(out, dimRef{index.DimSession, q.SessionID.String()})
+		out = append(out, dimRef{dim: index.DimSession, term: q.SessionID.String(), exact: false})
 	}
 	if q.GroupID.Valid() {
-		out = append(out, dimRef{index.DimGroup, q.GroupID.String()})
+		out = append(out, dimRef{dim: index.DimGroup, term: q.GroupID.String(), exact: true})
 	}
 	if q.StateKind != "" {
-		out = append(out, dimRef{index.DimState, q.StateKind})
+		out = append(out, dimRef{dim: index.DimState, term: q.StateKind, exact: true})
 	}
 	if q.Service != "" {
-		out = append(out, dimRef{index.DimService, string(q.Service)})
+		out = append(out, dimRef{dim: index.DimService, term: string(q.Service), exact: true})
 	}
 	if q.Asserter != "" {
-		out = append(out, dimRef{index.DimActor, string(q.Asserter)})
+		out = append(out, dimRef{dim: index.DimActor, term: string(q.Asserter), exact: true})
 	}
 	return out
 }
 
-// maxIntersectDims bounds how many posting lists are intersected; beyond
-// the two most selective lists, residual filtering on the fetched
-// candidates is cheaper than another index scan.
-const maxIntersectDims = 2
+// intersectCostRatio bounds which posting lists join the intersection:
+// a dimension participates while its measured cardinality is within
+// this factor of the driving (smallest) list's. Beyond that the list
+// filters too little to repay its per-candidate seek — residually
+// checking the driving list's few survivors after the fetch is cheaper.
+const intersectCostRatio = 64
+
+// planDims probes the cardinality of every candidate dimension and
+// returns the cost-ordered subset worth intersecting: sorted ascending
+// by measured count (ties broken by the legacy fixed priority), cut off
+// at intersectCostRatio times the smallest list.
+func (e *Engine) planDims(ix *index.Index, q *prep.Query) ([]dimRef, error) {
+	dims := candidateDims(q)
+	if len(dims) == 0 {
+		return nil, nil
+	}
+	for i := range dims {
+		n, err := ix.CountPostings(dims[i].dim, dims[i].term)
+		if err != nil {
+			return nil, fmt.Errorf("query: probing %s cardinality: %w", dims[i].dim, err)
+		}
+		dims[i].count = n
+	}
+	e.stats.costProbes.Add(int64(len(dims)))
+	sort.SliceStable(dims, func(i, j int) bool { return dims[i].count < dims[j].count })
+	cutoff := dims[0].count * intersectCostRatio
+	chosen := dims[:1]
+	for _, d := range dims[1:] {
+		if d.count <= cutoff {
+			chosen = append(chosen, d)
+		}
+	}
+	return chosen, nil
+}
 
 // Query evaluates q, preferring secondary indexes over scans, and
 // reports the plan it used. Results are identical to store.Query: same
@@ -133,62 +222,128 @@ func (e *Engine) Query(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, erro
 const MaxCachedRecords = 1024
 
 func (e *Engine) run(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error) {
-	dims := plannedDims(q)
-	timed := !q.Since.IsZero() || !q.Until.IsZero()
-	if len(dims) == 0 && !timed {
+	res, plan, err := e.execute(q, execOpts{max: q.Limit, countAll: true})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if plan.Strategy == prep.PlanScan {
 		// Nothing indexed is constrained: the scan path is optimal (and
 		// already kind-pruned by storage-key prefix).
 		recs, total, err := e.s.Query(q)
 		if err != nil {
 			return nil, 0, nil, err
 		}
-		return recs, total, &prep.QueryPlan{Strategy: prep.PlanScan}, nil
+		e.stats.scanPlans.Add(1)
+		return recs, total, plan, nil
+	}
+	e.noteIndexPlan(plan)
+	return res.records, res.total, plan, nil
+}
+
+// QueryPage evaluates one cursor-delimited page of q: up to pageSize
+// matching records with storage keys strictly greater than after, in
+// storage-key order. It returns the page, the cursor for the next one,
+// and done=true once the result set is provably exhausted. Unlike
+// Query, execution terminates as soon as the page fills — candidates
+// beyond it are never visited — so no total is reported and q.Limit is
+// ignored. Pages are not cached: each one is cheap by construction.
+func (e *Engine) QueryPage(q *prep.Query, after string, pageSize int) ([]core.Record, string, bool, *prep.QueryPlan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, "", false, nil, err
+	}
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize > MaxPageSize {
+		pageSize = MaxPageSize
+	}
+	e.stats.pagedQueries.Add(1)
+
+	res, plan, err := e.execute(q, execOpts{after: after, max: pageSize, paged: true})
+	if err != nil {
+		return nil, "", false, nil, err
+	}
+	if plan.Strategy == prep.PlanScan {
+		res = execResult{exhausted: true}
+		err := e.s.ScanQuery(q, after, func(key string, r *core.Record) (bool, error) {
+			res.records = append(res.records, *r)
+			res.lastKey = key
+			if len(res.records) >= pageSize {
+				res.exhausted = false
+				return true, nil
+			}
+			return false, nil
+		})
+		if err != nil {
+			return nil, "", false, nil, err
+		}
+		e.stats.scanPlans.Add(1)
+	} else {
+		e.noteIndexPlan(plan)
+	}
+	next := ""
+	if !res.exhausted && len(res.records) > 0 {
+		next = res.lastKey
+	}
+	return res.records, next, res.exhausted, plan, nil
+}
+
+func (e *Engine) noteIndexPlan(plan *prep.QueryPlan) {
+	e.stats.indexPlans.Add(1)
+	e.stats.postingsRead.Add(int64(plan.Postings))
+	e.stats.candidatesFetched.Add(int64(plan.Candidates))
+}
+
+// execOpts shapes one streaming execution.
+type execOpts struct {
+	// after is the page cursor: only candidates with storage keys
+	// strictly greater participate.
+	after string
+	// max caps collected records (0 = uncapped).
+	max int
+	// countAll keeps counting matches after max records are collected —
+	// Query's Total contract. Off, the candidate stream terminates as
+	// soon as the cap is reached (QueryPage's early termination).
+	countAll bool
+	// paged marks a QueryPage execution. Time-range-only queries then
+	// prefer the scan fallback: the time index yields candidates in
+	// time order, so serving one storage-key-ordered page off it means
+	// materialising and sorting the whole range again per page, while
+	// the scan path resumes at the cursor and stops at the page.
+	paged bool
+}
+
+// execResult is what one streaming execution produced.
+type execResult struct {
+	records []core.Record
+	total   int
+	// lastKey is the storage key of the last collected record.
+	lastKey string
+	// exhausted reports that the candidate stream ended (rather than
+	// execution stopping at the max cap).
+	exhausted bool
+}
+
+// execute runs the indexed read path: plan dimensions by measured cost,
+// stream the intersected candidates, fetch them in batched chunks,
+// filter residually. A query with no indexed equality constraint and no
+// time bound comes back with a PlanScan plan and no result — the caller
+// owns the scan fallback (full and paged evaluation differ).
+func (e *Engine) execute(q *prep.Query, opts execOpts) (execResult, *prep.QueryPlan, error) {
+	dims := candidateDims(q)
+	timed := !q.Since.IsZero() || !q.Until.IsZero()
+	if len(dims) == 0 && (!timed || opts.paged) {
+		// No indexed equality constraint: scan. A paged time-only query
+		// scans too — the cursor-resumable record sweep beats rebuilding
+		// the sorted candidate set from the time index on every page.
+		return execResult{}, &prep.QueryPlan{Strategy: prep.PlanScan}, nil
 	}
 
 	ix, err := e.s.Index()
 	if err != nil {
-		return nil, 0, nil, fmt.Errorf("query: opening index: %w", err)
+		return execResult{}, nil, fmt.Errorf("query: opening index: %w", err)
 	}
 	plan := &prep.QueryPlan{Strategy: prep.PlanIndex}
-
-	// Candidate generation: posting lists of the chosen dimensions,
-	// intersected (sorted merges over sorted lists).
-	var candidates []string
-	if len(dims) > 0 {
-		chosen := dims
-		if len(chosen) > maxIntersectDims {
-			chosen = chosen[:maxIntersectDims]
-		}
-		for i, d := range chosen {
-			list, err := ix.Postings(d.dim, d.term)
-			if err != nil {
-				return nil, 0, nil, fmt.Errorf("query: scanning %s postings: %w", d.dim, err)
-			}
-			plan.Dims = append(plan.Dims, d.dim)
-			plan.Postings += len(list)
-			if i == 0 {
-				candidates = list
-			} else {
-				candidates = intersectSorted(candidates, list)
-			}
-			if len(candidates) == 0 {
-				break
-			}
-		}
-	} else {
-		// Time range is the only constraint: range-scan the time index.
-		plan.Dims = []string{index.DimTime}
-		err := ix.ScanTimeRange(q.Since, q.Until, func(skey string) error {
-			plan.Postings++
-			candidates = append(candidates, skey)
-			return nil
-		})
-		if err != nil {
-			return nil, 0, nil, fmt.Errorf("query: scanning time range: %w", err)
-		}
-		// Time order is not storage-key order; restore scan-path order.
-		sort.Strings(candidates)
-	}
 
 	// Kind is free to check on the storage-key prefix, before any fetch.
 	kindPrefix := ""
@@ -199,31 +354,283 @@ func (e *Engine) run(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error)
 		kindPrefix = "s/"
 	}
 
-	var out []core.Record
-	total := 0
-	for _, skey := range candidates {
+	var src candSource
+	var iters []*index.PostingIter
+	residualFree := false
+	if len(dims) > 0 {
+		chosen, err := e.planDims(ix, q)
+		if err != nil {
+			return execResult{}, nil, err
+		}
+		for _, d := range chosen {
+			plan.Dims = append(plan.Dims, d.dim)
+			plan.DimCounts = append(plan.DimCounts, d.count)
+			iters = append(iters, ix.Iter(d.dim, d.term))
+		}
+		plan.EstCandidates = chosen[0].count
+		src = &leapfrogSource{iters: iters, kindPrefix: kindPrefix, after: opts.after}
+		residualFree = !timed && coversAllConstraints(q, chosen)
+	} else {
+		// Time range is the only constraint: range-scan the time index.
+		plan.Dims = []string{index.DimTime}
+		var candidates []string
+		err := ix.ScanTimeRange(q.Since, q.Until, func(skey string) error {
+			plan.Postings++
+			candidates = append(candidates, skey)
+			return nil
+		})
+		if err != nil {
+			return execResult{}, nil, fmt.Errorf("query: scanning time range: %w", err)
+		}
+		// Time order is not storage-key order; restore scan-path order.
+		sort.Strings(candidates)
+		plan.EstCandidates = len(candidates)
+		src = &sliceSource{keys: candidates, kindPrefix: kindPrefix, after: opts.after}
+	}
+
+	res, err := e.collect(q, src, opts, residualFree, kindPrefix, plan)
+	if err != nil {
+		return execResult{}, nil, err
+	}
+	for _, it := range iters {
+		plan.Postings += it.Read()
+	}
+	return res, plan, nil
+}
+
+// coversAllConstraints reports whether the chosen dimensions cover every
+// equality constraint of q exactly — in which case a candidate
+// surviving the intersection (plus the kind prefix check) is a match
+// without decoding, and total counting past the Limit can go by
+// presence alone.
+func coversAllConstraints(q *prep.Query, chosen []dimRef) bool {
+	covered := make(map[string]bool, len(chosen))
+	for _, d := range chosen {
+		if d.exact {
+			covered[d.dim] = true
+		}
+	}
+	for _, d := range candidateDims(q) {
+		if !covered[d.dim] {
+			return false
+		}
+	}
+	return true
+}
+
+// fetchChunk is how many candidate records one GetBatch resolves; it
+// bounds the read path's peak per-query memory while amortising the
+// backend round trip.
+const fetchChunk = 128
+
+// collect drains the candidate stream through chunked GetBatch fetches.
+func (e *Engine) collect(q *prep.Query, src candSource, opts execOpts, residualFree bool, kindPrefix string, plan *prep.QueryPlan) (execResult, error) {
+	res := execResult{}
+	full := func() bool { return opts.max > 0 && len(res.records) >= opts.max }
+	// beyondCap notes that candidates past the record cap exist but were
+	// not (all) collected; the result set is then not provably
+	// exhausted, whatever the stream did afterwards.
+	beyondCap := false
+
+	chunk := make([]string, 0, fetchChunk)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		values, present, err := e.s.GetBatch(chunk)
+		if err != nil {
+			return err
+		}
+		for i, skey := range chunk {
+			if full() && !opts.countAll {
+				// The page is complete and no Total is owed: the rest of
+				// the chunk is never decoded (the next page re-seeks to
+				// the cursor instead).
+				beyondCap = true
+				break
+			}
+			if !present[i] {
+				// Dangling posting (record put failed after its posting
+				// was written, or rebuild raced a writer): skip it.
+				continue
+			}
+			if full() && residualFree {
+				// The record cap is met and every constraint is covered
+				// by the intersection itself: existence is a match, so
+				// Total counting needs no decode.
+				plan.Candidates++
+				res.total++
+				continue
+			}
+			r, err := core.DecodeRecord(values[i])
+			if err != nil {
+				return fmt.Errorf("store: corrupt record at %s: %w", skey, err)
+			}
+			plan.Candidates++
+			if !q.Matches(r) {
+				continue
+			}
+			res.total++
+			if !full() {
+				res.records = append(res.records, *r)
+				res.lastKey = skey
+			} else {
+				beyondCap = true
+			}
+		}
+		chunk = chunk[:0]
+		return nil
+	}
+
+	for {
+		skey, ok, err := src.next()
+		if err != nil {
+			return execResult{}, err
+		}
+		if !ok {
+			if err := flush(); err != nil {
+				return execResult{}, err
+			}
+			res.exhausted = !beyondCap
+			return res, nil
+		}
 		if kindPrefix != "" && !strings.HasPrefix(skey, kindPrefix) {
 			continue
 		}
-		r, ok, err := e.s.GetRecord(skey)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		if !ok {
-			// Dangling posting (record put failed after its posting was
-			// written, or rebuild raced a writer): skip it.
-			continue
-		}
-		plan.Candidates++
-		if !q.Matches(r) {
-			continue
-		}
-		total++
-		if q.Limit == 0 || len(out) < q.Limit {
-			out = append(out, *r)
+		chunk = append(chunk, skey)
+		if len(chunk) >= fetchChunk {
+			if err := flush(); err != nil {
+				return execResult{}, err
+			}
+			if full() && !opts.countAll {
+				return res, nil // early termination: the page is complete
+			}
 		}
 	}
-	return out, total, plan, nil
+}
+
+// candSource yields candidate storage keys in ascending order.
+type candSource interface {
+	next() (skey string, ok bool, err error)
+}
+
+// sliceSource streams a pre-materialised sorted candidate list (the
+// time-range path) with cursor and kind bounds applied.
+type sliceSource struct {
+	keys       []string
+	kindPrefix string
+	after      string
+	pos        int
+	started    bool
+}
+
+func (s *sliceSource) next() (string, bool, error) {
+	if !s.started {
+		s.started = true
+		lo := s.kindPrefix
+		if s.after != "" && s.after >= lo {
+			lo = s.after + "\x00"
+		}
+		s.pos = sort.SearchStrings(s.keys, lo)
+	}
+	if s.pos >= len(s.keys) {
+		return "", false, nil
+	}
+	k := s.keys[s.pos]
+	s.pos++
+	return k, true, nil
+}
+
+// leapfrogSource intersects the chosen dimensions' posting lists with
+// seekable iterators: the driving (smallest) list supplies a frontier
+// key, every other list seeks to it, and any overshoot becomes the new
+// frontier. Runs of keys present in one list but absent from another
+// are skipped with one seek — never read, never materialised.
+//
+// The underlying iterators consume the key they return, so the source
+// caches each iterator's head: an overshot frontier key must stay
+// comparable until every other list has caught up to it (or pushed the
+// frontier further), otherwise agreement on it would be impossible.
+type leapfrogSource struct {
+	iters      []*index.PostingIter
+	kindPrefix string
+	after      string
+	started    bool
+	heads      []string // cached current key per iterator
+	valid      []bool   // heads[i] holds a live key
+}
+
+// headSeek positions iterator i at the first key >= target, serving
+// from the cached head when it already satisfies the bound.
+func (s *leapfrogSource) headSeek(i int, target string) (string, bool, error) {
+	if s.valid[i] && s.heads[i] >= target {
+		return s.heads[i], true, nil
+	}
+	x, ok, err := s.iters[i].Seek(target)
+	s.heads[i], s.valid[i] = x, ok
+	return x, ok, err
+}
+
+// headNext advances iterator i past its cached head.
+func (s *leapfrogSource) headNext(i int) (string, bool, error) {
+	x, ok, err := s.iters[i].Next()
+	s.heads[i], s.valid[i] = x, ok
+	return x, ok, err
+}
+
+func (s *leapfrogSource) next() (string, bool, error) {
+	var cur string
+	var ok bool
+	var err error
+	if !s.started {
+		s.started = true
+		s.heads = make([]string, len(s.iters))
+		s.valid = make([]bool, len(s.iters))
+		lo := s.kindPrefix
+		if s.after != "" && s.after >= lo {
+			lo = s.after + "\x00"
+		}
+		if lo != "" {
+			cur, ok, err = s.headSeek(0, lo)
+		} else {
+			cur, ok, err = s.headNext(0)
+		}
+	} else {
+		cur, ok, err = s.headNext(0)
+	}
+	for {
+		if err != nil {
+			return "", false, err
+		}
+		if !ok {
+			return "", false, nil
+		}
+		if s.kindPrefix != "" && !strings.HasPrefix(cur, s.kindPrefix) {
+			// Sorted order: past the kind range means past every
+			// remaining candidate of interest.
+			return "", false, nil
+		}
+		agreed := true
+		for i := 1; i < len(s.iters); i++ {
+			x, xok, xerr := s.headSeek(i, cur)
+			if xerr != nil {
+				return "", false, xerr
+			}
+			if !xok {
+				return "", false, nil
+			}
+			if x != cur {
+				// Overshoot: x is the new frontier every list must meet.
+				cur = x
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			return cur, true, nil
+		}
+		cur, ok, err = s.headSeek(0, cur)
+	}
 }
 
 // Sessions enumerates the distinct session identifiers in the store,
@@ -235,24 +642,3 @@ func (e *Engine) Sessions() ([]ids.ID, error) {
 	}
 	return ix.Sessions()
 }
-
-// intersectSorted merges two ascending string slices into their
-// intersection.
-func intersectSorted(a, b []string) []string {
-	var out []string
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return out
-}
-

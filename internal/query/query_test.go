@@ -93,6 +93,16 @@ func (c *countingBackend) Scan(prefix string, fn func(string, []byte) error) err
 	return c.Backend.Scan(prefix, fn)
 }
 
+// ScanFrom counts like Scan: the iterator read path resumes lists
+// through it, and a full-store sweep through ScanFrom must not hide
+// from the record-scan assertion.
+func (c *countingBackend) ScanFrom(prefix, from string, fn func(string, []byte) error) error {
+	c.mu.Lock()
+	c.scans[prefix]++
+	c.mu.Unlock()
+	return c.Backend.ScanFrom(prefix, from, fn)
+}
+
 // recordScans reports how many Scan calls hit the record keyspace
 // ("i/", "s/" or any prefix thereof) — the full-store scans the planner
 // must avoid.
@@ -231,6 +241,13 @@ func TestPlannerMatchesScanAcrossBackends(t *testing.T) {
 				{Since: t0.Add(5 * time.Minute), Until: t0.Add(10 * time.Minute)},
 				{Since: t0.Add(5 * time.Minute), Until: t0.Add(10 * time.Minute), Kind: core.KindInteraction.String()},
 				{SessionID: seq.NewID()},
+				// Combined time-range + equality dimensions: the time
+				// bound applies residually over the intersected lists.
+				{SessionID: target.id, Since: t0, Until: t0.Add(time.Hour)},
+				{SessionID: target.id, Until: t0.Add(-time.Hour)},
+				{Asserter: "svc:enactor", Since: t0.Add(3 * time.Minute), Kind: core.KindActorState.String()},
+				{SessionID: target.id, Service: target.services[0], Since: t0, Limit: 2},
+				{StateKind: core.StateScript, Since: t0, Until: t0.Add(8 * time.Minute), Limit: 4},
 			}
 			for _, q := range queries {
 				want, wantTotal, err := s.Query(q)
@@ -470,5 +487,339 @@ func TestQueryValidateRejected(t *testing.T) {
 	}
 	if _, _, _, err := e.Query(&prep.Query{Since: t0, Until: t0.Add(-time.Hour)}); err == nil {
 		t.Error("empty time range accepted")
+	}
+}
+
+// recordStateKind records one actor-state record with the given state
+// kind into the session.
+func recordStateKind(t *testing.T, s *store.Store, session ids.ID, kind, localID string) {
+	t.Helper()
+	in := core.Interaction{ID: seq.NewID(), Sender: "svc:enactor", Receiver: "svc:gzip", Operation: "run"}
+	rec := *core.NewActorStateRecord(&core.ActorStatePAssertion{
+		LocalID:     localID,
+		Asserter:    "svc:enactor",
+		Interaction: in,
+		View:        core.SenderView,
+		StateKind:   kind,
+		Content:     core.Bytes("cfg"),
+		Groups:      []core.GroupRef{{Type: core.GroupSession, ID: session, Seq: 1}},
+		Timestamp:   t0,
+	})
+	if _, rejects, err := s.Record("svc:enactor", []core.Record{rec}); err != nil || len(rejects) > 0 {
+		t.Fatalf("record state: err=%v rejects=%v", err, rejects)
+	}
+}
+
+func TestCostBasedPlannerPicksSmallerList(t *testing.T) {
+	// The acceptance case for cost-based planning: a query constraining
+	// session (a big list) and a rare state kind (a tiny one). The old
+	// fixed priority ordered session before state and drove the
+	// intersection from the big list; the cost-based planner must probe
+	// the cardinalities and drive from the small one.
+	s := store.New(store.NewMemoryBackend())
+	sessions := populateSessions(t, s, 4, 10) // big session lists (~20 records each)
+	target := sessions[1].id
+	for i := 0; i < 3; i++ {
+		recordStateKind(t, s, target, "rare-config", fmt.Sprintf("cfg%d", i))
+	}
+	e := NewSized(s, 0)
+
+	q := &prep.Query{SessionID: target, StateKind: "rare-config"}
+	want, wantTotal, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, total, plan, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != wantTotal || !reflect.DeepEqual(got, want) {
+		t.Fatalf("cost-based results differ from scan path (%d vs %d)", len(got), len(want))
+	}
+	if len(plan.Dims) < 1 || plan.Dims[0] != "state" {
+		t.Errorf("driving dim = %v, want state first (fixed priority would pick sess)", plan.Dims)
+	}
+	if len(plan.DimCounts) != len(plan.Dims) {
+		t.Fatalf("DimCounts %v misaligned with Dims %v", plan.DimCounts, plan.Dims)
+	}
+	for i := 1; i < len(plan.DimCounts); i++ {
+		if plan.DimCounts[i] < plan.DimCounts[i-1] {
+			t.Errorf("DimCounts not ascending: %v", plan.DimCounts)
+		}
+	}
+	if plan.EstCandidates != 3 {
+		t.Errorf("EstCandidates = %d, want the driving list's 3", plan.EstCandidates)
+	}
+	// The whole point: execution cost tracks the small list, not the
+	// session's. Driving from sess would have read ~20+ postings.
+	if plan.Postings > 10 {
+		t.Errorf("postings read = %d; cost-based order should stay near the rare list's 3", plan.Postings)
+	}
+}
+
+func TestCostCutoffExcludesUnselectiveList(t *testing.T) {
+	// An interaction id pins ~2 records while the asserter covers the
+	// whole store: the actor list is beyond intersectCostRatio of the
+	// driving list, so it must be filtered residually, not intersected.
+	s := store.New(store.NewMemoryBackend())
+	sessions := populateSessions(t, s, 20, 8)
+	e := NewSized(s, 0)
+
+	// Find one interaction id via a session query.
+	recs, _, err := s.Query(&prep.Query{SessionID: sessions[3].id, Kind: core.KindInteraction.String()})
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("seed query: %d records, err=%v", len(recs), err)
+	}
+	q := &prep.Query{InteractionID: recs[0].InteractionID(), Asserter: "svc:enactor"}
+	want, wantTotal, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, total, plan, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != wantTotal || !reflect.DeepEqual(got, want) {
+		t.Fatalf("results differ from scan path")
+	}
+	if len(plan.Dims) != 1 || plan.Dims[0] != "int" {
+		t.Errorf("dims = %v, want the interaction list alone (actor list beyond the cost cutoff)", plan.Dims)
+	}
+}
+
+func TestLimitTotalSemanticsAtPlannerBoundaries(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			sessions := populateSessions(t, s, 5, 6)
+			e := NewSized(s, 0)
+			target := sessions[2]
+			cases := []*prep.Query{
+				// Limit below, at, and above the match count; with an
+				// exact covered dim (actor), an inexact one (session),
+				// a residual (time) constraint, and the scan fallback.
+				{SessionID: target.id, Limit: 5},
+				{SessionID: target.id, Limit: 12},
+				{SessionID: target.id, Limit: 500},
+				{Asserter: "svc:enactor", Limit: 7},
+				{Asserter: "svc:enactor", Kind: core.KindInteraction.String(), Limit: 4},
+				{SessionID: target.id, Since: t0, Limit: 3},
+				{Limit: 9},
+				{Since: t0, Limit: 6},
+			}
+			for _, q := range cases {
+				want, wantTotal, err := s.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, total, _, err := e.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if total != wantTotal {
+					t.Errorf("%+v: total %d, scan %d", q, total, wantTotal)
+				}
+				if q.Limit > 0 && len(got) > q.Limit {
+					t.Errorf("%+v: %d records exceed limit", q, len(got))
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%+v: limited records differ from scan path", q)
+				}
+			}
+		})
+	}
+}
+
+func TestDanglingPostingsSkippedOnIteratorPath(t *testing.T) {
+	// A posting whose record never landed (crash between the posting
+	// batch and a retried record put, or a rebuild racing a writer) must
+	// be skipped silently by the streaming path on every backend —
+	// results stay identical to the scan path, which never sees it.
+	fileB, err := store.NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvB, err := store.NewKVBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kvB.Close() })
+	for name, backend := range map[string]store.Backend{
+		"memory": store.NewMemoryBackend(),
+		"file":   fileB,
+		"kvdb":   kvB,
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := store.New(backend)
+			sessions := populateSessions(t, s, 3, 4)
+			if _, err := s.Index(); err != nil {
+				t.Fatal(err)
+			}
+			e := NewSized(s, 0)
+			target := sessions[1]
+
+			// Plant postings whose record never landed: in the session
+			// list (single-dim path) and the same ghost key in the actor
+			// list too (intersection path). Only non-kind dims, so the
+			// Open-time consistency check stays satisfied.
+			ghost := "i/" + seq.NewID().String() + "/sender/svc:enactor/ghost"
+			for _, dead := range []string{
+				"x/sess/" + target.id.String() + "/" + ghost,
+				"x/actor/svc:enactor/" + ghost,
+			} {
+				if err := backend.Put(dead, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for _, q := range []*prep.Query{
+				{SessionID: target.id},
+				{SessionID: target.id, Kind: core.KindInteraction.String()},
+				{SessionID: target.id, Asserter: "svc:enactor"},
+				{SessionID: target.id, Limit: 3},
+			} {
+				want, wantTotal, err := s.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, total, plan, err := e.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plan.Strategy != prep.PlanIndex {
+					t.Fatalf("%+v: strategy %s, want index", q, plan.Strategy)
+				}
+				if total != wantTotal || !reflect.DeepEqual(got, want) {
+					t.Errorf("%+v: dangling posting leaked into results (%d vs scan %d)", q, total, wantTotal)
+				}
+			}
+		})
+	}
+}
+
+func TestQueryPagePagination(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			sessions := populateSessions(t, s, 4, 6)
+			e := NewSized(s, 0)
+			target := sessions[1]
+			queries := []*prep.Query{
+				{SessionID: target.id}, // indexed
+				{SessionID: target.id, Kind: core.KindInteraction.String()}, // indexed + kind
+				{},                                    // scan fallback
+				{Since: t0, Until: t0.Add(time.Hour)}, // time index
+			}
+			for _, q := range queries {
+				want, _, _, err := e.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, pageSize := range []int{1, 5, 7, 1000} {
+					var got []core.Record
+					after := ""
+					pages := 0
+					for {
+						recs, next, done, plan, err := e.QueryPage(q, after, pageSize)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if plan == nil {
+							t.Fatal("page without plan")
+						}
+						if len(recs) > pageSize {
+							t.Fatalf("page of %d exceeds size %d", len(recs), pageSize)
+						}
+						got = append(got, recs...)
+						pages++
+						if pages > len(want)+2 {
+							t.Fatalf("%+v size %d: paging did not terminate", q, pageSize)
+						}
+						if done || next == "" {
+							break
+						}
+						after = next
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%+v size %d: paged stream (%d recs) differs from Query (%d)",
+							q, pageSize, len(got), len(want))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestQueryPageBoundaries(t *testing.T) {
+	s := store.New(store.NewMemoryBackend())
+	sessions := populateSessions(t, s, 2, 3) // 6 records in the target session
+	e := NewSized(s, 0)
+	q := &prep.Query{SessionID: sessions[0].id}
+
+	// A page larger than the result set is complete and done.
+	recs, next, done, _, err := e.QueryPage(q, "", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 || !done || next != "" {
+		t.Errorf("oversized page: %d recs done=%v next=%q, want 6/true/empty", len(recs), done, next)
+	}
+
+	// An exact-multiple page may report done=false; the follow-up page
+	// must then come back empty with done=true.
+	recs, next, done, _, err = e.QueryPage(q, "", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("exact page: %d recs, want 6", len(recs))
+	}
+	if !done {
+		empty, _, done2, _, err := e.QueryPage(q, next, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(empty) != 0 || !done2 {
+			t.Errorf("follow-up page after exact multiple: %d recs done=%v, want 0/true", len(empty), done2)
+		}
+	}
+
+	// Limit is ignored by the paged path.
+	q2 := &prep.Query{SessionID: sessions[0].id, Limit: 2}
+	recs, _, _, _, err = e.QueryPage(q2, "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Errorf("paged query honoured Limit: %d recs, want 5", len(recs))
+	}
+
+	// An invalid query is rejected.
+	if _, _, _, _, err := e.QueryPage(&prep.Query{Kind: "bogus"}, "", 10); err == nil {
+		t.Error("invalid paged query accepted")
+	}
+}
+
+func TestPlannerStatsAccumulate(t *testing.T) {
+	s := store.New(store.NewMemoryBackend())
+	sessions := populateSessions(t, s, 3, 4)
+	e := NewSized(s, 0)
+
+	if _, _, _, err := e.Query(&prep.Query{SessionID: sessions[0].id}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := e.Query(&prep.Query{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := e.QueryPage(&prep.Query{SessionID: sessions[1].id}, "", 3); err != nil {
+		t.Fatal(err)
+	}
+	st := e.PlannerStats()
+	if st.IndexPlans != 2 || st.ScanPlans != 1 || st.PagedQueries != 1 {
+		t.Errorf("plans = %+v, want 2 index / 1 scan / 1 paged", st)
+	}
+	if st.CostProbes < 2 {
+		t.Errorf("cost probes = %d, want at least one per indexed query", st.CostProbes)
+	}
+	if st.PostingsRead == 0 || st.CandidatesFetched == 0 {
+		t.Errorf("postings/candidates not accumulated: %+v", st)
 	}
 }

@@ -134,7 +134,11 @@ func (v *Validator) ValidateSession(session ids.ID) (*Report, error) {
 	rep := &Report{}
 	baseCalls := v.Registry.Calls()
 
-	// Enumerate the session's interactions (one store call)...
+	// Enumerate the session's interactions (one logical store query).
+	// The default path streams cursor-delimited pages, so the store
+	// never buffers the whole session per request; the validator itself
+	// still assembles the full list — it needs two passes (the
+	// data-production index, then the seq-ordered validation sweep).
 	q := &prep.Query{
 		Kind:      core.KindInteraction.String(),
 		SessionID: session,
@@ -144,7 +148,10 @@ func (v *Validator) ValidateSession(session ids.ID) (*Report, error) {
 	if v.Legacy {
 		index, _, err = v.Store.Query(q)
 	} else {
-		index, _, _, err = v.Store.QueryPlanned(q)
+		_, err = v.Store.QueryStream(q, 0, func(r *core.Record) error {
+			index = append(index, *r)
+			return nil
+		})
 	}
 	if err != nil {
 		return nil, fmt.Errorf("semval: listing session interactions: %w", err)

@@ -57,7 +57,127 @@ func TestBackendConformance(t *testing.T) {
 			t.Run("PutBatchWriteOnceRePut", func(t *testing.T) { conformPutBatchRePut(t, but.open(t)) })
 			t.Run("PutBatchCountConsistency", func(t *testing.T) { conformPutBatchCount(t, but.open(t)) })
 			t.Run("PutBatchEmptyAndInvalid", func(t *testing.T) { conformPutBatchEdge(t, but.open(t)) })
+			t.Run("GetBatchRoundTrip", func(t *testing.T) { conformGetBatch(t, but.open(t)) })
+			t.Run("GetBatchEmptyValues", func(t *testing.T) { conformGetBatchEmpty(t, but.open(t)) })
+			t.Run("ScanFromResumesMidList", func(t *testing.T) { conformScanFrom(t, but.open(t)) })
+			t.Run("ScanFromEqualsScan", func(t *testing.T) { conformScanFromUnbounded(t, but.open(t)) })
 		})
+	}
+}
+
+func conformGetBatch(t *testing.T, b Backend) {
+	// GetBatch must agree with per-key Gets: values align with the key
+	// slice, absent keys read as present=false, duplicates allowed.
+	if err := b.PutBatch([]KV{
+		{Key: "i/1", Value: []byte("one")},
+		{Key: "i/2", Value: []byte("two")},
+		{Key: "s/9", Value: []byte("nine")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("i/3", []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"i/2", "absent", "i/3", "s/9", "i/2"}
+	values, present, err := b.GetBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != len(keys) || len(present) != len(keys) {
+		t.Fatalf("result lengths %d/%d, want %d", len(values), len(present), len(keys))
+	}
+	want := []struct {
+		ok  bool
+		val string
+	}{{true, "two"}, {false, ""}, {true, "three"}, {true, "nine"}, {true, "two"}}
+	for i, w := range want {
+		if present[i] != w.ok || (w.ok && string(values[i]) != w.val) {
+			t.Errorf("GetBatch[%d] (%s) = %q present=%v, want %q present=%v",
+				i, keys[i], values[i], present[i], w.val, w.ok)
+		}
+		if !w.ok && values[i] != nil {
+			t.Errorf("GetBatch[%d] absent key carries value %q", i, values[i])
+		}
+	}
+	if _, _, err := b.GetBatch(nil); err != nil {
+		t.Errorf("empty batch get errored: %v", err)
+	}
+}
+
+func conformGetBatchEmpty(t *testing.T, b Backend) {
+	// Index postings are empty-valued; batched reads must report them
+	// present.
+	if err := b.PutBatch([]KV{{Key: "x/p/1", Value: nil}, {Key: "x/p/2", Value: []byte{}}}); err != nil {
+		t.Fatal(err)
+	}
+	values, present, err := b.GetBatch([]string{"x/p/1", "x/p/2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		if !present[i] || len(values[i]) != 0 {
+			t.Errorf("empty value [%d]: present=%v len=%d", i, present[i], len(values[i]))
+		}
+	}
+}
+
+func conformScanFrom(t *testing.T, b Backend) {
+	keys := []string{"x/a/1", "x/a/3", "x/a/5", "x/a/7", "x/b/1"}
+	for _, k := range keys {
+		if err := b.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		from string
+		want []string
+	}{
+		// Resume at an existing key: inclusive.
+		{"x/a/3", []string{"x/a/3", "x/a/5", "x/a/7"}},
+		// Resume between keys: lands on the next one.
+		{"x/a/4", []string{"x/a/5", "x/a/7"}},
+		// The successor-string cursor form skips the consumed key.
+		{"x/a/3\x00", []string{"x/a/5", "x/a/7"}},
+		// Past the prefix range: nothing.
+		{"x/a/9", nil},
+		// Before the prefix: everything (prefix still bounds below).
+		{"a", []string{"x/a/1", "x/a/3", "x/a/5", "x/a/7"}},
+	}
+	for _, c := range cases {
+		var got []string
+		if err := b.ScanFrom("x/a/", c.from, func(k string, v []byte) error {
+			if string(v) != k {
+				t.Errorf("value mismatch at %s", k)
+			}
+			got = append(got, k)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !sort.StringsAreSorted(got) {
+			t.Errorf("ScanFrom(%q) order not sorted: %v", c.from, got)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("ScanFrom(%q) = %v, want %v", c.from, got, c.want)
+		}
+	}
+}
+
+func conformScanFromUnbounded(t *testing.T, b Backend) {
+	for _, k := range []string{"p/1", "p/2", "p/3"} {
+		if err := b.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var viaScan, viaFrom []string
+	if err := b.Scan("p/", func(k string, _ []byte) error { viaScan = append(viaScan, k); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ScanFrom("p/", "", func(k string, _ []byte) error { viaFrom = append(viaFrom, k); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(viaScan) != fmt.Sprint(viaFrom) {
+		t.Errorf("ScanFrom with empty from (%v) differs from Scan (%v)", viaFrom, viaScan)
 	}
 }
 

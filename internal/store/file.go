@@ -34,6 +34,10 @@ type FileBackend struct {
 	dir string
 	// keys maps storage key -> location; rebuilt on open.
 	keys map[string]fileLoc
+	// sorted caches the keys in sorted order; nil when dirty (a new key
+	// arrived since the last build). Scans and counts binary-search it
+	// instead of re-sorting the whole key set per call.
+	sorted []string
 	// segSeq numbers segment files; monotonically increasing so open
 	// replays segments in write order (last write wins).
 	segSeq uint64
@@ -203,8 +207,47 @@ func (f *FileBackend) Put(key string, value []byte) error {
 	if err := os.WriteFile(path+".key", []byte(key), 0o644); err != nil {
 		return fmt.Errorf("store: writing key sidecar: %w", err)
 	}
-	f.keys[key] = fileLoc{file: name, off: -1}
+	f.setLocLocked(key, fileLoc{file: name, off: -1})
 	return nil
+}
+
+// setLocLocked records a key's location, invalidating the sorted key
+// cache when the key is new. Callers hold f.mu.
+func (f *FileBackend) setLocLocked(key string, loc fileLoc) {
+	if _, exists := f.keys[key]; !exists {
+		f.sorted = nil
+	}
+	f.keys[key] = loc
+}
+
+// sortedKeysLocked returns the cached sorted key slice, rebuilding it if
+// stale. Callers hold f.mu (write).
+func (f *FileBackend) sortedKeysLocked() []string {
+	if f.sorted == nil {
+		keys := make([]string, 0, len(f.keys))
+		for k := range f.keys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		f.sorted = keys
+	}
+	return f.sorted
+}
+
+// sortedSnapshot returns the sorted key cache, rebuilding only when
+// stale. Cache warm, the cost is one shared-lock acquisition: the slice
+// is immutable once built (writers replace, never mutate), so readers
+// iterate it concurrently; staleness is absorbed by the per-key Get.
+func (f *FileBackend) sortedSnapshot() []string {
+	f.mu.RLock()
+	keys := f.sorted
+	f.mu.RUnlock()
+	if keys != nil {
+		return keys
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sortedKeysLocked()
 }
 
 // PutBatch implements Backend: the whole batch lands in one packed
@@ -262,9 +305,74 @@ func (f *FileBackend) PutBatch(kvs []KV) error {
 		return fmt.Errorf("store: publishing segment %s: %w", name, err)
 	}
 	for _, l := range locs {
-		f.keys[l.key] = fileLoc{file: name, off: l.off, vlen: l.vlen}
+		f.setLocLocked(l.key, fileLoc{file: name, off: l.off, vlen: l.vlen})
 	}
 	return nil
+}
+
+// GetBatch implements Backend: lookups resolve under one lock
+// acquisition, then each touched segment file is opened once and its
+// ranges read in offset order — where per-key Gets would re-open the
+// same segment for every posting candidate it holds.
+func (f *FileBackend) GetBatch(keys []string) ([][]byte, []bool, error) {
+	values := make([][]byte, len(keys))
+	present := make([]bool, len(keys))
+	f.mu.RLock()
+	type fetch struct {
+		i   int
+		loc fileLoc
+	}
+	byFile := make(map[string][]fetch)
+	for i, k := range keys {
+		loc, ok := f.keys[k]
+		if !ok {
+			continue
+		}
+		if loc.off >= 0 && loc.vlen == 0 {
+			// Empty segment value (an index posting): no file access.
+			values[i] = []byte{}
+			present[i] = true
+			continue
+		}
+		byFile[loc.file] = append(byFile[loc.file], fetch{i: i, loc: loc})
+	}
+	f.mu.RUnlock()
+	for file, fetches := range byFile {
+		if fetches[0].loc.off < 0 {
+			// Whole record files: one ReadFile each.
+			for _, ft := range fetches {
+				data, err := os.ReadFile(filepath.Join(f.dir, file))
+				if err != nil {
+					if os.IsNotExist(err) {
+						continue
+					}
+					return nil, nil, fmt.Errorf("store: reading %s: %w", file, err)
+				}
+				values[ft.i] = data
+				present[ft.i] = true
+			}
+			continue
+		}
+		fh, err := os.Open(filepath.Join(f.dir, file))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // segment vanished: all its keys read as absent
+			}
+			return nil, nil, fmt.Errorf("store: opening segment %s: %w", file, err)
+		}
+		sort.Slice(fetches, func(a, b int) bool { return fetches[a].loc.off < fetches[b].loc.off })
+		for _, ft := range fetches {
+			data := make([]byte, ft.loc.vlen)
+			if _, err := fh.ReadAt(data, ft.loc.off); err != nil {
+				fh.Close()
+				return nil, nil, fmt.Errorf("store: reading segment %s: %w", file, err)
+			}
+			values[ft.i] = data
+			present[ft.i] = true
+		}
+		fh.Close()
+	}
+	return values, present, nil
 }
 
 // Get implements Backend.
@@ -314,41 +422,128 @@ func (f *FileBackend) readLoc(loc fileLoc) ([]byte, bool, error) {
 
 // Scan implements Backend.
 func (f *FileBackend) Scan(prefix string, fn func(string, []byte) error) error {
-	f.mu.RLock()
-	keys := make([]string, 0, len(f.keys))
-	for k := range f.keys {
-		if strings.HasPrefix(k, prefix) {
-			keys = append(keys, k)
-		}
+	return f.ScanFrom(prefix, "", fn)
+}
+
+// ScanFrom implements Backend: a binary search on the sorted key cache
+// lands on the first key >= max(prefix, from), so a resumed scan never
+// re-walks (or re-sorts) the keys already consumed. Keys stream off the
+// snapshot lazily — an early stop from fn ends the sweep without the
+// remaining range ever being copied or visited.
+func (f *FileBackend) ScanFrom(prefix, from string, fn func(string, []byte) error) error {
+	lo := prefix
+	if from > lo {
+		lo = from
 	}
-	f.mu.RUnlock()
-	sort.Strings(keys)
-	for _, k := range keys {
-		data, ok, err := f.Get(k)
+	keys := f.sortedSnapshot()
+	for i := sort.SearchStrings(keys, lo); i < len(keys) && strings.HasPrefix(keys[i], prefix); i++ {
+		data, ok, err := f.Get(keys[i])
 		if err != nil {
 			return err
 		}
 		if !ok {
 			continue
 		}
-		if err := fn(k, data); err != nil {
+		if err := fn(keys[i], data); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Count implements Backend.
+// Count implements Backend: two binary searches on the sorted key cache.
 func (f *FileBackend) Count(prefix string) (int, error) {
+	keys := f.sortedSnapshot()
+	i := sort.SearchStrings(keys, prefix)
+	j := sort.Search(len(keys)-i, func(n int) bool {
+		return !strings.HasPrefix(keys[i+n], prefix)
+	}) // prefix-carrying keys are contiguous from i
+	return j, nil
+}
+
+// Segments reports how many packed segment files currently back live
+// keys — the quantity Compact exists to shrink.
+func (f *FileBackend) Segments() int {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	n := 0
-	for k := range f.keys {
-		if strings.HasPrefix(k, prefix) {
-			n++
+	segs := make(map[string]bool)
+	for _, loc := range f.keys {
+		if loc.off >= 0 {
+			segs[loc.file] = true
 		}
 	}
-	return n, nil
+	return len(segs)
+}
+
+// Compact merges every packed posting segment into one freshly written
+// segment (the kvdb Compact analogue for the file layout): each Record
+// call leaves its own small PSEG1 file, so a long-lived store
+// accumulates thousands of tiny segments that slow reopen and waste
+// directory entries. Only live entries survive the merge; superseded
+// segment values are dropped. Record files (the per-Put layout) are
+// untouched.
+//
+// Crash safety: the merged segment is written to a temp file and
+// renamed in under the next sequence number, so it replays after (and
+// consistently with) the segments it replaces; the old files are
+// removed only after the rename. A crash in between leaves both — the
+// replay resolves every key to the same bytes either way.
+func (f *FileBackend) Compact() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	oldSegs := make(map[string]bool)
+	var keys []string
+	for k, loc := range f.keys {
+		if loc.off >= 0 {
+			oldSegs[loc.file] = true
+			keys = append(keys, k)
+		}
+	}
+	if len(oldSegs) <= 1 {
+		return nil // nothing to merge
+	}
+	sort.Strings(keys)
+
+	buf := []byte(segMagic)
+	type pending struct {
+		key  string
+		off  int64
+		vlen int
+	}
+	locs := make([]pending, 0, len(keys))
+	for _, k := range keys {
+		value, ok, err := f.readLoc(f.keys[k])
+		if err != nil {
+			return fmt.Errorf("store: compacting %s: %w", k, err)
+		}
+		if !ok {
+			continue // segment vanished underneath us; key is dead
+		}
+		buf = appendSegEntry(buf, k, value)
+		locs = append(locs, pending{key: k, off: int64(len(buf) - 4 - len(value)), vlen: len(value)})
+	}
+
+	f.segSeq++
+	name := fmt.Sprintf("%016x%s", f.segSeq, segExt)
+	path := filepath.Join(f.dir, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("store: writing compacted segment: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publishing compacted segment: %w", err)
+	}
+	for _, l := range locs {
+		f.keys[l.key] = fileLoc{file: name, off: l.off, vlen: l.vlen}
+	}
+	// The merged segment is durable and indexed; the sources are garbage.
+	// Removal failures are harmless — replay order resolves identically.
+	for seg := range oldSegs {
+		_ = os.Remove(filepath.Join(f.dir, seg))
+	}
+	return nil
 }
 
 // Close implements Backend.

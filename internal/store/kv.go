@@ -50,14 +50,27 @@ func (k *KVBackend) Get(key string) ([]byte, bool, error) {
 	return v, true, nil
 }
 
+// GetBatch implements Backend: one lock acquisition and one
+// offset-ordered pass over the log for the whole batch.
+func (k *KVBackend) GetBatch(keys []string) ([][]byte, []bool, error) {
+	return k.db.GetBatch(keys)
+}
+
 // Scan implements Backend.
 func (k *KVBackend) Scan(prefix string, fn func(string, []byte) error) error {
 	return k.db.Scan(prefix, fn)
 }
 
-// Count implements Backend.
+// ScanFrom implements Backend.
+func (k *KVBackend) ScanFrom(prefix, from string, fn func(string, []byte) error) error {
+	return k.db.ScanFrom(prefix, from, fn)
+}
+
+// Count implements Backend. The count comes off kvdb's sorted key cache
+// without copying keys — the planner probes it once per candidate
+// dimension on every uncached query.
 func (k *KVBackend) Count(prefix string) (int, error) {
-	return len(k.db.Keys(prefix)), nil
+	return k.db.CountPrefix(prefix), nil
 }
 
 // Close implements Backend.

@@ -1,0 +1,212 @@
+package store
+
+// Read-path tests: packed-segment compaction on the file backend and
+// the Store-level batched record fetch.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"preserv/internal/core"
+	"preserv/internal/prep"
+)
+
+// segFiles counts the packed segment files in a directory.
+func segFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFileBackendCompactMergesSegments(t *testing.T) {
+	dir := t.TempDir()
+	fb, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(fb)
+
+	// Several Record calls leave several posting segments (plus the
+	// index's schema-marker writes).
+	for i := 0; i < 6; i++ {
+		session := seq.NewID()
+		var recs []core.Record
+		for j := 0; j < 4; j++ {
+			recs = append(recs, mkInteraction(session, "svc:gzip", "compress"))
+		}
+		if acc, rejects, err := s.Record("svc:enactor", recs); err != nil || len(rejects) > 0 || acc != len(recs) {
+			t.Fatalf("record %d: acc=%d rejects=%v err=%v", i, acc, rejects, err)
+		}
+	}
+	before := segFiles(t, dir)
+	if before < 6 {
+		t.Fatalf("expected at least one segment per Record call, found %d", before)
+	}
+
+	// Snapshot every key/value before the merge.
+	type kvSnap struct{ key, val string }
+	var snap []kvSnap
+	if err := fb.Scan("", func(k string, v []byte) error {
+		snap = append(snap, kvSnap{k, string(v)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fb.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if after := segFiles(t, dir); after != 1 {
+		t.Errorf("segments after compaction = %d, want 1", after)
+	}
+	if got := fb.Segments(); got != 1 {
+		t.Errorf("Segments() = %d, want 1", got)
+	}
+
+	// Byte-identical content, in place and across a reopen.
+	check := func(b Backend, label string) {
+		i := 0
+		if err := b.Scan("", func(k string, v []byte) error {
+			if i >= len(snap) || snap[i].key != k || snap[i].val != string(v) {
+				t.Fatalf("%s: divergence at entry %d (key %s)", label, i, k)
+			}
+			i++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i != len(snap) {
+			t.Errorf("%s: %d entries, want %d", label, i, len(snap))
+		}
+	}
+	check(fb, "compacted")
+
+	fb2, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(fb2, "reopened")
+
+	// The reopened store still answers queries over the merged segments.
+	s2 := New(fb2)
+	recs, total, err := s2.Query(&prep.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 24 || len(recs) != 24 {
+		t.Fatalf("query after compaction: %d/%d records, want 24", len(recs), total)
+	}
+}
+
+func TestFileBackendCompactSingleSegmentNoop(t *testing.T) {
+	dir := t.TempDir()
+	fb, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.PutBatch([]KV{{Key: "a", Value: []byte("1")}, {Key: "b", Value: []byte("2")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := segFiles(t, dir); n != 1 {
+		t.Errorf("single segment compacted away: %d files", n)
+	}
+	// An empty backend compacts to nothing without error.
+	fb2, err := NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fb2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileBackendCompactDropsSupersededValues(t *testing.T) {
+	dir := t.TempDir()
+	fb, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same key rewritten across segments: only the newest survives
+	// the merge, and the merged file carries it once.
+	if err := fb.PutBatch([]KV{{Key: "k", Value: []byte("old")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.PutBatch([]KV{{Key: "k", Value: []byte("new")}, {Key: "l", Value: []byte("live")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := fb.Get("k")
+	if err != nil || !ok || string(v) != "new" {
+		t.Fatalf("after compact: %q ok=%v err=%v, want \"new\"", v, ok, err)
+	}
+	fb2, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err = fb2.Get("k")
+	if err != nil || !ok || string(v) != "new" {
+		t.Fatalf("after reopen: %q ok=%v err=%v, want \"new\"", v, ok, err)
+	}
+}
+
+func TestFileBackendCompactPreservesRecordFiles(t *testing.T) {
+	// Keys stored as per-Put record files stay untouched by segment
+	// compaction.
+	dir := t.TempDir()
+	fb, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Put("rec/one", []byte("via-put")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.PutBatch([]KV{{Key: "seg/one", Value: []byte("via-batch")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.PutBatch([]KV{{Key: "seg/two", Value: []byte("via-batch-2")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{
+		"rec/one": "via-put", "seg/one": "via-batch", "seg/two": "via-batch-2",
+	} {
+		v, ok, err := fb.Get(key)
+		if err != nil || !ok || string(v) != want {
+			t.Errorf("%s = %q ok=%v err=%v, want %q", key, v, ok, err, want)
+		}
+	}
+	// Exactly one .rec file and one merged .seg remain.
+	if n := segFiles(t, dir); n != 1 {
+		t.Errorf("segments = %d, want 1", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".rec") {
+			recs++
+		}
+	}
+	if recs != 1 {
+		t.Errorf("record files = %d, want 1", recs)
+	}
+}

@@ -44,8 +44,18 @@ type Backend interface {
 	PutBatch(kvs []KV) error
 	// Get returns the value under key, or (nil, false, nil) if absent.
 	Get(key string) (value []byte, ok bool, err error)
+	// GetBatch fetches several keys in one backend operation — the read
+	// twin of PutBatch. The returned slices align with keys; present[i]
+	// is false for absent keys (whose values[i] is nil). Implementations
+	// amortise the per-read cost: one lock acquisition, one pass over
+	// the log, one open per touched segment file.
+	GetBatch(keys []string) (values [][]byte, present []bool, err error)
 	// Scan visits every key with the given prefix in sorted key order.
 	Scan(prefix string, fn func(key string, value []byte) error) error
+	// ScanFrom is Scan restricted to keys >= from (an empty from is
+	// unconstrained) — the seek primitive posting iterators resume
+	// partially consumed lists with.
+	ScanFrom(prefix, from string, fn func(key string, value []byte) error) error
 	// Count returns the number of keys with the given prefix.
 	Count(prefix string) (int, error)
 	// Close releases resources.
@@ -159,6 +169,18 @@ func (s *Store) GetRecord(key string) (*core.Record, bool, error) {
 		return nil, false, fmt.Errorf("store: corrupt record at %s: %w", key, err)
 	}
 	return r, true, nil
+}
+
+// GetBatch fetches several records' raw encodings in one backend batch —
+// the bulk lookup the streaming read path resolves candidate chunks
+// with. The result aligns with keys; present[i] is false for keys with
+// no stored record (a dangling posting reads as absent, not as an
+// error). Values are returned undecoded so callers that only need
+// existence (total counting past a query's Limit) skip the decode.
+func (s *Store) GetBatch(keys []string) (values [][]byte, present []bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.b.GetBatch(keys)
 }
 
 // Record validates and stores a batch of p-assertions asserted by
@@ -332,6 +354,33 @@ func (s *Store) Query(q *prep.Query) ([]core.Record, int, error) {
 	if err := q.Validate(); err != nil {
 		return nil, 0, err
 	}
+	var out []core.Record
+	total := 0
+	err := s.ScanQuery(q, "", func(_ string, r *core.Record) (bool, error) {
+		total++
+		if q.Limit == 0 || len(out) < q.Limit {
+			out = append(out, *r)
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, total, nil
+}
+
+// errStopScan terminates a ScanQuery sweep once the visitor asks to stop.
+var errStopScan = errors.New("store: stop scan")
+
+// ScanQuery visits every record matching q in storage-key order,
+// starting strictly after the `after` cursor (empty visits from the
+// beginning), calling fn with the storage key and decoded record. fn
+// returning stop=true ends the sweep early — the primitive cursor-paged
+// reads resume on. Limit is ignored here; callers own truncation.
+func (s *Store) ScanQuery(q *prep.Query, after string, fn func(key string, r *core.Record) (stop bool, err error)) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
@@ -347,10 +396,15 @@ func (s *Store) Query(q *prep.Query) ([]core.Record, int, error) {
 		}
 	}
 
-	var out []core.Record
-	total := 0
+	// after+"\x00" is the immediate successor string: every key k with
+	// k > after satisfies k >= after+"\x00", so the backend seek skips
+	// exactly the keys a previous page already delivered.
+	from := ""
+	if after != "" {
+		from = after + "\x00"
+	}
 	for _, prefix := range prefixes {
-		err := s.b.Scan(prefix, func(key string, value []byte) error {
+		err := s.b.ScanFrom(prefix, from, func(key string, value []byte) error {
 			r, err := core.DecodeRecord(value)
 			if err != nil {
 				return fmt.Errorf("store: corrupt record at %s: %w", key, err)
@@ -358,17 +412,23 @@ func (s *Store) Query(q *prep.Query) ([]core.Record, int, error) {
 			if !q.Matches(r) {
 				return nil
 			}
-			total++
-			if q.Limit == 0 || len(out) < q.Limit {
-				out = append(out, *r)
+			stop, err := fn(key, r)
+			if err != nil {
+				return err
+			}
+			if stop {
+				return errStopScan
 			}
 			return nil
 		})
+		if err == errStopScan {
+			return nil
+		}
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 	}
-	return out, total, nil
+	return nil
 }
 
 // Count reports store statistics.
@@ -451,6 +511,23 @@ func (m *MemoryBackend) Get(key string) ([]byte, bool, error) {
 	return append([]byte(nil), v...), true, nil
 }
 
+// GetBatch implements Backend: the whole batch resolves under one lock
+// acquisition, so a query fetching hundreds of candidate records costs
+// one contended section instead of one per record.
+func (m *MemoryBackend) GetBatch(keys []string) ([][]byte, []bool, error) {
+	values := make([][]byte, len(keys))
+	present := make([]bool, len(keys))
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i, k := range keys {
+		if v, ok := m.items[k]; ok {
+			values[i] = append([]byte(nil), v...)
+			present[i] = true
+		}
+	}
+	return values, present, nil
+}
+
 func (m *MemoryBackend) sortedKeys() []string {
 	if m.sorted == nil {
 		keys := make([]string, 0, len(m.items))
@@ -463,26 +540,51 @@ func (m *MemoryBackend) sortedKeys() []string {
 	return m.sorted
 }
 
+// sortedSnapshot returns the sorted key cache, rebuilding it only when
+// stale. The fast path is a shared lock: the cached slice is immutable
+// once built (writers replace it, never mutate it in place), so
+// concurrent readers iterate the same snapshot without excluding each
+// other; keys deleted or added afterwards are handled by the per-key
+// re-check at read time.
+func (m *MemoryBackend) sortedSnapshot() []string {
+	m.mu.RLock()
+	keys := m.sorted
+	m.mu.RUnlock()
+	if keys != nil {
+		return keys
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sortedKeys()
+}
+
 // Scan implements Backend. The sorted key cache is binary-searched so
 // prefix-scoped scans (the per-interaction queries of both use cases)
 // cost O(log n + matches) rather than a full sweep.
 func (m *MemoryBackend) Scan(prefix string, fn func(string, []byte) error) error {
-	m.mu.Lock()
-	keys := m.sortedKeys()
-	start := sort.SearchStrings(keys, prefix)
-	var selected []string
-	for i := start; i < len(keys) && strings.HasPrefix(keys[i], prefix); i++ {
-		selected = append(selected, keys[i])
+	return m.ScanFrom(prefix, "", fn)
+}
+
+// ScanFrom implements Backend: a binary search lands directly on the
+// first key >= max(prefix, from), so resuming a posting list mid-scan
+// costs O(log n) rather than re-walking the consumed head. Keys stream
+// off the snapshot lazily — an early stop from fn (a posting iterator
+// filling one chunk, a page completing) ends the sweep without the
+// remaining range ever being copied or visited.
+func (m *MemoryBackend) ScanFrom(prefix, from string, fn func(string, []byte) error) error {
+	lo := prefix
+	if from > lo {
+		lo = from
 	}
-	m.mu.Unlock()
-	for _, k := range selected {
+	keys := m.sortedSnapshot()
+	for i := sort.SearchStrings(keys, lo); i < len(keys) && strings.HasPrefix(keys[i], prefix); i++ {
 		m.mu.RLock()
-		v, ok := m.items[k]
+		v, ok := m.items[keys[i]]
 		m.mu.RUnlock()
 		if !ok {
 			continue
 		}
-		if err := fn(k, v); err != nil {
+		if err := fn(keys[i], v); err != nil {
 			return err
 		}
 	}
@@ -490,18 +592,16 @@ func (m *MemoryBackend) Scan(prefix string, fn func(string, []byte) error) error
 }
 
 // Count implements Backend. Like Scan it binary-searches the sorted key
-// cache, so prefix counts (the planner's selectivity probes) cost
-// O(log n + matches) rather than a full sweep.
+// cache, so prefix counts (the planner's selectivity probes) cost two
+// binary searches rather than a full sweep — and, cache warm, exclude
+// no other reader.
 func (m *MemoryBackend) Count(prefix string) (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	keys := m.sortedKeys()
-	start := sort.SearchStrings(keys, prefix)
-	n := 0
-	for i := start; i < len(keys) && strings.HasPrefix(keys[i], prefix); i++ {
-		n++
-	}
-	return n, nil
+	keys := m.sortedSnapshot()
+	i := sort.SearchStrings(keys, prefix)
+	j := sort.Search(len(keys)-i, func(n int) bool {
+		return !strings.HasPrefix(keys[i+n], prefix)
+	}) // prefix-carrying keys are contiguous from i
+	return j, nil
 }
 
 // Close implements Backend.

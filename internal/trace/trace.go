@@ -54,67 +54,84 @@ type Graph struct {
 }
 
 // Build fetches a session's interaction records and assembles its
-// dataflow graph. The fetch goes through the store's query planner, so
-// on a multi-session store it touches only the session's posting list
-// rather than scanning every record.
+// dataflow graph. The fetch goes through the store's cursor-paged query
+// planner: on a multi-session store it touches only the session's
+// posting list, and however large the session, the store serves it one
+// page at a time while the graph ingests each record as it arrives —
+// neither side ever buffers the full record set.
 func Build(client *preserv.Client, session ids.ID) (*Graph, error) {
-	records, _, _, err := client.QueryPlanned(&prep.Query{
+	g := NewGraph()
+	_, err := client.QueryStream(&prep.Query{
 		Kind:      core.KindInteraction.String(),
 		SessionID: session,
+	}, 0, func(r *core.Record) error {
+		g.Ingest(r)
+		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("trace: fetching session: %w", err)
 	}
-	return FromRecords(records), nil
+	return g, nil
 }
 
-// FromRecords assembles the graph from interaction records directly.
-func FromRecords(records []core.Record) *Graph {
-	g := &Graph{
+// NewGraph returns an empty dataflow graph ready to Ingest records.
+func NewGraph() *Graph {
+	return &Graph{
 		nodes:    make(map[ids.ID]Node),
 		parents:  make(map[ids.ID][]Edge),
 		children: make(map[ids.ID][]Edge),
 	}
+}
+
+// FromRecords assembles the graph from interaction records directly.
+func FromRecords(records []core.Record) *Graph {
+	g := NewGraph()
 	for i := range records {
-		r := &records[i]
-		if r.Kind != core.KindInteraction || r.Interaction == nil {
-			continue
-		}
-		ip := r.Interaction
-		var inputs []ids.ID
-		for _, p := range ip.Request.Parts {
-			if p.DataID.Valid() {
-				inputs = append(inputs, p.DataID)
-				if _, known := g.nodes[p.DataID]; !known {
-					// Workflow-level input unless a later record names
-					// a producer.
-					g.nodes[p.DataID] = Node{DataID: p.DataID}
-				}
-			}
-		}
-		for _, p := range ip.Response.Parts {
-			if !p.DataID.Valid() {
-				continue
-			}
-			g.nodes[p.DataID] = Node{
-				DataID:     p.DataID,
-				ProducedBy: ip.Interaction.ID,
-				Producer:   ip.Interaction.Receiver,
-				Part:       p.Name,
-			}
-			for _, in := range inputs {
-				e := Edge{
-					From:    in,
-					To:      p.DataID,
-					Via:     ip.Interaction.ID,
-					Service: ip.Interaction.Receiver,
-				}
-				g.parents[p.DataID] = append(g.parents[p.DataID], e)
-				g.children[in] = append(g.children[in], e)
+		g.Ingest(&records[i])
+	}
+	return g
+}
+
+// Ingest merges one interaction record into the graph (non-interaction
+// records are ignored). Records may arrive in any order and one at a
+// time — this is what lets Build consume a paged stream.
+func (g *Graph) Ingest(r *core.Record) {
+	if r.Kind != core.KindInteraction || r.Interaction == nil {
+		return
+	}
+	ip := r.Interaction
+	var inputs []ids.ID
+	for _, p := range ip.Request.Parts {
+		if p.DataID.Valid() {
+			inputs = append(inputs, p.DataID)
+			if _, known := g.nodes[p.DataID]; !known {
+				// Workflow-level input unless a later record names
+				// a producer.
+				g.nodes[p.DataID] = Node{DataID: p.DataID}
 			}
 		}
 	}
-	return g
+	for _, p := range ip.Response.Parts {
+		if !p.DataID.Valid() {
+			continue
+		}
+		g.nodes[p.DataID] = Node{
+			DataID:     p.DataID,
+			ProducedBy: ip.Interaction.ID,
+			Producer:   ip.Interaction.Receiver,
+			Part:       p.Name,
+		}
+		for _, in := range inputs {
+			e := Edge{
+				From:    in,
+				To:      p.DataID,
+				Via:     ip.Interaction.ID,
+				Service: ip.Interaction.Receiver,
+			}
+			g.parents[p.DataID] = append(g.parents[p.DataID], e)
+			g.children[in] = append(g.children[in], e)
+		}
+	}
 }
 
 // Len returns the number of data items known to the graph.
