@@ -10,12 +10,21 @@
 //	provq -store URL -registry URL validate -session SESSION
 //	provq -store URL lineage -session SESSION -data DATAID
 //	provq -store URL consolidate -from URL1,URL2,...
+//	provq -store URL delete -session SESSION
+//	provq -store URL delete -key STORAGEKEY
+//	provq -store URL compact
 //	provq -backend file|kvdb -dir PATH compact
 //
-// compact is an offline maintenance command: it opens the store
-// directory directly (no server may have it open) and merges the file
-// backend's accumulated posting segments — or the kvdb backend's dead
-// log space — away.
+// delete retracts provenance from a live store: one record by storage
+// key, or a whole session's records. The store removes the records and
+// their index postings and reclaims the bytes by (possibly automatic)
+// compaction.
+//
+// compact with -dir is an offline maintenance command: it opens the
+// store directory directly (no server may have it open) and merges the
+// file backend's accumulated posting segments — or the kvdb backend's
+// dead log space — away. Without -dir it asks the live server at -store
+// to compact itself online (urn:prep:compact).
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"preserv/internal/compare"
 	"preserv/internal/ids"
 	"preserv/internal/ontology"
+	"preserv/internal/prep"
 	"preserv/internal/preserv"
 	"preserv/internal/registry"
 	"preserv/internal/semval"
@@ -40,18 +50,19 @@ func main() {
 	registryURL := flag.String("registry", "http://127.0.0.1:8735", "registry URL (validate)")
 	sessionA := flag.String("a", "", "first session id (compare)")
 	sessionB := flag.String("b", "", "second session id (compare)")
-	session := flag.String("session", "", "session id (validate, lineage)")
+	session := flag.String("session", "", "session id (validate, lineage, delete)")
 	dataID := flag.String("data", "", "data id (lineage)")
 	from := flag.String("from", "", "comma-separated source store URLs (consolidate)")
-	backend := flag.String("backend", "file", "backend flavour: file or kvdb (compact)")
-	dir := flag.String("dir", "", "store directory (compact)")
+	backend := flag.String("backend", "file", "backend flavour: file or kvdb (offline compact)")
+	dir := flag.String("dir", "", "store directory (offline compact; omit to compact via the server)")
+	key := flag.String("key", "", "record storage key (delete)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: provq [flags] count|sessions|categorize|compare|validate|lineage|consolidate|compact")
+		fmt.Fprintln(os.Stderr, "usage: provq [flags] count|sessions|categorize|compare|validate|lineage|consolidate|delete|compact")
 		os.Exit(2)
 	}
-	if flag.Arg(0) == "compact" {
+	if flag.Arg(0) == "compact" && *dir != "" {
 		if err := runCompact(*backend, *dir, os.Stdout); err != nil {
 			log.Fatalf("provq: %v", err)
 		}
@@ -176,6 +187,42 @@ func main() {
 		}
 		des := g.Derived(d)
 		fmt.Printf("and %d item(s) derive from it\n", len(des))
+
+	case "delete":
+		var resp *prep.DeleteResponse
+		var err error
+		switch {
+		case *key != "" && *session != "":
+			log.Fatal("provq: delete takes -key or -session, not both")
+		case *key != "":
+			resp, err = client.DeleteRecord(*key)
+		case *session != "":
+			var s ids.ID
+			if s, err = ids.Parse(*session); err != nil {
+				log.Fatalf("provq: -session: %v", err)
+			}
+			resp, err = client.DeleteSession(s)
+		default:
+			log.Fatal("provq: delete needs -key STORAGEKEY or -session SESSION")
+		}
+		if err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		fmt.Printf("deleted %d record(s); garbage ratio %.2f", resp.Deleted, resp.GarbageRatio)
+		if resp.Compacted {
+			fmt.Print(" (store compacted)")
+		}
+		fmt.Println()
+		if resp.CompactError != "" {
+			fmt.Fprintf(os.Stderr, "provq: warning: scheduled compaction failed: %s\n", resp.CompactError)
+		}
+
+	case "compact":
+		resp, err := client.Compact()
+		if err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		fmt.Printf("compacted %s: garbage ratio %.2f -> %.2f\n", *storeURL, resp.GarbageBefore, resp.GarbageAfter)
 
 	case "consolidate":
 		if *from == "" {

@@ -130,6 +130,16 @@ func DecodeRecord(data []byte) (*Record, error) {
 		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
 			return nil, fmt.Errorf("core: decoding record: %w", err)
 		}
+		// gob happily decodes short junk into a zero Record; only a
+		// structurally complete record (a known kind with its payload
+		// present) is a legitimate legacy blob — anything else must
+		// surface as corruption, not crash a later re-encode.
+		switch {
+		case r.Kind == KindInteraction && r.Interaction != nil:
+		case r.Kind == KindActorState && r.ActorState != nil:
+		default:
+			return nil, fmt.Errorf("core: decoding record: gob blob is not a complete record (kind %d)", r.Kind)
+		}
 		return &r, nil
 	}
 	d := &decoder{data: data, off: len(codecMagic)}

@@ -94,6 +94,11 @@ type KV interface {
 	// head.
 	ScanFrom(prefix, from string, fn func(key string, value []byte) error) error
 	Count(prefix string) (int, error)
+	// Delete removes one key (absent keys are no-ops); DeleteBatch
+	// removes several in one backend operation, preserving slice order —
+	// the property RemoveBatch's commit-marker layout needs.
+	Delete(key string) error
+	DeleteBatch(keys []string) error
 }
 
 // Index is an open secondary index over a backend.
@@ -166,13 +171,20 @@ func (ix *Index) deficit(kindTag string) (int, error) {
 
 // Rebuild derives every posting entry from the records themselves. It is
 // safe to run over a partially indexed store: existing postings are
-// re-put with identical (empty) content. A record that no longer decodes
-// is skipped rather than failing the rebuild — recording must stay
-// available over a store with one torn value (the same policy the file
-// backend applies to torn writes); the skip count is persisted so the
-// Open-time consistency check does not re-trigger a rebuild forever.
+// re-put with identical (empty) content, and postings whose record no
+// longer exists (deleted, then a crash before RemoveBatch finished) are
+// garbage-collected — without the GC sweep a kind-posting surplus would
+// re-trigger a rebuild at every Open forever. A record that no longer
+// decodes is skipped rather than failing the rebuild — recording must
+// stay available over a store with one torn value (the same policy the
+// file backend applies to torn writes); the skip count is persisted so
+// the Open-time consistency check does not re-trigger a rebuild forever.
 func (ix *Index) Rebuild() error {
 	skipped := map[string]int{"i": 0, "s": 0}
+	// live collects every record storage key seen during the scan, so
+	// the GC pass below can tell a re-puttable posting from a dangling
+	// one.
+	live := make(map[string]bool)
 	// Postings are flushed in bounded chunks: one backend batch per
 	// rebuildChunk records keeps rebuild memory flat while still
 	// amortising the per-write cost (and, on the file backend, packing
@@ -192,6 +204,7 @@ func (ix *Index) Rebuild() error {
 	for _, prefix := range []string{"i/", "s/"} {
 		kindTag := prefix[:1]
 		err := ix.kv.Scan(prefix, func(key string, value []byte) error {
+			live[key] = true
 			r, err := core.DecodeRecord(value)
 			if err != nil {
 				skipped[kindTag]++
@@ -211,6 +224,31 @@ func (ix *Index) Rebuild() error {
 	}
 	if err := flush(); err != nil {
 		return err
+	}
+	// GC pass: delete postings that reference a record the scan did not
+	// see. Queries already skip dangling postings at fetch time, but
+	// their counts corrupt the planner's cardinality estimates and the
+	// Open-time consistency check, so a rebuild sweeps them out.
+	var doomed []string
+	err := ix.kv.Scan(postingPrefix, func(key string, _ []byte) error {
+		skey, ok := postingStorageKey(key)
+		if ok && !live[skey] {
+			doomed = append(doomed, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("index: sweeping dangling postings: %w", err)
+	}
+	for len(doomed) > 0 {
+		n := len(doomed)
+		if n > rebuildChunk {
+			n = rebuildChunk
+		}
+		if err := ix.kv.DeleteBatch(doomed[:n]); err != nil {
+			return fmt.Errorf("index: collecting dangling postings: %w", err)
+		}
+		doomed = doomed[n:]
 	}
 	for kindTag, n := range skipped {
 		key := deficitKeyPrefix + kindTag
@@ -255,6 +293,37 @@ func (ix *Index) AddBatch(records []*core.Record) error {
 	}
 	if err := ix.kv.PutBatch(pairs); err != nil {
 		return fmt.Errorf("index: putting %d postings for %d records: %w", len(pairs), len(records), err)
+	}
+	return nil
+}
+
+// Remove deletes the posting entries of one record.
+func (ix *Index) Remove(r *core.Record) error {
+	return ix.RemoveBatch([]*core.Record{r})
+}
+
+// RemoveBatch deletes the posting entries for a batch of records in ONE
+// backend batch delete — the store calls this once per DeleteRecord /
+// DeleteSession call, mirroring AddBatch on the write path.
+//
+// Ordering within the batch preserves the commit-marker property in the
+// removal direction: each record's kind posting is deleted LAST among
+// its postings (postingKeys already emits it last, and DeleteBatch
+// keeps slice order), so a crash that durably keeps only a prefix of
+// the batch leaves a kind-posting SURPLUS for every incompletely
+// de-indexed record — record counts have already shrunk, posting counts
+// have not — which is exactly what the Open-time consistency check
+// detects, and Rebuild's dangling-posting sweep repairs.
+func (ix *Index) RemoveBatch(records []*core.Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(records)*16)
+	for _, r := range records {
+		keys = append(keys, postingKeys(r)...)
+	}
+	if err := ix.kv.DeleteBatch(keys); err != nil {
+		return fmt.Errorf("index: deleting %d postings for %d records: %w", len(keys), len(records), err)
 	}
 	return nil
 }
@@ -307,6 +376,23 @@ func postingKey(dim, term, skey string) string {
 // postingKeyPrefix is the scan prefix covering one term's posting list.
 func postingKeyPrefix(dim, term string) string {
 	return postingPrefix + dim + "/" + escapeTerm(term) + "/"
+}
+
+// postingStorageKey extracts the record storage key a posting entry
+// points at: the tail after "x/<dim>/<escaped term>/". Terms are escaped
+// so neither component can contain '/'; storage keys themselves do.
+func postingStorageKey(key string) (string, bool) {
+	rest := key[len(postingPrefix):]
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return "", false
+	}
+	rest = rest[slash+1:]
+	slash = strings.IndexByte(rest, '/')
+	if slash < 0 || slash+1 >= len(rest) {
+		return "", false
+	}
+	return rest[slash+1:], true
 }
 
 // escapeTerm makes a term safe to embed between '/' separators: '/' and

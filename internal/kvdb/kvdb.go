@@ -70,6 +70,10 @@ type DB struct {
 	// prefix/range scans the read path leans on from O(n log n) per call
 	// into a binary search plus a walk.
 	sorted []string
+	// tombs counts live tombstone entries in the log (deletions not yet
+	// reclaimed by compaction) — the deletion-lifecycle telemetry the
+	// store surfaces.
+	tombs int64
 }
 
 // Open opens (creating if necessary) the database in dir. A partially
@@ -137,6 +141,7 @@ func (db *DB) recover() error {
 		if flags&flagTombstone != 0 {
 			delete(db.index, key)
 			db.garbage += recLen
+			db.tombs++
 		} else {
 			db.index[key] = entryLoc{off: off + headerSize + int64(keyLen), valLen: valLen}
 		}
@@ -320,23 +325,61 @@ func (db *DB) Has(key string) bool {
 	return ok && !db.closed
 }
 
-// Delete removes key. Deleting an absent key is a no-op.
+// Delete removes key. Deleting an absent key is a no-op. It is the
+// one-element form of DeleteBatch, so the tombstone framing and the
+// garbage accounting live in exactly one place.
 func (db *DB) Delete(key string) error {
+	return db.DeleteBatch([]string{key})
+}
+
+// DeleteBatch removes several keys with ONE log append: the tombstones
+// are serialised into a single contiguous buffer and written with one
+// WriteAt, mirroring PutBatch. Tombstones land in slice order, so a
+// crash mid-write durably keeps a strict prefix of the batch's
+// deletions — recovery never sees a deletion without every earlier one
+// in the batch. Absent keys are skipped (no tombstone is logged for
+// them), matching Delete's no-op semantics.
+func (db *DB) DeleteBatch(keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	for _, k := range keys {
+		if k == "" || len(k) > MaxKeyLen {
+			return fmt.Errorf("kvdb: invalid key length %d", len(k))
+		}
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	prev, ok := db.index[key]
-	if !ok {
+	buf := make([]byte, 0, len(keys)*(headerSize+16))
+	var doomed []string
+	var reclaimed int64
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		prev, ok := db.index[k]
+		if !ok || seen[k] {
+			continue // absent (or already tombstoned in this batch): no-op
+		}
+		seen[k] = true
+		buf = encodeRecord(buf, flagTombstone, k, nil)
+		doomed = append(doomed, k)
+		reclaimed += int64(headerSize+len(k)+prev.valLen) + int64(headerSize+len(k))
+	}
+	if len(doomed) == 0 {
 		return nil
 	}
-	if err := db.appendRecord(flagTombstone, key, nil); err != nil {
-		return err
+	if _, err := db.f.WriteAt(buf, db.offset); err != nil {
+		return fmt.Errorf("kvdb: batch delete append: %w", err)
 	}
-	delete(db.index, key)
+	db.offset += int64(len(buf))
+	for _, k := range doomed {
+		delete(db.index, k)
+	}
 	db.sorted = nil
-	db.garbage += int64(headerSize+len(key)+prev.valLen) + int64(headerSize+len(key))
+	db.tombs += int64(len(doomed))
+	db.garbage += reclaimed
 	return nil
 }
 
@@ -442,6 +485,22 @@ func (db *DB) GarbageBytes() int64 {
 	return db.garbage
 }
 
+// LogBytes reports the log's current append position — the on-disk size
+// the garbage ratio is computed against.
+func (db *DB) LogBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.offset
+}
+
+// Tombstones reports how many tombstone entries the log currently holds
+// (deletions not yet reclaimed by Compact).
+func (db *DB) Tombstones() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tombs
+}
+
 // Sync forces buffered writes to stable storage.
 func (db *DB) Sync() error {
 	db.mu.Lock()
@@ -512,6 +571,7 @@ func (db *DB) Compact() error {
 	db.index = newIndex
 	db.offset = newOff
 	db.garbage = 0
+	db.tombs = 0
 	old.Close()
 	return nil
 }

@@ -35,6 +35,16 @@ const (
 	ActionSessions = "urn:prep:sessions"
 	// ActionCount reports store statistics.
 	ActionCount = "urn:prep:count"
+	// ActionDelete retracts recorded p-assertions: one record by storage
+	// key, or a whole session. Deletion removes the records and their
+	// index postings and invalidates cached query results; the on-disk
+	// bytes are reclaimed by compaction.
+	ActionDelete = "urn:prep:delete"
+	// ActionCompact triggers online compaction of the store's backend,
+	// reclaiming the dead bytes deletions and overwrites leave behind.
+	// The server also schedules compaction itself when the backend's
+	// garbage ratio crosses its threshold after a delete.
+	ActionCompact = "urn:prep:compact"
 )
 
 // RecordRequest submits p-assertions to the store. All records must be
@@ -269,6 +279,51 @@ type PageQueryResponse struct {
 	Next    string        `xml:"next,omitempty"`
 	Done    bool          `xml:"done"`
 	Records []core.Record `xml:"record,omitempty"`
+}
+
+// DeleteRequest retracts recorded p-assertions: exactly one of
+// StorageKey (one record) or SessionID (every record grouped under the
+// session) must be set.
+type DeleteRequest struct {
+	XMLName    xml.Name `xml:"DeleteRequest"`
+	StorageKey string   `xml:"storageKey,omitempty"`
+	SessionID  ids.ID   `xml:"sessionId,omitempty"`
+}
+
+// Validate rejects structurally impossible delete requests.
+func (r *DeleteRequest) Validate() error {
+	if (r.StorageKey != "") == r.SessionID.Valid() {
+		return fmt.Errorf("prep: delete needs exactly one of storageKey or sessionId")
+	}
+	return nil
+}
+
+// DeleteResponse acknowledges a DeleteRequest. Deleted counts the
+// records actually removed (0 for an already-absent key — retraction is
+// idempotent). GarbageRatio is the backend's dead-byte fraction after
+// the deletion, and Compacted reports that the deletion pushed the
+// ratio over the server's threshold and an online compaction ran.
+// CompactError carries a scheduled compaction's failure without
+// masking the delete itself, which already succeeded.
+type DeleteResponse struct {
+	XMLName      xml.Name `xml:"DeleteResponse"`
+	Deleted      int      `xml:"deleted"`
+	GarbageRatio float64  `xml:"garbageRatio"`
+	Compacted    bool     `xml:"compacted"`
+	CompactError string   `xml:"compactError,omitempty"`
+}
+
+// CompactRequest asks the server to compact its backend now.
+type CompactRequest struct {
+	XMLName xml.Name `xml:"CompactRequest"`
+}
+
+// CompactResponse reports a compaction's effect: the backend's
+// dead-byte fraction before and after.
+type CompactResponse struct {
+	XMLName       xml.Name `xml:"CompactResponse"`
+	GarbageBefore float64  `xml:"garbageBefore"`
+	GarbageAfter  float64  `xml:"garbageAfter"`
 }
 
 // SessionsRequest asks for the distinct recorded session identifiers.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -23,33 +24,139 @@ import (
 	"preserv/internal/store"
 )
 
-// StorePlugIn handles record submissions (prep.ActionRecord).
+// DefaultCompactRatio is the garbage-ratio threshold above which a
+// deletion triggers an online compaction of the backend: once half the
+// stored bytes are dead, rewriting the live half costs less than
+// carrying the garbage.
+const DefaultCompactRatio = 0.5
+
+// StorePlugIn handles the mutating actions: record submissions
+// (prep.ActionRecord), retractions (prep.ActionDelete) and online
+// compaction (prep.ActionCompact).
 type StorePlugIn struct {
 	store *store.Store
+	// CompactRatio is the garbage-ratio threshold for delete-triggered
+	// compaction; zero means DefaultCompactRatio, negative disables
+	// automatic compaction (explicit ActionCompact still works).
+	CompactRatio float64
 	// recordsAccepted counts accepted p-assertions for monitoring.
 	recordsAccepted atomic.Int64
 	requests        atomic.Int64
+	// deleteRequests / recordsDeleted / compactions are the deletion
+	// lifecycle's counters.
+	deleteRequests atomic.Int64
+	recordsDeleted atomic.Int64
+	compactions    atomic.Int64
+	// compactMu serialises compactions: concurrent deletes must not pile
+	// up rewrites of the same log.
+	compactMu sync.Mutex
 }
 
 // NewStorePlugIn returns a store plug-in over s.
 func NewStorePlugIn(s *store.Store) *StorePlugIn { return &StorePlugIn{store: s} }
 
 // Actions implements soap.Handler.
-func (p *StorePlugIn) Actions() []string { return []string{prep.ActionRecord} }
+func (p *StorePlugIn) Actions() []string {
+	return []string{prep.ActionRecord, prep.ActionDelete, prep.ActionCompact}
+}
 
 // Handle implements soap.Handler.
-func (p *StorePlugIn) Handle(_ string, body []byte) (interface{}, error) {
-	p.requests.Add(1)
-	var req prep.RecordRequest
-	if err := xml.Unmarshal(body, &req); err != nil {
-		return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad record request: " + err.Error()}
+func (p *StorePlugIn) Handle(action string, body []byte) (interface{}, error) {
+	switch action {
+	case prep.ActionRecord:
+		p.requests.Add(1)
+		var req prep.RecordRequest
+		if err := xml.Unmarshal(body, &req); err != nil {
+			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad record request: " + err.Error()}
+		}
+		accepted, rejects, err := p.store.Record(req.Asserter, req.Records)
+		if err != nil {
+			return nil, err
+		}
+		p.recordsAccepted.Add(int64(accepted))
+		return &prep.RecordResponse{Accepted: accepted, Rejects: rejects}, nil
+	case prep.ActionDelete:
+		p.deleteRequests.Add(1)
+		var req prep.DeleteRequest
+		if err := xml.Unmarshal(body, &req); err != nil {
+			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad delete request: " + err.Error()}
+		}
+		if err := req.Validate(); err != nil {
+			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: err.Error()}
+		}
+		deleted := 0
+		if req.StorageKey != "" {
+			ok, err := p.store.DeleteRecord(req.StorageKey)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				deleted = 1
+			}
+		} else {
+			n, err := p.store.DeleteSession(req.SessionID)
+			if err != nil {
+				return nil, err
+			}
+			deleted = n
+		}
+		p.recordsDeleted.Add(int64(deleted))
+		resp := &prep.DeleteResponse{Deleted: deleted}
+		if deleted > 0 {
+			// A failed scheduled compaction must not mask the delete,
+			// which already succeeded: report it in the response instead
+			// of turning the whole request into a fault.
+			var err error
+			if resp.Compacted, err = p.maybeCompact(); err != nil {
+				resp.CompactError = err.Error()
+			}
+		}
+		resp.GarbageRatio = p.store.GarbageRatio()
+		return resp, nil
+	case prep.ActionCompact:
+		var req prep.CompactRequest
+		if err := xml.Unmarshal(body, &req); err != nil {
+			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad compact request: " + err.Error()}
+		}
+		before := p.store.GarbageRatio()
+		p.compactMu.Lock()
+		err := p.store.Compact()
+		p.compactMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		p.compactions.Add(1)
+		return &prep.CompactResponse{GarbageBefore: before, GarbageAfter: p.store.GarbageRatio()}, nil
 	}
-	accepted, rejects, err := p.store.Record(req.Asserter, req.Records)
-	if err != nil {
-		return nil, err
+	return nil, &soap.Fault{Code: soap.FaultBadAction, Message: action}
+}
+
+// maybeCompact runs an online compaction when the backend's garbage
+// ratio has crossed the plug-in's threshold — the scheduled reclamation
+// that keeps deletions from growing the store without bound. It runs
+// inline with the triggering delete request: deletions are rare
+// administrative operations, and an inline compaction keeps the
+// observable state deterministic (the response reports whether it ran).
+func (p *StorePlugIn) maybeCompact() (bool, error) {
+	threshold := p.CompactRatio
+	if threshold == 0 {
+		threshold = DefaultCompactRatio
 	}
-	p.recordsAccepted.Add(int64(accepted))
-	return &prep.RecordResponse{Accepted: accepted, Rejects: rejects}, nil
+	if threshold < 0 || p.store.GarbageRatio() < threshold {
+		return false, nil
+	}
+	p.compactMu.Lock()
+	defer p.compactMu.Unlock()
+	// Re-check under the compaction lock: a concurrent delete may have
+	// just compacted the garbage away.
+	if p.store.GarbageRatio() < threshold {
+		return false, nil
+	}
+	if err := p.store.Compact(); err != nil {
+		return false, fmt.Errorf("preserv: scheduled compaction: %w", err)
+	}
+	p.compactions.Add(1)
+	return true, nil
 }
 
 // QueryPlugIn handles queries (scanned and planned), session listings
@@ -143,6 +250,17 @@ type Stats struct {
 	QueryCostProbes        int64
 	QueryPostingsRead      int64
 	QueryCandidatesFetched int64
+	// DeleteRequests / RecordsDeleted / Compactions count the deletion
+	// lifecycle: retraction requests served, records removed, and
+	// compactions run (explicit or garbage-ratio-scheduled).
+	DeleteRequests int64
+	RecordsDeleted int64
+	Compactions    int64
+	// Tombstones is the backend's current count of unreclaimed deletion
+	// markers; GarbageRatio its current dead-byte fraction — the signal
+	// the next scheduled compaction fires on.
+	Tombstones   int64
+	GarbageRatio float64
 }
 
 // Service is a PReServ instance: a store plus the translator wiring.
@@ -168,6 +286,11 @@ func NewService(s *store.Store) *Service {
 // Handler returns the HTTP handler (the message-translator layer).
 func (svc *Service) Handler() http.Handler { return svc.handler }
 
+// SetCompactRatio sets the garbage-ratio threshold for delete-triggered
+// online compaction (negative disables it). Call before serving; the
+// field is not synchronised against in-flight requests.
+func (svc *Service) SetCompactRatio(r float64) { svc.storeP.CompactRatio = r }
+
 // Stats returns a snapshot of service counters.
 func (svc *Service) Stats() Stats {
 	cache := svc.queryP.engine.CacheStats()
@@ -184,6 +307,11 @@ func (svc *Service) Stats() Stats {
 		QueryCostProbes:        planner.CostProbes,
 		QueryPostingsRead:      planner.PostingsRead,
 		QueryCandidatesFetched: planner.CandidatesFetched,
+		DeleteRequests:         svc.storeP.deleteRequests.Load(),
+		RecordsDeleted:         svc.storeP.recordsDeleted.Load(),
+		Compactions:            svc.storeP.compactions.Load(),
+		Tombstones:             svc.Store.Tombstones(),
+		GarbageRatio:           svc.Store.GarbageRatio(),
 	}
 }
 
@@ -337,6 +465,37 @@ func (c *Client) QueryStream(q *prep.Query, pageSize int, fn func(r *core.Record
 		}
 		after = resp.Next
 	}
+}
+
+// DeleteRecord retracts the record stored under the given storage key.
+// It returns the server's acknowledgement; Deleted is 0 when the key
+// was already absent (retraction is idempotent).
+func (c *Client) DeleteRecord(storageKey string) (*prep.DeleteResponse, error) {
+	return c.delete(&prep.DeleteRequest{StorageKey: storageKey})
+}
+
+// DeleteSession retracts every record grouped under the session.
+func (c *Client) DeleteSession(session ids.ID) (*prep.DeleteResponse, error) {
+	return c.delete(&prep.DeleteRequest{SessionID: session})
+}
+
+func (c *Client) delete(req *prep.DeleteRequest) (*prep.DeleteResponse, error) {
+	var resp prep.DeleteResponse
+	if err := soap.Post(c.hc, c.url, prep.ActionDelete, req, &resp); err != nil {
+		return nil, fmt.Errorf("preserv: delete: %w", err)
+	}
+	return &resp, nil
+}
+
+// Compact asks the store to compact its backend online, reclaiming the
+// dead bytes deletions and overwrites leave behind. The response
+// reports the garbage ratio before and after.
+func (c *Client) Compact() (*prep.CompactResponse, error) {
+	var resp prep.CompactResponse
+	if err := soap.Post(c.hc, c.url, prep.ActionCompact, &prep.CompactRequest{}, &resp); err != nil {
+		return nil, fmt.Errorf("preserv: compact: %w", err)
+	}
+	return &resp, nil
 }
 
 // Sessions lists the distinct session identifiers recorded in the

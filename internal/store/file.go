@@ -41,6 +41,17 @@ type FileBackend struct {
 	// segSeq numbers segment files; monotonically increasing so open
 	// replays segments in write order (last write wins).
 	segSeq uint64
+	// tombstones tracks keys whose newest segment entry is a tombstone:
+	// the key is dead, but its tombstone must survive until Compact has
+	// made sure no earlier layout copy (a record file, an older segment)
+	// could resurrect it on replay.
+	tombstones map[string]bool
+	// liveBytes / deadBytes approximate how segment bytes split between
+	// entries that still back a live key and entries that are garbage
+	// (superseded values, tombstones, tombstoned values) — the inputs of
+	// GarbageRatio, which schedules online compaction.
+	liveBytes int64
+	deadBytes int64
 }
 
 // fileLoc locates one value: a whole record file (off < 0) or a byte
@@ -58,13 +69,41 @@ const (
 	segMagic = "PSEG1\n"
 )
 
+// segTombstoneVal is the reserved valLen marking a segment entry as a
+// tombstone: the entry carries no value and deletes its key on replay.
+// A real entry's valLen is an actual byte count bounded by the segment
+// size, so the sentinel can never be produced by a legitimate put —
+// segments written before deletion existed parse unchanged.
+const segTombstoneVal = ^uint64(0)
+
+// uvarintLen is the encoded size of x — used to account segment entry
+// bytes without re-encoding them.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// putEntrySize / tombEntrySize are the exact on-disk sizes of the two
+// segment entry forms, for the live/dead byte accounting.
+func putEntrySize(key string, vlen int) int64 {
+	return int64(uvarintLen(uint64(len(key))) + uvarintLen(uint64(vlen)) + len(key) + vlen + 4)
+}
+
+func tombEntrySize(key string) int64 {
+	return int64(uvarintLen(uint64(len(key))) + uvarintLen(segTombstoneVal) + len(key) + 4)
+}
+
 // NewFileBackend opens (creating if necessary) a file backend rooted at
 // dir and indexes any records already present.
 func NewFileBackend(dir string) (*FileBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	fb := &FileBackend{dir: dir, keys: make(map[string]fileLoc)}
+	fb := &FileBackend{dir: dir, keys: make(map[string]fileLoc), tombstones: make(map[string]bool)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
@@ -115,40 +154,87 @@ func (f *FileBackend) loadSegment(name string) error {
 	}
 	off := len(segMagic)
 	for off < len(data) {
-		key, valOff, valLen, next, ok := parseSegEntry(data, off)
+		key, valOff, valLen, next, tomb, ok := parseSegEntry(data, off)
 		if !ok {
 			break
 		}
-		f.keys[key] = fileLoc{file: name, off: int64(valOff), vlen: valLen}
+		if tomb {
+			f.noteTombstoneLocked(key)
+		} else {
+			f.notePutLocked(key)
+			f.liveBytes += putEntrySize(key, valLen)
+			f.keys[key] = fileLoc{file: name, off: int64(valOff), vlen: valLen}
+		}
 		off = next
 	}
 	return nil
 }
 
+// notePutLocked updates the byte accounting and tombstone set for a
+// segment put of key: a previous segment copy becomes dead, a previous
+// tombstone stops being the key's newest entry. Callers hold f.mu.
+func (f *FileBackend) notePutLocked(key string) {
+	if old, ok := f.keys[key]; ok && old.off >= 0 {
+		sz := putEntrySize(key, old.vlen)
+		f.liveBytes -= sz
+		f.deadBytes += sz
+	}
+	delete(f.tombstones, key)
+}
+
+// noteTombstoneLocked applies one tombstone entry: the key's live
+// segment copy (if any) becomes dead, the key leaves the directory, and
+// the tombstone itself is garbage-to-be. Callers hold f.mu.
+func (f *FileBackend) noteTombstoneLocked(key string) {
+	if old, ok := f.keys[key]; ok {
+		if old.off >= 0 {
+			sz := putEntrySize(key, old.vlen)
+			f.liveBytes -= sz
+			f.deadBytes += sz
+		}
+		delete(f.keys, key)
+		f.sorted = nil
+	}
+	f.deadBytes += tombEntrySize(key)
+	f.tombstones[key] = true
+}
+
 // Segment entry layout: uvarint keyLen, uvarint valLen, key, value,
-// 4-byte big-endian CRC32 over key+value. Lengths are validated in
-// uint64 before any int conversion so a corrupt varint cannot overflow
-// the bounds check into a panic — corruption must parse as torn, not
-// crash the open.
-func parseSegEntry(data []byte, off int) (key string, valOff, valLen, next int, ok bool) {
+// 4-byte big-endian CRC32 over key+value. A valLen of segTombstoneVal
+// marks a tombstone: no value follows, the CRC covers the key alone, and
+// replay deletes the key instead of locating a value. Lengths are
+// validated in uint64 before any int conversion so a corrupt varint
+// cannot overflow the bounds check into a panic — corruption must parse
+// as torn, not crash the open.
+func parseSegEntry(data []byte, off int) (key string, valOff, valLen, next int, tomb, ok bool) {
 	kl, n := binary.Uvarint(data[off:])
 	if n <= 0 {
-		return "", 0, 0, 0, false
+		return "", 0, 0, 0, false, false
 	}
 	vl, m := binary.Uvarint(data[off+n:])
 	if m <= 0 {
-		return "", 0, 0, 0, false
+		return "", 0, 0, 0, false, false
 	}
 	hdr := off + n + m
 	rest := uint64(len(data) - hdr)
+	if vl == segTombstoneVal {
+		if kl == 0 || kl > rest || rest-kl < 4 {
+			return "", 0, 0, 0, false, false
+		}
+		body := data[hdr : hdr+int(kl)]
+		if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(data[hdr+int(kl):]) {
+			return "", 0, 0, 0, false, false
+		}
+		return string(body), 0, 0, hdr + int(kl) + 4, true, true
+	}
 	if kl == 0 || kl > rest || vl > rest-kl || rest-kl-vl < 4 {
-		return "", 0, 0, 0, false
+		return "", 0, 0, 0, false, false
 	}
 	body := data[hdr : hdr+int(kl)+int(vl)]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(data[hdr+int(kl)+int(vl):]) {
-		return "", 0, 0, 0, false
+		return "", 0, 0, 0, false, false
 	}
-	return string(body[:kl]), hdr + int(kl), int(vl), hdr + int(kl) + int(vl) + 4, true
+	return string(body[:kl]), hdr + int(kl), int(vl), hdr + int(kl) + int(vl) + 4, false, true
 }
 
 func appendSegEntry(buf []byte, key string, value []byte) []byte {
@@ -158,6 +244,16 @@ func appendSegEntry(buf []byte, key string, value []byte) []byte {
 	buf = append(buf, value...)
 	var crc [4]byte
 	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf[len(buf)-len(key)-len(value):]))
+	return append(buf, crc[:]...)
+}
+
+// appendSegTombstone encodes a deletion entry for key.
+func appendSegTombstone(buf []byte, key string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = binary.AppendUvarint(buf, segTombstoneVal)
+	buf = append(buf, key...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf[len(buf)-len(key):]))
 	return append(buf, crc[:]...)
 }
 
@@ -198,6 +294,13 @@ func (f *FileBackend) Put(key string, value []byte) error {
 			return nil // identical re-put; the segment copy already serves it
 		}
 		// Segment file vanished underneath us: write the record file.
+	}
+	if f.tombstones[key] {
+		// A live tombstone outranks every record file on replay (record
+		// files load before all segments), so a re-put of a deleted key
+		// must land in a segment with a later sequence number than the
+		// tombstone's — not in a record file the tombstone would erase.
+		return f.putBatchLocked([]KV{{Key: key, Value: value}})
 	}
 	name := fileNameFor(key)
 	path := filepath.Join(f.dir, name)
@@ -265,6 +368,12 @@ func (f *FileBackend) PutBatch(kvs []KV) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.putBatchLocked(kvs)
+}
+
+// putBatchLocked writes one packed segment for kvs. Callers hold f.mu
+// and have validated the keys.
+func (f *FileBackend) putBatchLocked(kvs []KV) error {
 	// Mirror Put's cross-layout guard: a key stored as a record file may
 	// only be re-put through a batch with identical content, since
 	// reopen replays segments after record files and would otherwise
@@ -305,7 +414,90 @@ func (f *FileBackend) PutBatch(kvs []KV) error {
 		return fmt.Errorf("store: publishing segment %s: %w", name, err)
 	}
 	for _, l := range locs {
+		f.notePutLocked(l.key)
+		f.liveBytes += putEntrySize(l.key, l.vlen)
 		f.setLocLocked(l.key, fileLoc{file: name, off: l.off, vlen: l.vlen})
+	}
+	return nil
+}
+
+// Delete implements Backend. See DeleteBatch for the durability story.
+func (f *FileBackend) Delete(key string) error {
+	return f.DeleteBatch([]string{key})
+}
+
+// DeleteBatch implements Backend: every key that lives in a packed
+// segment gets a tombstone entry, and the whole batch of tombstones
+// lands in ONE new segment file (temp file + rename, so that part of
+// the batch is visible atomically — a crash keeps either all segment
+// deletions or none). Keys stored as individual record files are then
+// deleted per key, sidecar first (open skips record files without
+// one), body second. The tombstone segment is published BEFORE any
+// record file is touched, so an error or crash part-way never applies
+// a record-file deletion the durable log knows nothing about while
+// reporting total failure. Absent keys are no-ops.
+//
+// Tombstones must outlive the delete call: record files replay before
+// all segments, and an identical cross-layout copy of a deleted key may
+// still sit in a record file — so after publishing the tombstones, any
+// such record files are removed, and Compact repeats that removal
+// before it drops a tombstone for good.
+func (f *FileBackend) DeleteBatch(keys []string) error {
+	for _, k := range keys {
+		if k == "" {
+			return fmt.Errorf("store: empty key")
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var buf []byte
+	var doomed []string // segment-stored keys being tombstoned
+	var fileKeys []string
+	for _, k := range keys {
+		loc, ok := f.keys[k]
+		if !ok {
+			continue // absent: no-op
+		}
+		if loc.off < 0 {
+			fileKeys = append(fileKeys, k)
+			continue
+		}
+		if len(buf) == 0 {
+			buf = []byte(segMagic)
+		}
+		buf = appendSegTombstone(buf, k)
+		doomed = append(doomed, k)
+	}
+	if len(doomed) > 0 {
+		f.segSeq++
+		name := fmt.Sprintf("%016x%s", f.segSeq, segExt)
+		path := filepath.Join(f.dir, name)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+			return fmt.Errorf("store: writing tombstone segment %s: %w", tmp, err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("store: publishing tombstone segment %s: %w", name, err)
+		}
+		for _, k := range doomed {
+			f.noteTombstoneLocked(k)
+			// A cross-layout identical copy may sit in a record file;
+			// remove it so the tombstone can eventually be compacted
+			// away.
+			rec := filepath.Join(f.dir, fileNameFor(k))
+			_ = os.Remove(rec + ".key")
+			_ = os.Remove(rec)
+		}
+	}
+	for _, k := range fileKeys {
+		path := filepath.Join(f.dir, f.keys[k].file)
+		if err := os.Remove(path + ".key"); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: deleting key sidecar for %s: %w", k, err)
+		}
+		_ = os.Remove(path)
+		delete(f.keys, k)
+		f.sorted = nil
 	}
 	return nil
 }
@@ -480,8 +672,11 @@ func (f *FileBackend) Segments() int {
 // call leaves its own small PSEG1 file, so a long-lived store
 // accumulates thousands of tiny segments that slow reopen and waste
 // directory entries. Only live entries survive the merge; superseded
-// segment values are dropped. Record files (the per-Put layout) are
-// untouched.
+// segment values and tombstones are dropped, so deleted keys' bytes are
+// reclaimed here. Record files (the per-Put layout) are untouched —
+// except those shadowed by a tombstone, which must go before the
+// tombstone can (record files replay first, and would resurrect the
+// key).
 //
 // Crash safety: the merged segment is written to a temp file and
 // renamed in under the next sequence number, so it replays after (and
@@ -492,16 +687,16 @@ func (f *FileBackend) Compact() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
-	oldSegs := make(map[string]bool)
+	liveSegs := make(map[string]bool)
 	var keys []string
 	for k, loc := range f.keys {
 		if loc.off >= 0 {
-			oldSegs[loc.file] = true
+			liveSegs[loc.file] = true
 			keys = append(keys, k)
 		}
 	}
-	if len(oldSegs) <= 1 {
-		return nil // nothing to merge
+	if len(liveSegs) <= 1 && len(f.tombstones) == 0 && f.deadBytes == 0 {
+		return nil // nothing to merge, nothing to reclaim
 	}
 	sort.Strings(keys)
 
@@ -535,15 +730,84 @@ func (f *FileBackend) Compact() error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: publishing compacted segment: %w", err)
 	}
+	var newLive int64
 	for _, l := range locs {
 		f.keys[l.key] = fileLoc{file: name, off: l.off, vlen: l.vlen}
+		newLive += putEntrySize(l.key, l.vlen)
 	}
-	// The merged segment is durable and indexed; the sources are garbage.
-	// Removal failures are harmless — replay order resolves identically.
-	for seg := range oldSegs {
-		_ = os.Remove(filepath.Join(f.dir, seg))
+	// Tombstoned keys: make sure no record-file copy survives before the
+	// tombstones are dropped with their segments (DeleteBatch already
+	// removed these; this is the crash-recovery sweep).
+	for k := range f.tombstones {
+		rec := filepath.Join(f.dir, fileNameFor(k))
+		if err := os.Remove(rec + ".key"); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: compacting tombstoned %s: %w", k, err)
+		}
+		_ = os.Remove(rec)
 	}
+	// Every pre-merge segment — live-backed, superseded-only, or
+	// tombstone-only — is garbage now. Removal goes in ASCENDING
+	// sequence order and stops at the first failure: a put segment that
+	// refuses to go while a LATER tombstone segment is removed would
+	// resurrect the deleted key on replay (the tombstone outranked the
+	// put only by sequence). Stopping keeps every remaining segment's
+	// replay consistent — older puts stay overridden by the segments
+	// after them — and the stragglers are retried by the next Compact.
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return fmt.Errorf("store: listing %s after compaction: %w", f.dir, err)
+	}
+	var removeErr error
+	for _, e := range entries { // ReadDir sorts: fixed-width hex names replay order
+		n := e.Name()
+		if !strings.HasSuffix(n, segExt) || n == name {
+			continue
+		}
+		// Only sequence-named segments are ours to reclaim; a foreign
+		// .seg file (unknown magic, skipped at open) is left alone.
+		if _, err := strconv.ParseUint(strings.TrimSuffix(n, segExt), 16, 64); err != nil {
+			continue
+		}
+		if err := os.Remove(filepath.Join(f.dir, n)); err != nil && !os.IsNotExist(err) {
+			removeErr = fmt.Errorf("store: removing compacted segment %s: %w", n, err)
+			break
+		}
+	}
+	f.liveBytes = newLive
+	if removeErr != nil {
+		// The merged segment is authoritative and the directory replays
+		// consistently — but the leftover segments (tombstones included)
+		// are still on disk, so the tombstone set and the dead-byte
+		// count MUST survive: forgetting a live tombstone would let a
+		// later Put route into a record file the tombstone erases on
+		// replay, and zeroing deadBytes would make the next Compact
+		// early-return instead of retrying the removal.
+		return removeErr
+	}
+	f.tombstones = make(map[string]bool)
+	f.deadBytes = 0
 	return nil
+}
+
+// GarbageRatio reports the fraction of packed-segment bytes occupied by
+// dead entries (superseded values, tombstones, tombstoned values) — the
+// signal online compaction schedules on. Zero when no segments exist.
+func (f *FileBackend) GarbageRatio() float64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	total := f.liveBytes + f.deadBytes
+	if total <= 0 {
+		return 0
+	}
+	return float64(f.deadBytes) / float64(total)
+}
+
+// Tombstones reports how many deleted keys still have a live tombstone
+// entry awaiting compaction.
+func (f *FileBackend) Tombstones() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.tombstones))
 }
 
 // Close implements Backend.

@@ -1,0 +1,75 @@
+package store
+
+// Native fuzz target for the PSEG1 segment parser: whatever bytes end
+// up in a .seg file (torn renames, disk corruption), walking its
+// entries must terminate, make progress, and never panic — corruption
+// parses as a torn tail, exactly like loadSegment treats it.
+
+import (
+	"testing"
+)
+
+// buildSegment assembles a valid segment buffer from (key, value,
+// tombstone) triples, for seeding.
+func buildSegment(entries []struct {
+	key  string
+	val  string
+	tomb bool
+}) []byte {
+	buf := []byte(segMagic)
+	for _, e := range entries {
+		if e.tomb {
+			buf = appendSegTombstone(buf, e.key)
+		} else {
+			buf = appendSegEntry(buf, e.key, []byte(e.val))
+		}
+	}
+	return buf
+}
+
+func FuzzParseSegment(f *testing.F) {
+	valid := buildSegment([]struct {
+		key  string
+		val  string
+		tomb bool
+	}{
+		{"i/a/1", "value-one", false},
+		{"x/sess/term/i/a/1", "", false}, // empty value (a posting)
+		{"i/a/1", "", true},              // tombstone
+		{"s/b/2", "actor state", false},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn CRC
+	f.Add(valid[:7])            // torn first entry
+	f.Add([]byte(segMagic))     // empty segment
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(segMagic)+2] ^= 0xFF
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Walk the way loadSegment does, from offset 0 (the fuzz input
+		// is the post-magic byte stream; magic validation is separate).
+		off := 0
+		for off < len(data) {
+			key, valOff, valLen, next, tomb, ok := parseSegEntry(data, off)
+			if !ok {
+				break // torn tail: the walk must simply stop
+			}
+			if next <= off {
+				t.Fatalf("no progress at offset %d (next %d)", off, next)
+			}
+			if next > len(data) {
+				t.Fatalf("entry at %d overruns the buffer: next %d > %d", off, next, len(data))
+			}
+			if key == "" {
+				t.Fatalf("entry at %d parsed an empty key", off)
+			}
+			if !tomb {
+				if valOff < 0 || valOff+valLen > len(data) {
+					t.Fatalf("entry at %d: value [%d:%d) outside buffer", off, valOff, valOff+valLen)
+				}
+			}
+			off = next
+		}
+	})
+}

@@ -56,6 +56,33 @@ func (k *KVBackend) GetBatch(keys []string) ([][]byte, []bool, error) {
 	return k.db.GetBatch(keys)
 }
 
+// Delete implements Backend: a tombstone entry is appended to the log;
+// the dead bytes are reclaimed by Compact.
+func (k *KVBackend) Delete(key string) error {
+	return k.db.Delete(key)
+}
+
+// DeleteBatch implements Backend: the whole batch of tombstones goes to
+// the log in one contiguous append, so a torn tail keeps a strict
+// prefix of the batch's deletions — the same recovery shape PutBatch
+// has.
+func (k *KVBackend) DeleteBatch(keys []string) error {
+	return k.db.DeleteBatch(keys)
+}
+
+// GarbageRatio reports the fraction of log bytes occupied by dead
+// records (superseded values, tombstones, tombstoned values).
+func (k *KVBackend) GarbageRatio() float64 {
+	total := k.db.LogBytes()
+	if total <= 0 {
+		return 0
+	}
+	return float64(k.db.GarbageBytes()) / float64(total)
+}
+
+// Tombstones reports how many tombstone entries the log holds.
+func (k *KVBackend) Tombstones() int64 { return k.db.Tombstones() }
+
 // Scan implements Backend.
 func (k *KVBackend) Scan(prefix string, fn func(string, []byte) error) error {
 	return k.db.Scan(prefix, fn)

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"preserv/internal/core"
+	"preserv/internal/ids"
 	"preserv/internal/index"
 	"preserv/internal/kv"
 	"preserv/internal/prep"
@@ -50,6 +51,17 @@ type Backend interface {
 	// amortise the per-read cost: one lock acquisition, one pass over
 	// the log, one open per touched segment file.
 	GetBatch(keys []string) (values [][]byte, present []bool, err error)
+	// Delete removes key. Deleting an absent key is a no-op. Persistent
+	// backends delete by tombstone (a kvdb log entry, a PSEG1 segment
+	// entry); the bytes are reclaimed by Compact.
+	Delete(key string) error
+	// DeleteBatch removes several keys in one backend operation, with
+	// the same per-key semantics as Delete. A crash never applies a
+	// deletion the durable state cannot explain: kvdb logs the batch's
+	// tombstones in slice order (a torn tail keeps a strict prefix);
+	// the file backend publishes all its tombstones atomically first
+	// and only then removes record-file keys one at a time.
+	DeleteBatch(keys []string) error
 	// Scan visits every key with the given prefix in sorted key order.
 	Scan(prefix string, fn func(key string, value []byte) error) error
 	// ScanFrom is Scan restricted to keys >= from (an empty from is
@@ -101,9 +113,14 @@ type Store struct {
 // New wraps a backend in a Store.
 func New(b Backend) *Store { return &Store{b: b, seed: maphash.MakeSeed()} }
 
+// stripeIndex maps a storage key to its commit lock stripe.
+func (s *Store) stripeIndex(key string) int {
+	return int(maphash.String(s.seed, key) % recordStripes)
+}
+
 // stripeFor maps a storage key to its commit lock.
 func (s *Store) stripeFor(key string) *sync.Mutex {
-	return &s.stripes[maphash.String(s.seed, key)%recordStripes]
+	return &s.stripes[s.stripeIndex(key)]
 }
 
 // BackendName reports which backend the store runs on.
@@ -319,6 +336,205 @@ func (s *Store) Record(asserter core.ActorID, records []core.Record) (int, []pre
 	return accepted, rejects, nil
 }
 
+// DeleteRecord removes the record stored under key, together with its
+// posting entries, and reports whether a record was there to delete.
+// The store's content generation advances, so every cached query result
+// computed before the deletion is invalidated — a cached page can never
+// resurrect a deleted record. It is the one-key form of the chunked
+// delete commit protocol (deleteChunk), so the crash ordering and
+// locking story live in exactly one place.
+func (s *Store) DeleteRecord(key string) (bool, error) {
+	if key == "" {
+		return false, fmt.Errorf("store: empty key")
+	}
+	idx, err := s.Index()
+	if err != nil {
+		return false, fmt.Errorf("store: opening index: %w", err)
+	}
+	deleted, attempted, err := s.deleteChunk(idx, []string{key})
+	if attempted {
+		s.gen.Add(1)
+	}
+	if err != nil {
+		return deleted > 0, fmt.Errorf("store: deleting %s: %w", key, err)
+	}
+	return deleted > 0, nil
+}
+
+// deleteChunkSize bounds how many records one DeleteSession backend
+// batch covers: stripe locks are held across the chunk's Get+Delete, so
+// the bound caps both lock hold time and peak decoded-record memory.
+const deleteChunkSize = 256
+
+// DeleteSession removes every record grouped under the given session —
+// the retraction primitive that keeps a long-lived store from growing
+// without bound. It returns how many records were deleted. Each chunk
+// of records is deleted in one backend batch (one tombstone segment /
+// one contiguous log append), and all the call's posting removals flush
+// through one RemoveBatch per chunk.
+func (s *Store) DeleteSession(session ids.ID) (int, error) {
+	if !session.Valid() {
+		return 0, fmt.Errorf("store: invalid session id")
+	}
+	idx, err := s.Index()
+	if err != nil {
+		return 0, fmt.Errorf("store: opening index: %w", err)
+	}
+	keys, err := idx.Postings(index.DimSession, session.String())
+	if err != nil {
+		return 0, fmt.Errorf("store: listing session %s: %w", session, err)
+	}
+	deleted := 0
+	// attempted tracks whether any backend delete batch was issued at
+	// all: an errored batch may still have durably removed records (the
+	// file backend deletes record-file keys per key), so the generation
+	// must advance — a cached result from before the call can never be
+	// served as current once anything might have changed.
+	attempted := false
+	defer func() {
+		if attempted {
+			s.gen.Add(1)
+		}
+	}()
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > deleteChunkSize {
+			n = deleteChunkSize
+		}
+		chunk := keys[:n]
+		keys = keys[n:]
+		doomed, tried, err := s.deleteChunk(idx, chunk)
+		attempted = attempted || tried
+		deleted += doomed
+		if err != nil {
+			return deleted, fmt.Errorf("store: deleting session %s: %w", session, err)
+		}
+	}
+	return deleted, nil
+}
+
+// deleteChunk is the delete commit protocol (DeleteRecord's single key
+// and DeleteSession's chunks both run through it): remove one chunk of
+// records in a single backend batch, then flush their posting
+// removals, all while holding every involved stripe lock (acquired in
+// ascending stripe order, so concurrent multi-key deleters cannot
+// deadlock; Record holds at most one stripe at a time — and unlike the
+// file backend's *Locked helpers, this function takes its own locks).
+// Keeping the posting removal inside the locks stops a concurrent
+// idempotent re-Record from interleaving its fresh postings between
+// the record deletes and the de-indexing. Crash ordering mirrors
+// Record in reverse — records first, postings second, each kind
+// posting last — so a crash in between leaves a kind-posting surplus
+// the index's Open-time consistency check detects and Rebuild's
+// dangling-posting GC repairs; until then queries skip the dangling
+// postings at fetch time.
+//
+// A record whose stored bytes no longer decode is deleted anyway —
+// retraction must work on a store with one torn value, the same policy
+// Rebuild applies by skipping it — with no posting removal (the
+// posting set is not computable); whatever stale postings it had go
+// dangling and are collected by the next rebuild. It returns how many
+// keys were deleted and whether any backend mutation was attempted
+// (possibly partially applied, on error).
+func (s *Store) deleteChunk(idx *index.Index, chunk []string) (deleted int, attempted bool, err error) {
+	var stripes [recordStripes]bool
+	for _, k := range chunk {
+		stripes[s.stripeIndex(k)] = true
+	}
+	for i := range stripes {
+		if stripes[i] {
+			s.stripes[i].Lock()
+		}
+	}
+	defer func() {
+		for i := range stripes {
+			if stripes[i] {
+				s.stripes[i].Unlock()
+			}
+		}
+	}()
+	values, present, err := s.b.GetBatch(chunk)
+	if err != nil {
+		return 0, false, fmt.Errorf("fetching delete chunk: %w", err)
+	}
+	records := make([]*core.Record, 0, len(chunk))
+	doomed := make([]string, 0, len(chunk))
+	for i, k := range chunk {
+		if !present[i] {
+			continue // dangling posting: nothing to delete
+		}
+		r, err := core.DecodeRecord(values[i])
+		if err != nil {
+			// Corrupt value: delete the key, strand its postings for
+			// the rebuild GC (see the function comment).
+			doomed = append(doomed, k)
+			continue
+		}
+		records = append(records, r)
+		doomed = append(doomed, k)
+	}
+	if len(doomed) == 0 {
+		return 0, false, nil
+	}
+	if err := s.b.DeleteBatch(doomed); err != nil {
+		return 0, true, fmt.Errorf("deleting chunk: %w", err)
+	}
+	if err := idx.RemoveBatch(records); err != nil {
+		s.dropIndex()
+		return len(doomed), true, fmt.Errorf("de-indexing chunk: %w", err)
+	}
+	return len(doomed), true, nil
+}
+
+// Compacter is implemented by backends that can reclaim dead bytes
+// (superseded values, tombstones) — the file and kvdb backends; the
+// memory backend has no garbage to reclaim.
+type Compacter interface {
+	Compact() error
+}
+
+// GarbageReporter is implemented by backends that can estimate how much
+// of their on-disk footprint is dead.
+type GarbageReporter interface {
+	// GarbageRatio is dead bytes over total bytes, in [0, 1].
+	GarbageRatio() float64
+}
+
+// TombstoneReporter is implemented by backends that count unreclaimed
+// deletion markers.
+type TombstoneReporter interface {
+	Tombstones() int64
+}
+
+// Compact reclaims dead bytes in the underlying backend, if it supports
+// compaction; otherwise it is a no-op. Compaction changes no logical
+// content — the generation does not advance, and cached query results
+// stay valid.
+func (s *Store) Compact() error {
+	if c, ok := s.b.(Compacter); ok {
+		return c.Compact()
+	}
+	return nil
+}
+
+// GarbageRatio reports the backend's dead-byte fraction (zero for
+// backends without garbage) — the signal online compaction schedules on.
+func (s *Store) GarbageRatio() float64 {
+	if g, ok := s.b.(GarbageReporter); ok {
+		return g.GarbageRatio()
+	}
+	return 0
+}
+
+// Tombstones reports the backend's count of unreclaimed deletion
+// markers (zero for backends without tombstones).
+func (s *Store) Tombstones() int64 {
+	if t, ok := s.b.(TombstoneReporter); ok {
+		return t.Tombstones()
+	}
+	return 0
+}
+
 // sortRejects restores submission order: validation rejects are staged
 // before commit-time conflicts, so without the sort a conflict on an
 // early record would trail a validation failure on a later one.
@@ -496,6 +712,30 @@ func (m *MemoryBackend) PutBatch(kvs []KV) error {
 			m.sorted = nil
 		}
 		m.items[p.Key] = append([]byte(nil), p.Value...)
+	}
+	return nil
+}
+
+// Delete implements Backend.
+func (m *MemoryBackend) Delete(key string) error {
+	return m.DeleteBatch([]string{key})
+}
+
+// DeleteBatch implements Backend: the whole batch of removals happens
+// under one lock acquisition. Absent keys are no-ops.
+func (m *MemoryBackend) DeleteBatch(keys []string) error {
+	for _, k := range keys {
+		if k == "" {
+			return fmt.Errorf("store: empty key")
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, k := range keys {
+		if _, exists := m.items[k]; exists {
+			delete(m.items, k)
+			m.sorted = nil
+		}
 	}
 	return nil
 }
