@@ -8,6 +8,7 @@
 //	benchfig -exp dist           # E8: distributed stores
 //	benchfig -exp ingest         # batched-vs-legacy write-path sweep
 //	benchfig -exp query          # streaming-vs-materializing read-path sweep
+//	benchfig -exp shard          # sharded-store scaling sweep (1/2/4 shards)
 //	benchfig -exp all            # everything
 //
 // By default the sweeps run at laptop scale (seconds); -paper selects
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: e1, fig4, fig5, gran, dist or all")
+	exp := flag.String("exp", "all", "experiment: e1, fig4, fig5, gran, dist, ingest, query, shard or all")
 	paper := flag.Bool("paper", false, "run at the paper's scale (slow)")
 	seed := flag.Int64("seed", 2005, "workload seed")
 	quiet := flag.Bool("q", false, "suppress progress lines")
@@ -147,6 +148,20 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	runShard := func() {
+		opts := bench.ShardSweepOptions{Seed: *seed}
+		if *paper {
+			opts.Sessions = 96
+			opts.RecordsPerSession = 48
+		}
+		points, err := bench.RunShardSweep(opts, progress)
+		if err != nil {
+			log.Fatalf("benchfig: shard: %v", err)
+		}
+		bench.RenderShardSweep(out, points)
+		fmt.Fprintln(out)
+	}
+
 	switch *exp {
 	case "e1":
 		runE1()
@@ -162,6 +177,8 @@ func main() {
 		runIngest()
 	case "query":
 		runQuery()
+	case "shard":
+		runShard()
 	case "all":
 		runE1()
 		runFig4()
@@ -170,6 +187,7 @@ func main() {
 		runDist()
 		runIngest()
 		runQuery()
+		runShard()
 	default:
 		log.Fatalf("benchfig: unknown experiment %q", *exp)
 	}

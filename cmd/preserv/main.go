@@ -4,9 +4,18 @@
 // Usage:
 //
 //	preserv -addr 127.0.0.1:8734 -backend kvdb -dir ./provenance
+//	preserv -addr 127.0.0.1:8734 -backend kvdb -dir ./provenance -shards 4
+//	preserv -addr 127.0.0.1:8734 -shard-endpoints http://s1:8734,http://s2:8734
 //
 // Backends: memory (volatile), file (one file per record), kvdb (the
 // embedded database, used for all paper evaluations).
+//
+// With -shards N the service runs in sharded mode: N embedded child
+// stores (each with its own backend under DIR/shard-XXX) behind a
+// router that places writes session-affine and answers every query
+// across all shards — one endpoint, N stores. With -shard-endpoints
+// the children are remote PReServ instances instead, which is the
+// paper's distributed PReServ with query routing in front.
 package main
 
 import (
@@ -15,55 +24,92 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"preserv/internal/preserv"
+	"preserv/internal/shard"
 	"preserv/internal/store"
 )
+
+// openBackend opens one backend flavour rooted at dir.
+func openBackend(flavour, dir string) (store.Backend, error) {
+	switch flavour {
+	case "memory":
+		return store.NewMemoryBackend(), nil
+	case "file":
+		return store.NewFileBackend(dir)
+	case "kvdb":
+		return store.NewKVBackend(dir)
+	}
+	return nil, fmt.Errorf("unknown backend %q", flavour)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8734", "listen address")
 	backendName := flag.String("backend", "kvdb", "storage backend: memory, file or kvdb")
 	dir := flag.String("dir", "./provenance-store", "data directory for persistent backends")
+	shards := flag.Int("shards", 0, "shard the store across N embedded child stores (0 or 1 = single store)")
+	shardEndpoints := flag.String("shard-endpoints", "", "comma-separated remote store URLs to front as shards (overrides -shards)")
 	statsEvery := flag.Duration("stats", 0, "periodically log service statistics (0 disables)")
 	flag.Parse()
 
-	var backend store.Backend
-	var err error
-	switch *backendName {
-	case "memory":
-		backend = store.NewMemoryBackend()
-	case "file":
-		backend, err = store.NewFileBackend(*dir)
-	case "kvdb":
-		backend, err = store.NewKVBackend(*dir)
+	var svc *preserv.Service
+	var closer interface{ Close() error }
+	switch {
+	case *shardEndpoints != "":
+		rt, err := preserv.NewRemoteRouter(*shardEndpoints)
+		if err != nil {
+			log.Fatalf("preserv: %v", err)
+		}
+		svc = preserv.NewShardedService(rt)
+		closer = rt
+		log.Printf("preserv: sharded front-end over %d remote endpoint(s)", rt.NumShards())
+	case *shards > 1:
+		var children []shard.Shard
+		for i := 0; i < *shards; i++ {
+			backend, err := openBackend(*backendName, filepath.Join(*dir, fmt.Sprintf("shard-%03d", i)))
+			if err != nil {
+				log.Fatalf("preserv: opening shard %d backend: %v", i, err)
+			}
+			children = append(children, shard.NewLocal(store.New(backend)))
+		}
+		rt, err := shard.NewRouter(children...)
+		if err != nil {
+			log.Fatalf("preserv: %v", err)
+		}
+		svc = preserv.NewShardedService(rt)
+		closer = rt
+		log.Printf("preserv: sharded store over %d embedded %s shard(s)", *shards, *backendName)
 	default:
-		log.Fatalf("preserv: unknown backend %q", *backendName)
-	}
-	if err != nil {
-		log.Fatalf("preserv: opening backend: %v", err)
+		backend, err := openBackend(*backendName, *dir)
+		if err != nil {
+			log.Fatalf("preserv: opening backend: %v", err)
+		}
+		st := store.New(backend)
+		svc = preserv.NewService(st)
+		closer = st
+		log.Printf("preserv: single %s-backed store", *backendName)
 	}
 
-	st := store.New(backend)
-	svc := preserv.NewService(st)
 	srv, err := preserv.Serve(svc, *addr)
 	if err != nil {
 		log.Fatalf("preserv: %v", err)
 	}
-	log.Printf("preserv: provenance store listening on %s (backend %s)", srv.URL, backend.Name())
+	log.Printf("preserv: provenance store listening on %s", srv.URL)
 
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				s := svc.Stats()
-				cnt, err := st.Count()
+				cnt, err := svc.Provenance().Count()
 				if err != nil {
 					log.Printf("preserv: count: %v", err)
 					continue
 				}
-				log.Printf("preserv: records=%d interactions=%d recordReqs=%d queryReqs=%d",
-					cnt.Records, cnt.Interactions, s.RecordRequests, s.QueryRequests)
+				log.Printf("preserv: records=%d interactions=%d recordReqs=%d queryReqs=%d shards=%d",
+					cnt.Records, cnt.Interactions, s.RecordRequests, s.QueryRequests, s.Shards)
 			}
 		}()
 	}
@@ -75,7 +121,7 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Printf("preserv: close: %v", err)
 	}
-	if err := st.Close(); err != nil {
+	if err := closer.Close(); err != nil {
 		log.Printf("preserv: backend close: %v", err)
 	}
 }

@@ -4,6 +4,7 @@
 // two sessions it needs.
 //
 //	provq -store URL count
+//	provq -shards URL1,URL2,... count
 //	provq -store URL sessions
 //	provq -store URL categorize
 //	provq -store URL compare -a SESSION -b SESSION
@@ -25,6 +26,12 @@
 // file backend's accumulated posting segments — or the kvdb backend's
 // dead log space — away. Without -dir it asks the live server at -store
 // to compact itself online (urn:prep:compact).
+//
+// -shards URL1,URL2,... targets a sharded deployment: provq starts an
+// ephemeral loopback router over the listed store endpoints and runs
+// the command through it, so every query spans all shards and every
+// retraction fans out — the same answers a permanent sharded front-end
+// (preserv -shard-endpoints) would give.
 package main
 
 import (
@@ -56,6 +63,7 @@ func main() {
 	backend := flag.String("backend", "file", "backend flavour: file or kvdb (offline compact)")
 	dir := flag.String("dir", "", "store directory (offline compact; omit to compact via the server)")
 	key := flag.String("key", "", "record storage key (delete)")
+	shardsFlag := flag.String("shards", "", "comma-separated shard store URLs (query them as one store through an ephemeral router)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -68,7 +76,23 @@ func main() {
 		}
 		return
 	}
-	client := preserv.NewClient(*storeURL, nil)
+	target := *storeURL
+	if *shardsFlag != "" {
+		// Front the listed shard endpoints with a loopback router for
+		// the duration of this invocation: the commands below talk to
+		// it exactly as they would to one store.
+		rt, err := preserv.NewRemoteRouter(*shardsFlag)
+		if err != nil {
+			log.Fatalf("provq: %v", err)
+		}
+		srv, err := preserv.Serve(preserv.NewShardedService(rt), "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("provq: starting shard router: %v", err)
+		}
+		defer srv.Close()
+		target = srv.URL
+	}
+	client := preserv.NewClient(target, nil)
 
 	switch flag.Arg(0) {
 	case "count":

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardSweepScalesIngest pins the sharding acceptance number:
+// against a modelled serialized store write path, 2 shards must carry
+// measurably more ingest than 1. The floor is far below the ≈1.5×/2.2×
+// measured at 2/4 shards on idle hardware (see benchfig -exp shard) so
+// a loaded CI runner cannot flake.
+func TestShardSweepScalesIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	points, err := RunShardSweep(ShardSweepOptions{
+		ShardCounts:       []int{1, 2},
+		Sessions:          24,
+		RecordsPerSession: 24,
+		WriteLatency:      400 * time.Microsecond,
+		PageReps:          5,
+		Seed:              2005,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	ratio := points[1].RecordsPerSec / points[0].RecordsPerSec
+	t.Logf("shard ingest: 1 shard %.0f records/s, 2 shards %.0f records/s, speedup %.2fx (first page %.2fms -> %.2fms)",
+		points[0].RecordsPerSec, points[1].RecordsPerSec, ratio,
+		points[0].FirstPageMillis, points[1].FirstPageMillis)
+	if ratio < 1.2 {
+		t.Errorf("2-shard ingest only %.2fx of 1 shard, want a clear win", ratio)
+	}
+}
+
+// TestShardSweepSmallCorrect sanity-checks the sweep end to end at a
+// tiny size — including its internal equivalence gate (sharded planner
+// == sharded scan == consolidated store), which would fail the run.
+func TestShardSweepSmallCorrect(t *testing.T) {
+	points, err := RunShardSweep(ShardSweepOptions{
+		ShardCounts:       []int{1, 3},
+		Sessions:          6,
+		RecordsPerSession: 12,
+		WriteLatency:      -1, // disable the latency model: fast path
+		PageReps:          2,
+		Seed:              7,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Records != 72 {
+			t.Errorf("point %d shards: %d records, want 72", p.Shards, p.Records)
+		}
+		if p.RecordsPerSec <= 0 || p.FirstPageMillis < 0 {
+			t.Errorf("point %d shards: nonsense metrics %+v", p.Shards, p)
+		}
+	}
+}
+
+// BenchmarkShardSweep gives the CI bench smoke (one iteration of every
+// benchmark) a pass through the sharded ingest + read path.
+func BenchmarkShardSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := RunShardSweep(ShardSweepOptions{
+			ShardCounts:       []int{1, 2},
+			Sessions:          8,
+			RecordsPerSession: 12,
+			WriteLatency:      -1,
+			PageReps:          2,
+			Seed:              11,
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(points[len(points)-1].RecordsPerSec, "records/s")
+		}
+	}
+}

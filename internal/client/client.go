@@ -27,6 +27,7 @@ import (
 
 	"preserv/internal/core"
 	"preserv/internal/preserv"
+	"preserv/internal/shard"
 )
 
 // Recorder accepts p-assertions from an actor. Implementations must be
@@ -142,8 +143,26 @@ type AsyncRecorder struct {
 	concurrency int
 	pending     int64
 	recorded    atomic.Int64
-	shipped     atomic.Int64
-	closed      bool
+	// shipped counts p-assertions confirmed stored. Workers add to it
+	// live during a flush; a failed flush rolls it back to its
+	// pre-flush value (the journal is kept whole, so the retry re-ships
+	// and re-counts everything — without the rollback every retried
+	// batch would double-count, since the store accepts idempotent
+	// re-records, and Shipped could exceed Recorded).
+	shipped atomic.Int64
+	// rr is the round-robin endpoint cursor. It lives on the recorder —
+	// not inside one flush — so consecutive flushes continue around the
+	// endpoint ring instead of each restarting at endpoint 0, which
+	// under small frequent auto-flushes starved every endpoint but the
+	// first.
+	rr atomic.Uint64
+	// sharded switches endpoint routing from round-robin striping to
+	// session-affine placement: each record ships to the endpoint its
+	// affinity hash names (shard.Affinity over the endpoint list), the
+	// same mapping a shard.Router with that topology uses — so a
+	// sharded front-end finds every session's records already home.
+	sharded bool
+	closed  bool
 	// autoFlushAt triggers a background flush once pending reaches it
 	// (0 disables); flushing marks one in flight so Record never stacks
 	// a second goroutine behind it. retryAt is the failure backoff:
@@ -193,6 +212,19 @@ func (r *AsyncRecorder) SetFlushConcurrency(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.concurrency = n
+}
+
+// SetShardedTopology declares whether the configured endpoints are
+// shards of one partitioned store (true) or interchangeable replicas /
+// independent stores (false, the default round-robin E8 striping).
+// With a sharded topology, batches route session-affine: every record
+// ships to shard.Affinity(record, len(endpoints)) — the endpoint a
+// shard router over the same list calls the record's home — so
+// session-scoped queries on the sharded front-end stay single-shard.
+func (r *AsyncRecorder) SetShardedTopology(sharded bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sharded = sharded
 }
 
 // SetAutoFlushThreshold arranges for a background flush whenever the
@@ -294,13 +326,27 @@ func (r *AsyncRecorder) flushLocked() error {
 		workers = DefaultFlushConcurrency
 	}
 
+	// shippedBase is this flush's rollback point: workers add confirmed
+	// batches to r.shipped as they land (so Stats sees live progress),
+	// and a failed flush restores the pre-flush value — the journal is
+	// kept whole, the retry re-ships everything, and counting any batch
+	// twice would let Shipped exceed Recorded (the store accepts
+	// idempotent re-records as accepted).
+	shippedBase := r.shipped.Load()
+
 	// Decode → ship pipeline. The channel's bound is the backpressure:
 	// once every worker is mid-POST and the queue is full, the decoder
-	// blocks instead of materialising the rest of the backlog.
-	batches := make(chan []core.Record, workers)
+	// blocks instead of materialising the rest of the backlog. Each
+	// shipment names its endpoint: -1 means "next around the ring"
+	// (round-robin striping, resolved by the worker off the recorder's
+	// persistent cursor), >= 0 pins a sharded batch to its home shard.
+	type shipment struct {
+		endpoint int
+		records  []core.Record
+	}
+	batches := make(chan shipment, workers)
 	var (
 		wg       sync.WaitGroup
-		next     atomic.Uint64 // round-robin endpoint cursor
 		failed   atomic.Bool
 		errOnce  sync.Mutex
 		firstErr error
@@ -321,10 +367,13 @@ func (r *AsyncRecorder) flushLocked() error {
 				if failed.Load() {
 					continue // drain the channel without shipping
 				}
-				// Batches stripe round-robin over the endpoints (E8's
-				// distributed submission), whichever worker carries them.
-				ci := int(next.Add(1)-1) % len(r.clients)
-				resp, err := r.clients[ci].Record(r.asserter, b)
+				ci := b.endpoint
+				if ci < 0 {
+					// Round-robin striping (E8's distributed submission),
+					// continuing where the previous flush left the ring.
+					ci = int(r.rr.Add(1)-1) % len(r.clients)
+				}
+				resp, err := r.clients[ci].Record(r.asserter, b.records)
 				if err != nil {
 					fail(err)
 					continue
@@ -339,7 +388,14 @@ func (r *AsyncRecorder) flushLocked() error {
 	}
 
 	var decodeErr error
-	batch := make([]core.Record, 0, r.batchSize)
+	// Round-robin mode fills one rolling batch; sharded mode fills one
+	// per endpoint (a record's home shard is fixed by its affinity
+	// hash), each shipping independently as it reaches batchSize.
+	perEndpoint := make([][]core.Record, len(r.clients))
+	var rolling []core.Record
+	emit := func(ci int, recs []core.Record) {
+		batches <- shipment{endpoint: ci, records: recs}
+	}
 	for !failed.Load() {
 		var rec core.Record
 		if err := dec.Decode(&rec); err != nil {
@@ -348,14 +404,30 @@ func (r *AsyncRecorder) flushLocked() error {
 			}
 			break
 		}
-		batch = append(batch, rec)
-		if len(batch) >= r.batchSize {
-			batches <- batch
-			batch = make([]core.Record, 0, r.batchSize)
+		if r.sharded {
+			ci := shard.Affinity(&rec, len(r.clients))
+			perEndpoint[ci] = append(perEndpoint[ci], rec)
+			if len(perEndpoint[ci]) >= r.batchSize {
+				emit(ci, perEndpoint[ci])
+				perEndpoint[ci] = nil
+			}
+		} else {
+			rolling = append(rolling, rec)
+			if len(rolling) >= r.batchSize {
+				emit(-1, rolling)
+				rolling = nil
+			}
 		}
 	}
-	if len(batch) > 0 && decodeErr == nil && !failed.Load() {
-		batches <- batch
+	if decodeErr == nil && !failed.Load() {
+		if len(rolling) > 0 {
+			emit(-1, rolling)
+		}
+		for ci, recs := range perEndpoint {
+			if len(recs) > 0 {
+				emit(ci, recs)
+			}
+		}
 	}
 	close(batches)
 	wg.Wait()
@@ -367,10 +439,13 @@ func (r *AsyncRecorder) flushLocked() error {
 	}
 	if err != nil {
 		// The journal is kept whole: the retry re-ships everything and
-		// the store's idempotent recording absorbs the overlap. The
-		// streaming decode may have stopped mid-file (and its buffered
-		// reader read ahead of it), so restore the append position —
-		// otherwise the next Record would overwrite unshipped bytes.
+		// the store's idempotent recording absorbs the overlap — so the
+		// shipped counter must forget this attempt's partial progress,
+		// or the retry would count those batches twice. The streaming
+		// decode may have stopped mid-file (and its buffered reader
+		// read ahead of it), so restore the append position — otherwise
+		// the next Record would overwrite unshipped bytes.
+		r.shipped.Store(shippedBase)
 		if _, serr := r.journal.Seek(0, io.SeekEnd); serr != nil {
 			return fmt.Errorf("client: restoring journal position after failed flush: %w (flush: %v)", serr, err)
 		}

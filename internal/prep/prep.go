@@ -282,18 +282,36 @@ type PageQueryResponse struct {
 }
 
 // DeleteRequest retracts recorded p-assertions: exactly one of
-// StorageKey (one record) or SessionID (every record grouped under the
-// session) must be set.
+// StorageKey (one record), StorageKeys (a batch of records in one
+// round trip — what a router draining a remote shard sends per moved
+// page) or SessionID (every record grouped under the session) must be
+// set.
 type DeleteRequest struct {
-	XMLName    xml.Name `xml:"DeleteRequest"`
-	StorageKey string   `xml:"storageKey,omitempty"`
-	SessionID  ids.ID   `xml:"sessionId,omitempty"`
+	XMLName     xml.Name `xml:"DeleteRequest"`
+	StorageKey  string   `xml:"storageKey,omitempty"`
+	StorageKeys []string `xml:"storageKeys>key,omitempty"`
+	SessionID   ids.ID   `xml:"sessionId,omitempty"`
 }
 
 // Validate rejects structurally impossible delete requests.
 func (r *DeleteRequest) Validate() error {
-	if (r.StorageKey != "") == r.SessionID.Valid() {
-		return fmt.Errorf("prep: delete needs exactly one of storageKey or sessionId")
+	set := 0
+	if r.StorageKey != "" {
+		set++
+	}
+	if len(r.StorageKeys) > 0 {
+		set++
+	}
+	if r.SessionID.Valid() {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("prep: delete needs exactly one of storageKey, storageKeys or sessionId")
+	}
+	for _, k := range r.StorageKeys {
+		if k == "" {
+			return fmt.Errorf("prep: delete batch contains an empty storage key")
+		}
 	}
 	return nil
 }

@@ -9,7 +9,9 @@ package preserv
 import (
 	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sync"
@@ -19,9 +21,16 @@ import (
 	"preserv/internal/core"
 	"preserv/internal/ids"
 	"preserv/internal/prep"
-	"preserv/internal/query"
+	"preserv/internal/shard"
 	"preserv/internal/soap"
 	"preserv/internal/store"
+)
+
+// compile-time checks: both provenance implementations satisfy the
+// plug-ins' surface.
+var (
+	_ Provenance = (*shard.Local)(nil)
+	_ Provenance = (*shard.Router)(nil)
 )
 
 // DefaultCompactRatio is the garbage-ratio threshold above which a
@@ -30,15 +39,45 @@ import (
 // carrying the garbage.
 const DefaultCompactRatio = 0.5
 
+// Provenance is the store-shaped surface the plug-ins serve. One
+// embedded store (wrapped as shard.Local, which pairs it with a query
+// engine) satisfies it, and so does a shard.Router fronting several —
+// the service layer is identical either way, which is what makes the
+// sharded service mode a wiring change rather than a reimplementation.
+type Provenance interface {
+	Record(asserter core.ActorID, records []core.Record) (int, []prep.Reject, error)
+	Query(q *prep.Query) ([]core.Record, int, error)
+	QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error)
+	QueryPage(q *prep.Query, after string, pageSize int) ([]core.Record, string, bool, *prep.QueryPlan, error)
+	Sessions() ([]ids.ID, error)
+	Count() (prep.CountResponse, error)
+	DeleteRecord(key string) (bool, error)
+	DeleteRecords(keys []string) (int, error)
+	DeleteSession(session ids.ID) (int, error)
+	Compact() error
+	// CompactAbove compacts only the parts whose garbage ratio reached
+	// threshold: for one store that is the store or nothing; for a
+	// router, just the hot shards — scheduled reclamation must not
+	// rewrite every clean shard because one crossed the line.
+	CompactAbove(threshold float64) error
+	GarbageRatio() float64
+	Tombstones() int64
+	EngineStats() shard.EngineStats
+}
+
 // StorePlugIn handles the mutating actions: record submissions
 // (prep.ActionRecord), retractions (prep.ActionDelete) and online
 // compaction (prep.ActionCompact).
 type StorePlugIn struct {
-	store *store.Store
-	// CompactRatio is the garbage-ratio threshold for delete-triggered
-	// compaction; zero means DefaultCompactRatio, negative disables
+	prov Provenance
+	// compactRatio holds the garbage-ratio threshold for delete-
+	// triggered compaction as float64 bits, so SetCompactRatio may be
+	// called while delete traffic is in flight: maybeCompact reads it
+	// on every delete, and a plain float64 field here was a data race
+	// (caught by -race under concurrent deletes). Zero (the natural
+	// zero value) means DefaultCompactRatio; negative disables
 	// automatic compaction (explicit ActionCompact still works).
-	CompactRatio float64
+	compactRatio atomic.Uint64
 	// recordsAccepted counts accepted p-assertions for monitoring.
 	recordsAccepted atomic.Int64
 	requests        atomic.Int64
@@ -52,8 +91,24 @@ type StorePlugIn struct {
 	compactMu sync.Mutex
 }
 
-// NewStorePlugIn returns a store plug-in over s.
-func NewStorePlugIn(s *store.Store) *StorePlugIn { return &StorePlugIn{store: s} }
+// NewStorePlugIn returns a store plug-in over p.
+func NewStorePlugIn(p Provenance) *StorePlugIn { return &StorePlugIn{prov: p} }
+
+// SetCompactRatio atomically replaces the garbage-ratio threshold for
+// delete-triggered compaction (zero restores DefaultCompactRatio,
+// negative disables). Safe to call with delete requests in flight.
+func (p *StorePlugIn) SetCompactRatio(r float64) {
+	p.compactRatio.Store(math.Float64bits(r))
+}
+
+// compactThreshold reads the effective threshold atomically.
+func (p *StorePlugIn) compactThreshold() float64 {
+	threshold := math.Float64frombits(p.compactRatio.Load())
+	if threshold == 0 {
+		threshold = DefaultCompactRatio
+	}
+	return threshold
+}
 
 // Actions implements soap.Handler.
 func (p *StorePlugIn) Actions() []string {
@@ -69,7 +124,7 @@ func (p *StorePlugIn) Handle(action string, body []byte) (interface{}, error) {
 		if err := xml.Unmarshal(body, &req); err != nil {
 			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad record request: " + err.Error()}
 		}
-		accepted, rejects, err := p.store.Record(req.Asserter, req.Records)
+		accepted, rejects, err := p.prov.Record(req.Asserter, req.Records)
 		if err != nil {
 			return nil, err
 		}
@@ -85,16 +140,23 @@ func (p *StorePlugIn) Handle(action string, body []byte) (interface{}, error) {
 			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: err.Error()}
 		}
 		deleted := 0
-		if req.StorageKey != "" {
-			ok, err := p.store.DeleteRecord(req.StorageKey)
+		switch {
+		case req.StorageKey != "":
+			ok, err := p.prov.DeleteRecord(req.StorageKey)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
 				deleted = 1
 			}
-		} else {
-			n, err := p.store.DeleteSession(req.SessionID)
+		case len(req.StorageKeys) > 0:
+			n, err := p.prov.DeleteRecords(req.StorageKeys)
+			if err != nil {
+				return nil, err
+			}
+			deleted = n
+		default:
+			n, err := p.prov.DeleteSession(req.SessionID)
 			if err != nil {
 				return nil, err
 			}
@@ -111,22 +173,22 @@ func (p *StorePlugIn) Handle(action string, body []byte) (interface{}, error) {
 				resp.CompactError = err.Error()
 			}
 		}
-		resp.GarbageRatio = p.store.GarbageRatio()
+		resp.GarbageRatio = p.prov.GarbageRatio()
 		return resp, nil
 	case prep.ActionCompact:
 		var req prep.CompactRequest
 		if err := xml.Unmarshal(body, &req); err != nil {
 			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad compact request: " + err.Error()}
 		}
-		before := p.store.GarbageRatio()
+		before := p.prov.GarbageRatio()
 		p.compactMu.Lock()
-		err := p.store.Compact()
+		err := p.prov.Compact()
 		p.compactMu.Unlock()
 		if err != nil {
 			return nil, err
 		}
 		p.compactions.Add(1)
-		return &prep.CompactResponse{GarbageBefore: before, GarbageAfter: p.store.GarbageRatio()}, nil
+		return &prep.CompactResponse{GarbageBefore: before, GarbageAfter: p.prov.GarbageRatio()}, nil
 	}
 	return nil, &soap.Fault{Code: soap.FaultBadAction, Message: action}
 }
@@ -138,21 +200,20 @@ func (p *StorePlugIn) Handle(action string, body []byte) (interface{}, error) {
 // administrative operations, and an inline compaction keeps the
 // observable state deterministic (the response reports whether it ran).
 func (p *StorePlugIn) maybeCompact() (bool, error) {
-	threshold := p.CompactRatio
-	if threshold == 0 {
-		threshold = DefaultCompactRatio
-	}
-	if threshold < 0 || p.store.GarbageRatio() < threshold {
+	threshold := p.compactThreshold()
+	if threshold < 0 || p.prov.GarbageRatio() < threshold {
 		return false, nil
 	}
 	p.compactMu.Lock()
 	defer p.compactMu.Unlock()
 	// Re-check under the compaction lock: a concurrent delete may have
 	// just compacted the garbage away.
-	if p.store.GarbageRatio() < threshold {
+	if p.prov.GarbageRatio() < threshold {
 		return false, nil
 	}
-	if err := p.store.Compact(); err != nil {
+	// Selective: only the store/shards at or over the threshold are
+	// rewritten (explicit ActionCompact still compacts everything).
+	if err := p.prov.CompactAbove(threshold); err != nil {
 		return false, fmt.Errorf("preserv: scheduled compaction: %w", err)
 	}
 	p.compactions.Add(1)
@@ -162,16 +223,16 @@ func (p *StorePlugIn) maybeCompact() (bool, error) {
 // QueryPlugIn handles queries (scanned and planned), session listings
 // and counts.
 type QueryPlugIn struct {
-	store    *store.Store
-	engine   *query.Engine
+	prov     Provenance
 	requests atomic.Int64
 }
 
-// NewQueryPlugIn returns a query plug-in over s. Planned-query actions
-// run through an internal/query engine (secondary indexes plus a result
-// cache); the plain query action keeps the scan path the paper measures.
-func NewQueryPlugIn(s *store.Store) *QueryPlugIn {
-	return &QueryPlugIn{store: s, engine: query.New(s)}
+// NewQueryPlugIn returns a query plug-in over p. Planned-query actions
+// run through p's query planner (secondary indexes plus a result cache,
+// fanned out and merged when p is a shard router); the plain query
+// action keeps the scan path the paper measures.
+func NewQueryPlugIn(p Provenance) *QueryPlugIn {
+	return &QueryPlugIn{prov: p}
 }
 
 // Actions implements soap.Handler.
@@ -188,7 +249,7 @@ func (p *QueryPlugIn) Handle(action string, body []byte) (interface{}, error) {
 		if err := xml.Unmarshal(body, &q); err != nil {
 			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad query: " + err.Error()}
 		}
-		records, total, err := p.store.Query(&q)
+		records, total, err := p.prov.Query(&q)
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +259,7 @@ func (p *QueryPlugIn) Handle(action string, body []byte) (interface{}, error) {
 		if err := xml.Unmarshal(body, &q); err != nil {
 			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad query: " + err.Error()}
 		}
-		records, total, plan, err := p.engine.Query(&q)
+		records, total, plan, err := p.prov.QueryPlanned(&q)
 		if err != nil {
 			return nil, err
 		}
@@ -208,19 +269,25 @@ func (p *QueryPlugIn) Handle(action string, body []byte) (interface{}, error) {
 		if err := xml.Unmarshal(body, &req); err != nil {
 			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad page query: " + err.Error()}
 		}
-		records, next, done, plan, err := p.engine.QueryPage(&req.Query, req.After, req.PageSize)
+		records, next, done, plan, err := p.prov.QueryPage(&req.Query, req.After, req.PageSize)
 		if err != nil {
+			// An undecodable composite cursor is client input (stale
+			// across a topology resize, or corrupted), not a server
+			// failure — fault it like every other bad-input path.
+			if errors.Is(err, shard.ErrBadCursor) {
+				return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad page query: " + err.Error()}
+			}
 			return nil, err
 		}
 		return &prep.PageQueryResponse{Plan: *plan, Next: next, Done: done, Records: records}, nil
 	case prep.ActionSessions:
-		sessions, err := p.engine.Sessions()
+		sessions, err := p.prov.Sessions()
 		if err != nil {
 			return nil, err
 		}
 		return &prep.SessionsResponse{Sessions: sessions}, nil
 	case prep.ActionCount:
-		cnt, err := p.store.Count()
+		cnt, err := p.prov.Count()
 		if err != nil {
 			return nil, err
 		}
@@ -258,14 +325,24 @@ type Stats struct {
 	Compactions    int64
 	// Tombstones is the backend's current count of unreclaimed deletion
 	// markers; GarbageRatio its current dead-byte fraction — the signal
-	// the next scheduled compaction fires on.
+	// the next scheduled compaction fires on. In sharded mode
+	// Tombstones sums across shards and GarbageRatio reports the worst
+	// shard's.
 	Tombstones   int64
 	GarbageRatio float64
+	// Shards is the number of store partitions behind the service: 0
+	// for the classic single-store service, N for the sharded mode.
+	Shards int
 }
 
-// Service is a PReServ instance: a store plus the translator wiring.
+// Service is a PReServ instance: a provenance surface (one store, or a
+// shard router fronting several) plus the translator wiring.
 type Service struct {
+	// Store is the embedded store of a single-store service; nil when
+	// the service fronts a shard router (use Provenance then).
 	Store   *store.Store
+	prov    Provenance
+	shards  int
 	storeP  *StorePlugIn
 	queryP  *QueryPlugIn
 	handler http.Handler
@@ -273,45 +350,65 @@ type Service struct {
 
 // NewService assembles a PReServ service over the given store.
 func NewService(s *store.Store) *Service {
-	sp := NewStorePlugIn(s)
-	qp := NewQueryPlugIn(s)
+	svc := newService(shard.NewLocal(s), 0)
+	svc.Store = s
+	return svc
+}
+
+// NewShardedService assembles a PReServ service over a shard router —
+// the sharded service mode: the same actions, handlers and telemetry as
+// a single-store service, with every request fanned, routed and merged
+// by the router. The front-end is indistinguishable from one big store
+// to clients.
+func NewShardedService(rt *shard.Router) *Service {
+	return newService(rt, rt.NumShards())
+}
+
+func newService(p Provenance, shards int) *Service {
+	sp := NewStorePlugIn(p)
+	qp := NewQueryPlugIn(p)
 	return &Service{
-		Store:   s,
+		prov:    p,
+		shards:  shards,
 		storeP:  sp,
 		queryP:  qp,
 		handler: soap.NewHTTPHandler(sp, qp),
 	}
 }
 
+// Provenance returns the store surface the service serves (the store's
+// shard.Local wrapper, or the shard router).
+func (svc *Service) Provenance() Provenance { return svc.prov }
+
 // Handler returns the HTTP handler (the message-translator layer).
 func (svc *Service) Handler() http.Handler { return svc.handler }
 
 // SetCompactRatio sets the garbage-ratio threshold for delete-triggered
-// online compaction (negative disables it). Call before serving; the
-// field is not synchronised against in-flight requests.
-func (svc *Service) SetCompactRatio(r float64) { svc.storeP.CompactRatio = r }
+// online compaction (negative disables it). Safe to call while serving:
+// the threshold is stored atomically and picked up by the next delete.
+func (svc *Service) SetCompactRatio(r float64) { svc.storeP.SetCompactRatio(r) }
 
 // Stats returns a snapshot of service counters.
 func (svc *Service) Stats() Stats {
-	cache := svc.queryP.engine.CacheStats()
-	planner := svc.queryP.engine.PlannerStats()
+	es := svc.prov.EngineStats()
 	return Stats{
 		RecordRequests:         svc.storeP.requests.Load(),
 		RecordsAccepted:        svc.storeP.recordsAccepted.Load(),
 		QueryRequests:          svc.queryP.requests.Load(),
-		QueryCacheHits:         cache.Hits,
-		QueryCacheMisses:       cache.Misses,
-		QueryIndexPlans:        planner.IndexPlans,
-		QueryScanPlans:         planner.ScanPlans,
-		QueryPages:             planner.PagedQueries,
-		QueryCostProbes:        planner.CostProbes,
-		QueryPostingsRead:      planner.PostingsRead,
-		QueryCandidatesFetched: planner.CandidatesFetched,
+		QueryCacheHits:         es.CacheHits,
+		QueryCacheMisses:       es.CacheMisses,
+		QueryIndexPlans:        es.IndexPlans,
+		QueryScanPlans:         es.ScanPlans,
+		QueryPages:             es.PagedQueries,
+		QueryCostProbes:        es.CostProbes,
+		QueryPostingsRead:      es.PostingsRead,
+		QueryCandidatesFetched: es.CandidatesFetched,
 		DeleteRequests:         svc.storeP.deleteRequests.Load(),
 		RecordsDeleted:         svc.storeP.recordsDeleted.Load(),
 		Compactions:            svc.storeP.compactions.Load(),
-		Tombstones:             svc.Store.Tombstones(),
-		GarbageRatio:           svc.Store.GarbageRatio(),
+		Tombstones:             svc.prov.Tombstones(),
+		GarbageRatio:           svc.prov.GarbageRatio(),
+		Shards:                 svc.shards,
 	}
 }
 
@@ -472,6 +569,13 @@ func (c *Client) QueryStream(q *prep.Query, pageSize int, fn func(r *core.Record
 // was already absent (retraction is idempotent).
 func (c *Client) DeleteRecord(storageKey string) (*prep.DeleteResponse, error) {
 	return c.delete(&prep.DeleteRequest{StorageKey: storageKey})
+}
+
+// DeleteRecords retracts the records stored under the given keys in one
+// round trip — the batched form a drain uses to delete a moved page
+// from a remote shard.
+func (c *Client) DeleteRecords(storageKeys []string) (*prep.DeleteResponse, error) {
+	return c.delete(&prep.DeleteRequest{StorageKeys: storageKeys})
 }
 
 // DeleteSession retracts every record grouped under the session.

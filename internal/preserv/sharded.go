@@ -1,0 +1,124 @@
+package preserv
+
+import (
+	"fmt"
+	"strings"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/prep"
+	"preserv/internal/shard"
+)
+
+// RemoteShard adapts a PReP client into a shard.Shard, so a Router can
+// front remote PReServ endpoints the same way it fronts embedded child
+// stores — the front-end half of the paper's distributed PReServ: the
+// AsyncRecorder already ships to several endpoints; a Router over
+// RemoteShards is what makes those endpoints answer queries as one.
+type RemoteShard struct {
+	c *Client
+}
+
+// NewRemoteShard wraps a client as a shard.
+func NewRemoteShard(c *Client) *RemoteShard { return &RemoteShard{c: c} }
+
+// URL reports the remote endpoint.
+func (r *RemoteShard) URL() string { return r.c.URL() }
+
+// Record implements shard.Shard.
+func (r *RemoteShard) Record(asserter core.ActorID, records []core.Record) (int, []prep.Reject, error) {
+	resp, err := r.c.Record(asserter, records)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.Accepted, resp.Rejects, nil
+}
+
+// Query implements shard.Shard via the endpoint's scan path.
+func (r *RemoteShard) Query(q *prep.Query) ([]core.Record, int, error) {
+	return r.c.Query(q)
+}
+
+// QueryPlanned implements shard.Shard.
+func (r *RemoteShard) QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error) {
+	return r.c.QueryPlanned(q)
+}
+
+// QueryPage implements shard.Shard.
+func (r *RemoteShard) QueryPage(q *prep.Query, after string, pageSize int) ([]core.Record, string, bool, *prep.QueryPlan, error) {
+	resp, err := r.c.QueryPage(q, after, pageSize)
+	if err != nil {
+		return nil, "", false, nil, err
+	}
+	plan := resp.Plan
+	return resp.Records, resp.Next, resp.Done, &plan, nil
+}
+
+// Sessions implements shard.Shard.
+func (r *RemoteShard) Sessions() ([]ids.ID, error) { return r.c.Sessions() }
+
+// Count implements shard.Shard.
+func (r *RemoteShard) Count() (prep.CountResponse, error) { return r.c.Count() }
+
+// DeleteRecords implements shard.Shard: the whole batch retracts in one
+// round trip, so a drain's delete half costs one request per moved page
+// (and the router's delete fence is held for one RTT, not one per key).
+func (r *RemoteShard) DeleteRecords(keys []string) (int, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	resp, err := r.c.DeleteRecords(keys)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Deleted, nil
+}
+
+// DeleteSession implements shard.Shard.
+func (r *RemoteShard) DeleteSession(session ids.ID) (int, error) {
+	resp, err := r.c.DeleteSession(session)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Deleted, nil
+}
+
+// Compact implements shard.Shard.
+func (r *RemoteShard) Compact() error {
+	_, err := r.c.Compact()
+	return err
+}
+
+// GarbageRatio implements shard.Shard. The wire protocol reports the
+// ratio only on delete/compact responses, so a remote shard cannot be
+// polled for it; it contributes zero to the router's aggregate and the
+// remote endpoint schedules its own compactions.
+func (r *RemoteShard) GarbageRatio() float64 { return 0 }
+
+// Tombstones implements shard.Shard (zero: not reported on the wire).
+func (r *RemoteShard) Tombstones() int64 { return 0 }
+
+// Close implements shard.Shard; the underlying HTTP client needs no
+// teardown and the remote store's lifecycle is its own.
+func (r *RemoteShard) Close() error { return nil }
+
+var _ shard.Shard = (*RemoteShard)(nil)
+
+// NewRemoteRouter builds a Router over the comma-separated remote store
+// URLs — the shared front half of `preserv -shard-endpoints` and
+// `provq -shards`. Blank entries (a trailing or doubled comma) are
+// tolerated; a list naming no endpoint is an error.
+func NewRemoteRouter(csv string) (*shard.Router, error) {
+	var children []shard.Shard
+	for _, u := range strings.Split(csv, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		children = append(children, NewRemoteShard(NewClient(u, nil)))
+	}
+	if len(children) == 0 {
+		return nil, fmt.Errorf("preserv: shard endpoint list %q names no endpoint", csv)
+	}
+	return shard.NewRouter(children...)
+}

@@ -1,0 +1,224 @@
+// Package shard partitions the provenance store horizontally and routes
+// the full store API across the partitions — the "distributed PReServ"
+// the paper's future-work section proposes, taken from recording at
+// scale (the AsyncRecorder already ships to several endpoints) to
+// *using* provenance at scale: queries answered whole, however many
+// stores hold the records.
+//
+// Writes route session-affine: a record's home shard is a stable hash
+// of its session group over the shard count, so one workflow run's
+// lineage stays co-located and a session-scoped query touches one
+// shard's indexes. Reads fan out: planned queries execute on every
+// shard concurrently and k-way-merge in storage-key order, paged
+// queries resume each shard at its own cursor behind one composite
+// cursor, session listings union, statistics aggregate. Rebalancing
+// reuses the deletion lifecycle: Drain streams a shard's records out,
+// re-records them onto the survivors (copy first), and only then
+// deletes the source batch — a crash in between leaves an overlap that
+// idempotent re-recording absorbs and the merge's key-dedup hides.
+package shard
+
+import (
+	"hash/fnv"
+
+	"preserv/internal/core"
+	"preserv/internal/ids"
+	"preserv/internal/prep"
+	"preserv/internal/query"
+	"preserv/internal/store"
+)
+
+// Shard is one partition of the provenance store, local or remote. The
+// surface mirrors what the preserv service layer serves: writes,
+// scanned and planned queries, paged reads, session listings, the
+// deletion lifecycle and compaction telemetry. Implementations must be
+// safe for concurrent use.
+type Shard interface {
+	// Record validates and stores a batch of p-assertions, idempotently
+	// for identical re-records (the property drains and client retries
+	// lean on).
+	Record(asserter core.ActorID, records []core.Record) (int, []prep.Reject, error)
+	// Query evaluates q via the scan path: matching records in
+	// storage-key order (up to q.Limit) plus the total match count.
+	Query(q *prep.Query) ([]core.Record, int, error)
+	// QueryPlanned evaluates q via the shard's query planner. Results
+	// are identical to Query; the plan describes the access path.
+	QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error)
+	// QueryPage evaluates one cursor-delimited page: up to pageSize
+	// matching records with storage keys strictly greater than after.
+	QueryPage(q *prep.Query, after string, pageSize int) (records []core.Record, next string, done bool, plan *prep.QueryPlan, err error)
+	// Sessions lists the shard's distinct session identifiers, sorted.
+	Sessions() ([]ids.ID, error)
+	// Count reports the shard's record statistics.
+	Count() (prep.CountResponse, error)
+	// DeleteRecords removes the records under the given storage keys
+	// (absent keys are no-ops) and reports how many were deleted.
+	DeleteRecords(keys []string) (int, error)
+	// DeleteSession removes every record grouped under the session.
+	DeleteSession(session ids.ID) (int, error)
+	// Compact reclaims the shard's dead bytes, if its backend can.
+	Compact() error
+	// GarbageRatio is the shard's dead-byte fraction (0 if unknown).
+	GarbageRatio() float64
+	// Tombstones counts the shard's unreclaimed deletion markers.
+	Tombstones() int64
+	// Close releases the shard's resources.
+	Close() error
+}
+
+// EngineStats aggregates a shard's query-engine telemetry (zero for
+// shards that cannot report it, e.g. remote endpoints).
+type EngineStats struct {
+	CacheHits         int64
+	CacheMisses       int64
+	IndexPlans        int64
+	ScanPlans         int64
+	PagedQueries      int64
+	CostProbes        int64
+	PostingsRead      int64
+	CandidatesFetched int64
+}
+
+// add accumulates o into s.
+func (s *EngineStats) add(o EngineStats) {
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.IndexPlans += o.IndexPlans
+	s.ScanPlans += o.ScanPlans
+	s.PagedQueries += o.PagedQueries
+	s.CostProbes += o.CostProbes
+	s.PostingsRead += o.PostingsRead
+	s.CandidatesFetched += o.CandidatesFetched
+}
+
+// EngineStatser is implemented by shards that can report query-engine
+// telemetry (local shards; the Router aggregates over them).
+type EngineStatser interface {
+	EngineStats() EngineStats
+}
+
+// Local is a Shard embedded in this process: a store.Store plus its
+// query engine. It is also the single-store implementation of the
+// preserv service's provenance surface — the unsharded service runs on
+// exactly one of these.
+type Local struct {
+	s *store.Store
+	e *query.Engine
+}
+
+// NewLocal wraps a store (and a fresh query engine over it) as a Shard.
+func NewLocal(s *store.Store) *Local {
+	return &Local{s: s, e: query.New(s)}
+}
+
+// Store returns the underlying store.
+func (l *Local) Store() *store.Store { return l.s }
+
+// Record implements Shard.
+func (l *Local) Record(asserter core.ActorID, records []core.Record) (int, []prep.Reject, error) {
+	return l.s.Record(asserter, records)
+}
+
+// Query implements Shard via the store's scan path.
+func (l *Local) Query(q *prep.Query) ([]core.Record, int, error) {
+	return l.s.Query(q)
+}
+
+// QueryPlanned implements Shard via the cost-based planner.
+func (l *Local) QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error) {
+	return l.e.Query(q)
+}
+
+// QueryPage implements Shard.
+func (l *Local) QueryPage(q *prep.Query, after string, pageSize int) ([]core.Record, string, bool, *prep.QueryPlan, error) {
+	return l.e.QueryPage(q, after, pageSize)
+}
+
+// Sessions implements Shard.
+func (l *Local) Sessions() ([]ids.ID, error) { return l.e.Sessions() }
+
+// Count implements Shard.
+func (l *Local) Count() (prep.CountResponse, error) { return l.s.Count() }
+
+// DeleteRecord removes the single record under key, reporting whether
+// one was there — the one-key convenience the service layer's delete
+// action uses.
+func (l *Local) DeleteRecord(key string) (bool, error) { return l.s.DeleteRecord(key) }
+
+// DeleteRecords implements Shard.
+func (l *Local) DeleteRecords(keys []string) (int, error) { return l.s.DeleteRecords(keys) }
+
+// DeleteSession implements Shard.
+func (l *Local) DeleteSession(session ids.ID) (int, error) { return l.s.DeleteSession(session) }
+
+// Compact implements Shard.
+func (l *Local) Compact() error { return l.s.Compact() }
+
+// CompactAbove compacts the store only when its garbage ratio has
+// reached threshold — the selective form delete-triggered scheduling
+// uses, so a single-store service behaves exactly as before while a
+// router can skip its clean shards.
+func (l *Local) CompactAbove(threshold float64) error {
+	if threshold < 0 || l.s.GarbageRatio() < threshold {
+		return nil
+	}
+	return l.s.Compact()
+}
+
+// GarbageRatio implements Shard.
+func (l *Local) GarbageRatio() float64 { return l.s.GarbageRatio() }
+
+// Tombstones implements Shard.
+func (l *Local) Tombstones() int64 { return l.s.Tombstones() }
+
+// Close implements Shard.
+func (l *Local) Close() error { return l.s.Close() }
+
+// EngineStats implements EngineStatser.
+func (l *Local) EngineStats() EngineStats {
+	c := l.e.CacheStats()
+	p := l.e.PlannerStats()
+	return EngineStats{
+		CacheHits:         c.Hits,
+		CacheMisses:       c.Misses,
+		IndexPlans:        p.IndexPlans,
+		ScanPlans:         p.ScanPlans,
+		PagedQueries:      p.PagedQueries,
+		CostProbes:        p.CostProbes,
+		PostingsRead:      p.PostingsRead,
+		CandidatesFetched: p.CandidatesFetched,
+	}
+}
+
+// AffinityTerm is the string a record's home shard is hashed from: the
+// record's session group when it has one (a session's whole lineage
+// then shares a shard), falling back to the interaction id (both views
+// of an ungrouped interaction still co-locate), and to the storage key
+// as a last resort.
+func AffinityTerm(r *core.Record) string {
+	if sid, ok := r.GroupID(core.GroupSession); ok {
+		return sid.String()
+	}
+	if iid := r.InteractionID(); iid.Valid() {
+		return iid.String()
+	}
+	return r.StorageKey()
+}
+
+// AffinityIndex maps an affinity term onto one of n shards with a
+// stable, process-independent hash (FNV-1a), so a router restarted with
+// the same topology — or a client shipping session-affine to the same
+// endpoint list — routes every record to the same home shard.
+func AffinityIndex(term string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(term))
+	return int(h.Sum64() % uint64(n))
+}
+
+// Affinity maps a record to its home shard among n (see AffinityTerm).
+func Affinity(r *core.Record, n int) int {
+	return AffinityIndex(AffinityTerm(r), n)
+}

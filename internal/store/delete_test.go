@@ -548,3 +548,66 @@ func TestFileGarbageRatioAccounting(t *testing.T) {
 		t.Fatalf("post-compaction tombstones = %d", n)
 	}
 }
+
+// TestStoreDeleteRecordsBatch covers the exported bulk retraction
+// (DeleteRecords, the shard drain's delete half) on every backend:
+// chunked deletion with index maintenance, absent keys as no-ops,
+// generation bump, and planner-equals-scan afterwards.
+func TestStoreDeleteRecordsBatch(t *testing.T) {
+	for _, but := range allBackends() {
+		t.Run(but.name, func(t *testing.T) {
+			s := New(but.open(t))
+			session := seq.NewID()
+			var keys []string
+			var recs []core.Record
+			for i := 0; i < 9; i++ {
+				r := mkInteraction(session, "svc:gzip", "run")
+				recs = append(recs, r)
+				keys = append(keys, r.StorageKey())
+			}
+			if acc, rejects, err := s.Record("svc:enactor", recs); err != nil || acc != 9 || len(rejects) != 0 {
+				t.Fatalf("record: acc=%d rejects=%v err=%v", acc, rejects, err)
+			}
+			genBefore := s.Generation()
+
+			// Delete a mix of present, absent and REPEATED keys: a key
+			// arriving twice from the wire must delete (and count, and
+			// tombstone) once.
+			doomed := append([]string{"i/absent/sender/x/y", keys[0], keys[0]}, keys[:5]...)
+			n, err := s.DeleteRecords(doomed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 5 {
+				t.Fatalf("deleted %d, want 5", n)
+			}
+			if s.Generation() == genBefore {
+				t.Fatal("generation did not advance on batch delete")
+			}
+
+			// Survivors intact, deleted gone, both read paths agree.
+			got, total, err := s.Query(&prep.Query{SessionID: session})
+			if err != nil || total != 4 || len(got) != 4 {
+				t.Fatalf("scan after batch delete: %d/%d err=%v", len(got), total, err)
+			}
+			for _, r := range got {
+				for _, k := range keys[:5] {
+					if r.StorageKey() == k {
+						t.Fatalf("deleted record %s still queryable", k)
+					}
+				}
+			}
+
+			// Empty and all-absent batches are no-ops; empty keys rejected.
+			if n, err := s.DeleteRecords(nil); err != nil || n != 0 {
+				t.Fatalf("empty batch: %d %v", n, err)
+			}
+			if n, err := s.DeleteRecords(keys[:5]); err != nil || n != 0 {
+				t.Fatalf("re-delete batch: %d %v", n, err)
+			}
+			if _, err := s.DeleteRecords([]string{"ok", ""}); err == nil {
+				t.Fatal("empty key in batch accepted")
+			}
+		})
+	}
+}

@@ -384,6 +384,54 @@ func (s *Store) DeleteSession(session ids.ID) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("store: listing session %s: %w", session, err)
 	}
+	deleted, err := s.deleteKeys(idx, keys)
+	if err != nil {
+		return deleted, fmt.Errorf("store: deleting session %s: %w", session, err)
+	}
+	return deleted, nil
+}
+
+// DeleteRecords removes the records stored under the given storage keys
+// (absent keys are no-ops), together with their posting entries — the
+// bulk retraction a shard drain moves records out with: copy the batch
+// to its new shard first, then DeleteRecords it here, and a crash in
+// between leaves only an idempotently re-recordable overlap. It runs
+// the same chunked delete commit protocol as DeleteSession and returns
+// how many records were actually deleted.
+func (s *Store) DeleteRecords(keys []string) (int, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	seen := make(map[string]bool, len(keys))
+	uniq := keys[:0:0]
+	for _, k := range keys {
+		if k == "" {
+			return 0, fmt.Errorf("store: empty key in delete batch")
+		}
+		// A repeated key must delete (and count, and tombstone) once —
+		// keys arrive from the wire here, not only from unique index
+		// postings.
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, k)
+		}
+	}
+	keys = uniq
+	idx, err := s.Index()
+	if err != nil {
+		return 0, fmt.Errorf("store: opening index: %w", err)
+	}
+	deleted, err := s.deleteKeys(idx, keys)
+	if err != nil {
+		return deleted, fmt.Errorf("store: deleting %d records: %w", len(keys), err)
+	}
+	return deleted, nil
+}
+
+// deleteKeys runs the chunked delete commit protocol over an arbitrary
+// key list (DeleteSession's posting listing and DeleteRecords' explicit
+// batch both land here).
+func (s *Store) deleteKeys(idx *index.Index, keys []string) (int, error) {
 	deleted := 0
 	// attempted tracks whether any backend delete batch was issued at
 	// all: an errored batch may still have durably removed records (the
@@ -407,7 +455,7 @@ func (s *Store) DeleteSession(session ids.ID) (int, error) {
 		attempted = attempted || tried
 		deleted += doomed
 		if err != nil {
-			return deleted, fmt.Errorf("store: deleting session %s: %w", session, err)
+			return deleted, err
 		}
 	}
 	return deleted, nil
