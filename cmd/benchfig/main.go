@@ -9,6 +9,7 @@
 //	benchfig -exp ingest         # batched-vs-legacy write-path sweep
 //	benchfig -exp query          # streaming-vs-materializing read-path sweep
 //	benchfig -exp shard          # sharded-store scaling sweep (1/2/4 shards)
+//	benchfig -exp obs            # instrumentation-overhead gate (on vs off)
 //	benchfig -exp all            # everything
 //
 // By default the sweeps run at laptop scale (seconds); -paper selects
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: e1, fig4, fig5, gran, dist, ingest, query, shard or all")
+	exp := flag.String("exp", "all", "experiment: e1, fig4, fig5, gran, dist, ingest, query, shard, obs or all")
 	paper := flag.Bool("paper", false, "run at the paper's scale (slow)")
 	seed := flag.Int64("seed", 2005, "workload seed")
 	quiet := flag.Bool("q", false, "suppress progress lines")
@@ -162,6 +163,24 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	runObs := func() {
+		opts := bench.ObsGateOptions{}
+		if *paper {
+			opts.Records = 20000
+			opts.Trials = 5
+		}
+		res, err := bench.RunObsGate(opts, progress)
+		if err != nil {
+			log.Fatalf("benchfig: obs: %v", err)
+		}
+		bench.RenderObsGate(out, res)
+		fmt.Fprintln(out)
+		if !res.Pass {
+			log.Fatalf("benchfig: obs: instrumentation overhead gate failed: ratio %.3f < %.2f",
+				res.Ratio, bench.ObsGateThreshold)
+		}
+	}
+
 	switch *exp {
 	case "e1":
 		runE1()
@@ -179,6 +198,8 @@ func main() {
 		runQuery()
 	case "shard":
 		runShard()
+	case "obs":
+		runObs()
 	case "all":
 		runE1()
 		runFig4()
@@ -188,6 +209,7 @@ func main() {
 		runIngest()
 		runQuery()
 		runShard()
+		runObs()
 	default:
 		log.Fatalf("benchfig: unknown experiment %q", *exp)
 	}

@@ -16,6 +16,11 @@
 // across all shards — one endpoint, N stores. With -shard-endpoints
 // the children are remote PReServ instances instead, which is the
 // paper's distributed PReServ with query routing in front.
+//
+// Telemetry: the service answers urn:prep:stats on the wire and serves
+// Prometheus-format metrics at /metrics. -telemetry=false turns off the
+// latency histograms and operation spans (request counters stay on);
+// -pprof additionally exposes net/http/pprof under /debug/pprof.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"preserv/internal/obs"
 	"preserv/internal/preserv"
 	"preserv/internal/shard"
 	"preserv/internal/store"
@@ -53,7 +59,12 @@ func main() {
 	shards := flag.Int("shards", 0, "shard the store across N embedded child stores (0 or 1 = single store)")
 	shardEndpoints := flag.String("shard-endpoints", "", "comma-separated remote store URLs to front as shards (overrides -shards)")
 	statsEvery := flag.Duration("stats", 0, "periodically log service statistics (0 disables)")
+	compactRatio := flag.Float64("compact-ratio", 0, "garbage-ratio threshold for delete-triggered compaction (0 = default, negative disables)")
+	telemetry := flag.Bool("telemetry", true, "record latency histograms and operation spans (request counters are always on)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the service listener")
 	flag.Parse()
+
+	obs.SetEnabled(*telemetry)
 
 	var svc *preserv.Service
 	var closer interface{ Close() error }
@@ -93,11 +104,17 @@ func main() {
 		log.Printf("preserv: single %s-backed store", *backendName)
 	}
 
+	if *compactRatio != 0 {
+		svc.SetCompactRatio(*compactRatio)
+	}
+	if *pprofFlag {
+		svc.EnablePprof()
+	}
 	srv, err := preserv.Serve(svc, *addr)
 	if err != nil {
 		log.Fatalf("preserv: %v", err)
 	}
-	log.Printf("preserv: provenance store listening on %s", srv.URL)
+	log.Printf("preserv: provenance store listening on %s (metrics at %s/metrics)", srv.URL, srv.URL)
 
 	if *statsEvery > 0 {
 		go func() {

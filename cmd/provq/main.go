@@ -5,6 +5,8 @@
 //
 //	provq -store URL count
 //	provq -shards URL1,URL2,... count
+//	provq -store URL stats
+//	provq -shards URL1,URL2,... stats -watch 2s
 //	provq -store URL sessions
 //	provq -store URL categorize
 //	provq -store URL compare -a SESSION -b SESSION
@@ -32,14 +34,21 @@
 // the command through it, so every query spans all shards and every
 // retraction fans out — the same answers a permanent sharded front-end
 // (preserv -shard-endpoints) would give.
+//
+// stats prints the store's telemetry snapshot (urn:prep:stats): request
+// counters, garbage state, query-engine counters, per-shard breakdown,
+// latency-histogram quantiles and the slow-operation log. With -watch D
+// it refreshes every D until interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"preserv/internal/compare"
 	"preserv/internal/ids"
@@ -64,10 +73,11 @@ func main() {
 	dir := flag.String("dir", "", "store directory (offline compact; omit to compact via the server)")
 	key := flag.String("key", "", "record storage key (delete)")
 	shardsFlag := flag.String("shards", "", "comma-separated shard store URLs (query them as one store through an ephemeral router)")
+	watch := flag.Duration("watch", 0, "refresh interval for stats (0 = print once)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: provq [flags] count|sessions|categorize|compare|validate|lineage|consolidate|delete|compact")
+		fmt.Fprintln(os.Stderr, "usage: provq [flags] count|stats|sessions|categorize|compare|validate|lineage|consolidate|delete|compact")
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "compact" && *dir != "" {
@@ -102,6 +112,20 @@ func main() {
 		}
 		fmt.Printf("records: %d (interactions %d, actor states %d)\n",
 			cnt.Records, cnt.Interactions, cnt.ActorStates)
+
+	case "stats":
+		for {
+			st, err := client.StoreStats()
+			if err != nil {
+				log.Fatalf("provq: %v", err)
+			}
+			printStats(os.Stdout, st)
+			if *watch <= 0 {
+				return
+			}
+			time.Sleep(*watch)
+			fmt.Println()
+		}
 
 	case "sessions":
 		sessions, err := preserv.Sessions(client)
@@ -266,6 +290,70 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "provq: unknown command %q\n", flag.Arg(0))
 		os.Exit(2)
+	}
+}
+
+// printStats renders one urn:prep:stats snapshot: the service counters
+// and whole-store aggregates, then the per-shard breakdown, then the
+// latency summaries and slow operations.
+func printStats(out io.Writer, st *prep.StatsResponse) {
+	fmt.Fprintf(out, "records: %d  shards: %d  garbage: %.2f  tombstones: %d\n",
+		st.Records, st.NumShards, st.GarbageRatio, st.Tombstones)
+	fmt.Fprintf(out, "requests: record=%d (accepted %d)  query=%d  delete=%d (deleted %d)  compactions=%d\n",
+		st.RecordRequests, st.RecordsAccepted, st.QueryRequests,
+		st.DeleteRequests, st.RecordsDeleted, st.Compactions)
+	fmt.Fprintf(out, "engine: index=%d scan=%d paged=%d probes=%d postings=%d candidates=%d cache=%d/%d\n",
+		st.Engine.IndexPlans, st.Engine.ScanPlans, st.Engine.PagedQueries,
+		st.Engine.CostProbes, st.Engine.PostingsRead, st.Engine.CandidatesFetched,
+		st.Engine.CacheHits, st.Engine.CacheHits+st.Engine.CacheMisses)
+	for _, sh := range st.Shards {
+		loc := sh.URL
+		if loc == "" {
+			loc = "embedded"
+		}
+		fmt.Fprintf(out, "shard %d (%s): records=%d garbage=%.2f tombstones=%d index=%d scan=%d\n",
+			sh.Index, loc, sh.Records, sh.GarbageRatio, sh.Tombstones,
+			sh.Engine.IndexPlans, sh.Engine.ScanPlans)
+		printHistograms(out, "  ", sh.Histograms)
+		printSlow(out, "  ", sh.Slow)
+	}
+	printHistograms(out, "", st.Histograms)
+	printSlow(out, "", st.Slow)
+}
+
+// printHistograms lists non-empty histogram summaries. Latency
+// histograms (family *_seconds) render their quantiles in milliseconds;
+// unitless ones (sizes, widths) render raw values.
+func printHistograms(out io.Writer, indent string, hists []prep.HistogramStat) {
+	for _, h := range hists {
+		if h.Count == 0 {
+			continue
+		}
+		fam := h.Name
+		if i := strings.IndexByte(fam, '{'); i >= 0 {
+			fam = fam[:i]
+		}
+		if strings.HasSuffix(fam, "_seconds") {
+			fmt.Fprintf(out, "%s%-44s n=%-7d p50=%.3fms p95=%.3fms p99=%.3fms\n",
+				indent, h.Name, h.Count, h.P50*1000, h.P95*1000, h.P99*1000)
+		} else {
+			fmt.Fprintf(out, "%s%-44s n=%-7d p50=%.1f p95=%.1f p99=%.1f\n",
+				indent, h.Name, h.Count, h.P50, h.P95, h.P99)
+		}
+	}
+}
+
+// printSlow lists the slow-operation log, oldest first.
+func printSlow(out io.Writer, indent string, slow []prep.SlowSpan) {
+	for _, s := range slow {
+		attrs := ""
+		for _, a := range s.Attrs {
+			attrs += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+		}
+		if s.Err != "" {
+			attrs += " err=" + s.Err
+		}
+		fmt.Fprintf(out, "%sslow: %-20s %.1fms%s\n", indent, s.Op, s.Seconds*1000, attrs)
 	}
 }
 

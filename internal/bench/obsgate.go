@@ -1,0 +1,113 @@
+package bench
+
+// Instrumentation-overhead gate: the telemetry layer (spans + latency
+// histograms on the store's write path) must cost within a few percent
+// of running uninstrumented, or it cannot default to on. The gate runs
+// the same ingest workload with obs disabled and enabled, interleaving
+// trials and keeping each mode's best run — best-of-N is the standard
+// answer to scheduler noise; a systematic slowdown survives it, a noisy
+// outlier does not.
+
+import (
+	"fmt"
+	"io"
+
+	"preserv/internal/obs"
+)
+
+// ObsGateThreshold is the minimum enabled/disabled throughput ratio the
+// gate accepts: instrumentation may cost at most 5%.
+const ObsGateThreshold = 0.95
+
+// ObsGateOptions configures the overhead measurement.
+type ObsGateOptions struct {
+	// Backend selects the store backend ("memory" default — the fastest
+	// backend is the one where fixed instrumentation cost is the largest
+	// fraction, so it is the hardest case).
+	Backend string
+	// Records is the per-trial workload size.
+	Records int
+	// Writers is the ingest concurrency.
+	Writers int
+	// Trials is how many interleaved disabled/enabled pairs to run.
+	Trials int
+}
+
+func (o ObsGateOptions) withDefaults() ObsGateOptions {
+	if o.Backend == "" {
+		o.Backend = "memory"
+	}
+	if o.Records <= 0 {
+		o.Records = 4000
+	}
+	if o.Writers <= 0 {
+		o.Writers = 4
+	}
+	if o.Trials <= 0 {
+		o.Trials = 3
+	}
+	return o
+}
+
+// ObsGateResult reports both modes' best throughput and the verdict.
+type ObsGateResult struct {
+	Backend        string
+	Records        int
+	Trials         int
+	DisabledRecSec float64
+	EnabledRecSec  float64
+	// Ratio is enabled/disabled throughput; 1.0 means free telemetry.
+	Ratio float64
+	Pass  bool
+}
+
+// RunObsGate measures ingest throughput with instrumentation off and
+// on, restoring the previous obs state before returning.
+func RunObsGate(opts ObsGateOptions, progress io.Writer) (*ObsGateResult, error) {
+	o := opts.withDefaults()
+	prev := obs.Enabled()
+	defer obs.SetEnabled(prev)
+
+	ingest := IngestOptions{Backend: o.Backend, Writers: o.Writers, Records: o.Records}
+	best := map[bool]float64{}
+	for trial := 0; trial < o.Trials; trial++ {
+		for _, enabled := range []bool{false, true} {
+			obs.SetEnabled(enabled)
+			res, err := RunIngest(ingest)
+			if err != nil {
+				return nil, fmt.Errorf("bench: obs gate (enabled=%v): %w", enabled, err)
+			}
+			if res.RecordsPerSec > best[enabled] {
+				best[enabled] = res.RecordsPerSec
+			}
+			fmt.Fprintf(progress, "obsgate: trial %d enabled=%-5v %.0f rec/s\n",
+				trial+1, enabled, res.RecordsPerSec)
+		}
+	}
+
+	r := &ObsGateResult{
+		Backend:        o.Backend,
+		Records:        o.Records,
+		Trials:         o.Trials,
+		DisabledRecSec: best[false],
+		EnabledRecSec:  best[true],
+	}
+	if r.DisabledRecSec > 0 {
+		r.Ratio = r.EnabledRecSec / r.DisabledRecSec
+	}
+	r.Pass = r.Ratio >= ObsGateThreshold
+	return r, nil
+}
+
+// RenderObsGate prints the gate verdict.
+func RenderObsGate(w io.Writer, r *ObsGateResult) {
+	fmt.Fprintf(w, "## instrumentation overhead gate (%s backend, %d records, best of %d)\n\n",
+		r.Backend, r.Records, r.Trials)
+	fmt.Fprintf(w, "  telemetry off: %9.0f rec/s\n", r.DisabledRecSec)
+	fmt.Fprintf(w, "  telemetry on:  %9.0f rec/s\n", r.EnabledRecSec)
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "  ratio: %.3f (floor %.2f) — %s\n", r.Ratio, ObsGateThreshold, verdict)
+}

@@ -22,10 +22,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"preserv/internal/core"
+	"preserv/internal/obs"
 	"preserv/internal/preserv"
 	"preserv/internal/shard"
 )
@@ -178,6 +180,12 @@ type AsyncRecorder struct {
 	// error is informational: the next flush (background or explicit)
 	// re-ships everything.
 	autoFlushErr error
+	// reg holds the recorder's telemetry: flush latency and the journal
+	// backlog gauge. The gauge mirrors pending so an operator scraping
+	// the recorder's registry sees the backlog without taking r.mu.
+	reg            *obs.Registry
+	flushSec       *obs.Histogram
+	journalPending *obs.Gauge
 }
 
 // NewAsyncRecorder creates an asynchronous recorder journaling to
@@ -195,16 +203,25 @@ func NewAsyncRecorder(asserter core.ActorID, journalPath string, batchSize int, 
 		return nil, fmt.Errorf("client: opening journal: %w", err)
 	}
 	bw := bufio.NewWriterSize(f, 64<<10)
+	reg := obs.NewRegistry()
 	return &AsyncRecorder{
-		asserter:  asserter,
-		clients:   clients,
-		journal:   f,
-		bw:        bw,
-		enc:       gob.NewEncoder(bw),
-		path:      journalPath,
-		batchSize: batchSize,
+		asserter:       asserter,
+		clients:        clients,
+		journal:        f,
+		bw:             bw,
+		enc:            gob.NewEncoder(bw),
+		path:           journalPath,
+		batchSize:      batchSize,
+		reg:            reg,
+		flushSec:       reg.Histogram("client_flush_seconds", nil),
+		journalPending: reg.Gauge("client_journal_pending"),
 	}, nil
 }
+
+// Obs returns the recorder's telemetry registry: client_flush_seconds
+// (latency of each flush, batching and shipping included) and
+// client_journal_pending (the journal backlog, live).
+func (r *AsyncRecorder) Obs() *obs.Registry { return r.reg }
 
 // SetFlushConcurrency bounds how many batches Flush keeps in flight at
 // once; n <= 0 restores DefaultFlushConcurrency.
@@ -295,6 +312,7 @@ func (r *AsyncRecorder) Record(records ...core.Record) error {
 		}
 	}
 	r.pending += int64(len(records))
+	r.journalPending.Set(r.pending)
 	r.recorded.Add(int64(len(records)))
 	r.maybeAutoFlushLocked()
 	return nil
@@ -309,10 +327,13 @@ func (r *AsyncRecorder) Flush() error {
 	return r.flushLocked()
 }
 
-func (r *AsyncRecorder) flushLocked() error {
+func (r *AsyncRecorder) flushLocked() (err error) {
 	if r.pending == 0 {
 		return nil
 	}
+	span := r.reg.Tracer().StartSpan("client.flush").
+		SetAttr("pending", strconv.FormatInt(r.pending, 10))
+	defer func() { span.Observe(r.flushSec, err) }()
 	if err := r.bw.Flush(); err != nil {
 		return fmt.Errorf("client: flushing journal buffer: %w", err)
 	}
@@ -432,7 +453,7 @@ func (r *AsyncRecorder) flushLocked() error {
 	close(batches)
 	wg.Wait()
 	errOnce.Lock()
-	err := firstErr
+	err = firstErr
 	errOnce.Unlock()
 	if decodeErr != nil {
 		err = decodeErr
@@ -463,6 +484,7 @@ func (r *AsyncRecorder) flushLocked() error {
 	r.bw.Reset(r.journal)
 	r.enc = gob.NewEncoder(r.bw)
 	r.pending = 0
+	r.journalPending.Set(0)
 	r.retryAt = 0
 	return nil
 }

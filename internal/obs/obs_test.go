@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCounterHistogram hammers one counter and one histogram
+// from N writers and checks exact totals — run under -race this also
+// proves the instruments are data-race free.
+func TestConcurrentCounterHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	h := r.Histogram("op_seconds", nil)
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Add(1)
+				h.Observe(float64(i%100) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	snap := h.Snapshot()
+	if snap.Count != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", snap.Count, writers*perWriter)
+	}
+	var bucketTotal int64
+	for _, c := range snap.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != snap.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, snap.Count)
+	}
+	// Sum of i%100 * 1e-5 over perWriter iterations, times writers.
+	var want float64
+	for i := 0; i < perWriter; i++ {
+		want += float64(i%100) * 1e-5
+	}
+	want *= writers
+	if math.Abs(snap.Sum-want) > want*1e-9 {
+		t.Fatalf("histogram sum = %g, want %g", snap.Sum, want)
+	}
+}
+
+// TestBatchSnapshotConsistency checks the torn-read fix mechanism: a
+// snapshot taken while writers update two counters in lockstep under
+// Batch must always see them equal.
+func TestBatchSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a_total")
+	b := r.Counter("b_total")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Batch(func() {
+					a.Add(1)
+					b.Add(1)
+				})
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		snap := r.CounterSnapshot()
+		if snap["a_total"] != snap["b_total"] {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("torn snapshot: a=%d b=%d", snap["a_total"], snap["b_total"])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	snap := h.Snapshot()
+	if p50 := snap.Quantile(0.5); p50 < 1 || p50 > 2 {
+		t.Fatalf("p50 = %g, want within (1,2]", p50)
+	}
+	if p99 := snap.Quantile(0.99); p99 < 1 || p99 > 2 {
+		t.Fatalf("p99 = %g, want within (1,2]", p99)
+	}
+	h.Observe(100) // overflow bucket
+	if q := h.Snapshot().Quantile(1); q != 8 {
+		t.Fatalf("overflow quantile = %g, want 8 (last bound)", q)
+	}
+	if q := (HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{0, 0}}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestSpanRingBounded(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetSlowThreshold(0) // disable slow capture for this test
+	for i := 0; i < 50; i++ {
+		s := tr.StartSpan(fmt.Sprintf("op-%d", i))
+		s.End(nil)
+	}
+	recent := tr.Recent()
+	if len(recent) != 8 {
+		t.Fatalf("ring holds %d spans, want 8", len(recent))
+	}
+	// Oldest-first order: the survivors are ops 42..49.
+	for i, s := range recent {
+		if want := fmt.Sprintf("op-%d", 42+i); s.Op() != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, s.Op(), want)
+		}
+	}
+	if len(tr.Slow()) != 0 {
+		t.Fatalf("slow log not empty with capture disabled")
+	}
+}
+
+func TestSlowLogCapture(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetSlowThreshold(5 * time.Millisecond)
+	fast := tr.StartSpan("fast")
+	fast.End(nil)
+	slow := tr.StartSpan("slow").SetAttr("strategy", "scan")
+	time.Sleep(10 * time.Millisecond)
+	slow.End(errors.New("deadline"))
+	got := tr.Slow()
+	if len(got) != 1 {
+		t.Fatalf("slow log has %d spans, want 1", len(got))
+	}
+	s := got[0]
+	if s.Op() != "slow" || s.Err() != "deadline" {
+		t.Fatalf("slow span = %s err=%q", s.Op(), s.Err())
+	}
+	if len(s.Attrs()) != 1 || s.Attrs()[0].Key != "strategy" || s.Attrs()[0].Value != "scan" {
+		t.Fatalf("slow span attrs = %v", s.Attrs())
+	}
+	if s.Duration() < 5*time.Millisecond {
+		t.Fatalf("slow span duration %v below threshold", s.Duration())
+	}
+}
+
+func TestSpanParentLinkage(t *testing.T) {
+	tr := NewTracer(0)
+	parent := tr.StartSpan("parent")
+	child := tr.StartChild("child", parent)
+	if child.ParentID() != parent.ID() {
+		t.Fatalf("child parent = %d, want %d", child.ParentID(), parent.ID())
+	}
+	child.End(nil)
+	parent.End(nil)
+}
+
+func TestDisabledInstrumentation(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", nil)
+	h.Observe(1)
+	if h.Snapshot().Count != 0 {
+		t.Fatalf("histogram observed while disabled")
+	}
+	if s := r.Tracer().StartSpan("x"); s != nil {
+		t.Fatalf("span started while disabled")
+	}
+	// Nil-span methods must all be safe.
+	var s *Span
+	s.SetAttr("k", "v")
+	s.End(nil)
+	s.Observe(h, nil)
+	if s.Op() != "" || s.ID() != 0 || s.Duration() != 0 {
+		t.Fatalf("nil span not inert")
+	}
+	// Counters stay live: accounting must not stop when profiling does.
+	c := r.Counter("c_total")
+	c.Add(3)
+	if c.Load() != 3 {
+		t.Fatalf("counter suppressed while disabled")
+	}
+}
+
+// TestPrometheusExposition renders a mixed registry set and checks the
+// text format parses: one TYPE line per family, histogram bucket
+// cumulativeness, label injection, and sorted stability.
+func TestPrometheusExposition(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter(`requests_total{action="record"}`).Add(7)
+	r1.Counter(`requests_total{action="query"}`).Add(3)
+	r1.Gauge("journal_pending").Set(5)
+	r1.GaugeFunc("garbage_ratio", func() float64 { return 0.25 })
+	h := r1.Histogram("op_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+
+	r2 := NewRegistry()
+	r2.Counter(`requests_total{action="record"}`).Add(2)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, Export{Reg: r1}, Export{Labels: `shard="1"`, Reg: r2}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if n := strings.Count(out, "# TYPE requests_total counter"); n != 1 {
+		t.Fatalf("requests_total TYPE emitted %d times, want 1:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`requests_total{action="record"} 7`,
+		`requests_total{action="query"} 3`,
+		`requests_total{shard="1",action="record"} 2`,
+		`journal_pending 5`,
+		`garbage_ratio 0.25`,
+		`op_seconds_bucket{le="0.001"} 1`,
+		`op_seconds_bucket{le="0.01"} 2`,
+		`op_seconds_bucket{le="+Inf"} 3`,
+		`op_seconds_count 3`,
+		"# TYPE op_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be `name value` with a parseable value.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("counter identity not stable")
+	}
+	if r.Histogram("h", nil) != r.Histogram("h", SizeBuckets) {
+		t.Fatal("histogram identity not stable")
+	}
+	if r.Tracer() != r.Tracer() {
+		t.Fatal("tracer identity not stable")
+	}
+}

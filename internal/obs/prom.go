@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Export pairs a registry with extra labels to inject into every
+// sample it contributes, e.g. Labels `shard="0"` distinguishes the
+// per-shard store registries a router-backed service renders together.
+type Export struct {
+	// Labels is a raw label list without braces, e.g. `shard="0"`.
+	// Empty means no extra labels.
+	Labels string
+	Reg    *Registry
+}
+
+// WritePrometheus renders the given registries in the Prometheus text
+// exposition format (version 0.0.4). Metric names may embed labels
+// (`name{action="record"}`); extra Export labels are merged in. Each
+// family's TYPE comment is emitted exactly once even when several
+// registries contribute samples to it, and output is sorted for stable
+// scrapes.
+func WritePrometheus(w io.Writer, exports ...Export) error {
+	type sample struct {
+		name   string // full series name with label set
+		value  string
+		family string
+		typ    string // counter | gauge | histogram
+		// sortName is the series identity without the le label, and
+		// order the bucket bound — so one histogram's buckets render in
+		// ascending-bound order (as the reference clients do) instead of
+		// the lexical order of their formatted le values.
+		sortName string
+		order    float64
+	}
+	var samples []sample
+
+	addLabels := func(name, extra string) string {
+		if extra == "" {
+			return name
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			// name{a="b"} + extra -> name{extra,a="b"}
+			return name[:i] + "{" + extra + "," + name[i+1:]
+		}
+		return name + "{" + extra + "}"
+	}
+	familyOf := func(name string) string {
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			return name[:i]
+		}
+		return name
+	}
+
+	for _, e := range exports {
+		if e.Reg == nil {
+			continue
+		}
+		for name, v := range e.Reg.CounterSnapshot() {
+			full := addLabels(name, e.Labels)
+			samples = append(samples, sample{name: full, value: strconv.FormatInt(v, 10), family: familyOf(name), typ: "counter", sortName: full})
+		}
+		e.Reg.mu.Lock()
+		gauges := make(map[string]int64, len(e.Reg.gauges))
+		for name, g := range e.Reg.gauges {
+			gauges[name] = g.Load()
+		}
+		funcs := make(map[string]func() float64, len(e.Reg.gaugeFuncs))
+		for name, fn := range e.Reg.gaugeFuncs {
+			funcs[name] = fn
+		}
+		e.Reg.mu.Unlock()
+		for name, v := range gauges {
+			full := addLabels(name, e.Labels)
+			samples = append(samples, sample{name: full, value: strconv.FormatInt(v, 10), family: familyOf(name), typ: "gauge", sortName: full})
+		}
+		// Gauge funcs run outside the registry lock: they may call back
+		// into arbitrary store code.
+		for name, fn := range funcs {
+			full := addLabels(name, e.Labels)
+			samples = append(samples, sample{name: full, value: formatFloat(fn()), family: familyOf(name), typ: "gauge", sortName: full})
+		}
+		for name, snap := range e.Reg.HistogramSnapshots() {
+			fam := familyOf(name)
+			bucketSort := insertSuffix(addLabels(name, e.Labels), fam, "_bucket")
+			var cum int64
+			for i, bound := range snap.Bounds {
+				cum += snap.Counts[i]
+				series := addLabels(withLabel(name, `le="`+formatFloat(bound)+`"`), e.Labels)
+				samples = append(samples, sample{name: insertSuffix(series, fam, "_bucket"), value: strconv.FormatInt(cum, 10), family: fam, typ: "histogram", sortName: bucketSort, order: bound})
+			}
+			inf := addLabels(withLabel(name, `le="+Inf"`), e.Labels)
+			samples = append(samples, sample{name: insertSuffix(inf, fam, "_bucket"), value: strconv.FormatInt(snap.Count, 10), family: fam, typ: "histogram", sortName: bucketSort, order: math.Inf(1)})
+			sum := insertSuffix(addLabels(name, e.Labels), fam, "_sum")
+			samples = append(samples, sample{name: sum, value: formatFloat(snap.Sum), family: fam, typ: "histogram", sortName: sum})
+			cnt := insertSuffix(addLabels(name, e.Labels), fam, "_count")
+			samples = append(samples, sample{name: cnt, value: strconv.FormatInt(snap.Count, 10), family: fam, typ: "histogram", sortName: cnt})
+		}
+	}
+
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].family != samples[j].family {
+			return samples[i].family < samples[j].family
+		}
+		if samples[i].sortName != samples[j].sortName {
+			return samples[i].sortName < samples[j].sortName
+		}
+		return samples[i].order < samples[j].order
+	})
+
+	lastFamily := ""
+	for _, s := range samples {
+		if s.family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.family, s.typ); err != nil {
+				return err
+			}
+			lastFamily = s.family
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.name, s.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withLabel appends one label to a possibly already-labelled name.
+func withLabel(name, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// insertSuffix turns `family{labels}` into `family<suffix>{labels}`
+// (or appends the suffix when the series has no labels). fam is the
+// bare family name the series was built from.
+func insertSuffix(series, fam, suffix string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return fam + suffix + series[i:]
+	}
+	return fam + suffix
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

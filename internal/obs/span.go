@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanRing is the default capacity of a tracer's recent-span
+// ring and of its slow-operation log.
+const DefaultSpanRing = 128
+
+// DefaultSlowThreshold is the duration above which a finished span is
+// copied into the slow log.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// Attr is one span attribute. Values are pre-rendered strings so the
+// ring holds no live references into the operation that produced it.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span records one operation: name, start, duration, error tag,
+// attributes, and linkage to a parent span. All methods are nil-safe —
+// a disabled tracer returns nil spans and the instrumented code runs
+// with zero timing overhead (no time.Now, no allocation).
+type Span struct {
+	tracer   *Tracer
+	id       uint64
+	parentID uint64
+	op       string
+	start    time.Time
+	duration time.Duration
+	errMsg   string
+	attrs    []Attr
+	done     bool
+}
+
+// Op returns the operation name ("" on a nil span).
+func (s *Span) Op() string {
+	if s == nil {
+		return ""
+	}
+	return s.op
+}
+
+// ID returns the span's tracer-unique id (0 on a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// ParentID returns the parent span's id, or 0 for a root span.
+func (s *Span) ParentID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.parentID
+}
+
+// Start returns the span's start time (zero on a nil span).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns the measured duration; before End it returns the
+// elapsed time so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.done {
+		return s.duration
+	}
+	return time.Since(s.start)
+}
+
+// Err returns the error message recorded at End ("" if none).
+func (s *Span) Err() string {
+	if s == nil {
+		return ""
+	}
+	return s.errMsg
+}
+
+// Attrs returns the span's attributes (nil on a nil span).
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	return s.attrs
+}
+
+// SetAttr appends one attribute. Spans are operation-local (owned by
+// one goroutine until End), so this needs no locking.
+func (s *Span) SetAttr(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// End finishes the span, tagging it with err (may be nil), and
+// publishes it to the tracer's ring and, if slow enough, the slow log.
+func (s *Span) End(err error) {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.duration = time.Since(s.start)
+	if err != nil {
+		s.errMsg = err.Error()
+	}
+	s.tracer.record(s)
+}
+
+// Observe is a convenience for the span-plus-histogram idiom: it Ends
+// the span and records its duration in seconds into h. Both the span
+// and h may be nil.
+func (s *Span) Observe(h *Histogram, err error) {
+	if s != nil {
+		s.End(err)
+		if h != nil {
+			h.Observe(s.duration.Seconds())
+		}
+		return
+	}
+	// Span disabled: nothing was timed, so there is nothing to observe.
+}
+
+// Tracer keeps a bounded ring of recently finished spans and a
+// separate ring of slow ones. Finished spans are copied in under a
+// mutex — End is off the ultra-hot path (it already paid a time.Now),
+// and a mutex keeps snapshotting trivial.
+type Tracer struct {
+	nextID atomic.Uint64
+	slowNS atomic.Int64 // threshold in nanoseconds; <=0 disables the slow log
+
+	mu      sync.Mutex
+	ring    []*Span
+	ringPos int
+	ringLen int
+	slow    []*Span
+	slowPos int
+	slowLen int
+}
+
+// NewTracer returns a tracer whose recent and slow rings hold up to
+// cap spans each (cap <= 0 selects DefaultSpanRing).
+func NewTracer(cap int) *Tracer {
+	if cap <= 0 {
+		cap = DefaultSpanRing
+	}
+	t := &Tracer{ring: make([]*Span, cap), slow: make([]*Span, cap)}
+	t.slowNS.Store(int64(DefaultSlowThreshold))
+	return t
+}
+
+// SetSlowThreshold sets the duration at or above which finished spans
+// are kept in the slow log; zero or negative disables slow capture.
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNS.Store(int64(d)) }
+
+// SlowThreshold returns the current slow-capture threshold.
+func (t *Tracer) SlowThreshold() time.Duration { return time.Duration(t.slowNS.Load()) }
+
+// StartSpan begins a span named op. It returns nil while
+// instrumentation is disabled; all Span methods tolerate nil.
+func (t *Tracer) StartSpan(op string) *Span {
+	return t.StartChild(op, nil)
+}
+
+// StartChild begins a span linked to parent (which may be nil for a
+// root span, or a nil span from a disabled period).
+func (t *Tracer) StartChild(op string, parent *Span) *Span {
+	if t == nil || !enabled.Load() {
+		return nil
+	}
+	s := &Span{tracer: t, id: t.nextID.Add(1), op: op, start: time.Now()}
+	if parent != nil {
+		s.parentID = parent.id
+	}
+	return s
+}
+
+func (t *Tracer) record(s *Span) {
+	slowNS := t.slowNS.Load()
+	isSlow := slowNS > 0 && int64(s.duration) >= slowNS
+	t.mu.Lock()
+	t.ring[t.ringPos] = s
+	t.ringPos = (t.ringPos + 1) % len(t.ring)
+	if t.ringLen < len(t.ring) {
+		t.ringLen++
+	}
+	if isSlow {
+		t.slow[t.slowPos] = s
+		t.slowPos = (t.slowPos + 1) % len(t.slow)
+		if t.slowLen < len(t.slow) {
+			t.slowLen++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the finished spans currently in the ring, oldest
+// first. The returned slice is freshly allocated.
+func (t *Tracer) Recent() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyRing(t.ring, t.ringPos, t.ringLen)
+}
+
+// Slow returns the spans currently in the slow log, oldest first.
+func (t *Tracer) Slow() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyRing(t.slow, t.slowPos, t.slowLen)
+}
+
+func copyRing(ring []*Span, pos, n int) []*Span {
+	out := make([]*Span, 0, n)
+	start := pos - n
+	if start < 0 {
+		start += len(ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, ring[(start+i)%len(ring)])
+	}
+	return out
+}

@@ -45,6 +45,12 @@ const (
 	// The server also schedules compaction itself when the backend's
 	// garbage ratio crosses its threshold after a delete.
 	ActionCompact = "urn:prep:compact"
+	// ActionStats returns the store's telemetry: service counters,
+	// per-shard engine statistics, garbage/tombstone state, latency
+	// histogram snapshots and recent slow operations. This is what lets
+	// a router aggregate real numbers from remote shards instead of
+	// zeros, and what `provq stats` renders.
+	ActionStats = "urn:prep:stats"
 )
 
 // RecordRequest submits p-assertions to the store. All records must be
@@ -367,4 +373,94 @@ type CountResponse struct {
 	Records      int      `xml:"records"`
 	Interactions int      `xml:"interactions"`
 	ActorStates  int      `xml:"actorStates"`
+}
+
+// StatsRequest asks for the store's full telemetry snapshot.
+type StatsRequest struct {
+	XMLName xml.Name `xml:"StatsRequest"`
+}
+
+// EngineCounters is the wire form of a query engine's cumulative
+// planner and cache telemetry (shard.EngineStats). For a sharded
+// store these are sums over the shards.
+type EngineCounters struct {
+	CacheHits         int64 `xml:"cacheHits"`
+	CacheMisses       int64 `xml:"cacheMisses"`
+	IndexPlans        int64 `xml:"indexPlans"`
+	ScanPlans         int64 `xml:"scanPlans"`
+	PagedQueries      int64 `xml:"pagedQueries"`
+	CostProbes        int64 `xml:"costProbes"`
+	PostingsRead      int64 `xml:"postingsRead"`
+	CandidatesFetched int64 `xml:"candidatesFetched"`
+}
+
+// HistogramStat is one latency or size distribution, summarised: total
+// observations, their sum (seconds for *_seconds histograms, raw units
+// otherwise) and interpolated percentiles.
+type HistogramStat struct {
+	Name  string  `xml:"name"`
+	Count int64   `xml:"count"`
+	Sum   float64 `xml:"sum"`
+	P50   float64 `xml:"p50"`
+	P95   float64 `xml:"p95"`
+	P99   float64 `xml:"p99"`
+}
+
+// SpanAttr is one attribute of a recorded span.
+type SpanAttr struct {
+	Key   string `xml:"key"`
+	Value string `xml:"value"`
+}
+
+// SlowSpan is one slow operation from the tracer's slow log — for a
+// slow query the attributes carry the executed plan (strategy, dim
+// cardinalities, estimated versus actual candidates).
+type SlowSpan struct {
+	Op      string     `xml:"op"`
+	Start   time.Time  `xml:"start"`
+	Seconds float64    `xml:"seconds"`
+	Err     string     `xml:"err,omitempty"`
+	Attrs   []SpanAttr `xml:"attr,omitempty"`
+}
+
+// ShardStats is one shard's telemetry: record count, garbage state,
+// engine counters, histogram summaries and recent slow operations.
+// URL is set for remote shards, empty for local ones.
+type ShardStats struct {
+	Index        int             `xml:"index"`
+	URL          string          `xml:"url,omitempty"`
+	Records      int             `xml:"records"`
+	GarbageRatio float64         `xml:"garbageRatio"`
+	Tombstones   int64           `xml:"tombstones"`
+	Engine       EngineCounters  `xml:"engine"`
+	Histograms   []HistogramStat `xml:"histogram,omitempty"`
+	Slow         []SlowSpan      `xml:"slow,omitempty"`
+}
+
+// StatsResponse is the urn:prep:stats reply: the service's request
+// counters, whole-store aggregates (sums/weighted averages over the
+// shards, directly consumable by a parent router treating this store
+// as one shard), and the per-shard breakdown.
+type StatsResponse struct {
+	XMLName xml.Name `xml:"StatsResponse"`
+
+	// Service-level request accounting (one consistent snapshot).
+	RecordRequests  int64 `xml:"recordRequests"`
+	RecordsAccepted int64 `xml:"recordsAccepted"`
+	QueryRequests   int64 `xml:"queryRequests"`
+	DeleteRequests  int64 `xml:"deleteRequests"`
+	RecordsDeleted  int64 `xml:"recordsDeleted"`
+	Compactions     int64 `xml:"compactions"`
+
+	// Whole-store aggregates.
+	Records      int            `xml:"records"`
+	NumShards    int            `xml:"numShards"`
+	GarbageRatio float64        `xml:"garbageRatio"`
+	Tombstones   int64          `xml:"tombstones"`
+	Engine       EngineCounters `xml:"engine"`
+
+	// Per-shard breakdown plus the service's own request histograms.
+	Shards     []ShardStats    `xml:"shard,omitempty"`
+	Histograms []HistogramStat `xml:"histogram,omitempty"`
+	Slow       []SlowSpan      `xml:"slow,omitempty"`
 }

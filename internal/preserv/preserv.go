@@ -14,12 +14,15 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"preserv/internal/core"
 	"preserv/internal/ids"
+	"preserv/internal/obs"
 	"preserv/internal/prep"
 	"preserv/internal/shard"
 	"preserv/internal/soap"
@@ -78,21 +81,39 @@ type StorePlugIn struct {
 	// zero value) means DefaultCompactRatio; negative disables
 	// automatic compaction (explicit ActionCompact still works).
 	compactRatio atomic.Uint64
-	// recordsAccepted counts accepted p-assertions for monitoring.
-	recordsAccepted atomic.Int64
-	requests        atomic.Int64
-	// deleteRequests / recordsDeleted / compactions are the deletion
-	// lifecycle's counters.
-	deleteRequests atomic.Int64
-	recordsDeleted atomic.Int64
-	compactions    atomic.Int64
+	// Request accounting lives in the service registry so one
+	// CounterSnapshot sees every counter at a single point in time, and
+	// related counters (a request plus the records it accepted) update
+	// atomically with respect to that snapshot via reg.Batch — the
+	// field-by-field reads the old per-plugin atomics allowed could
+	// tear (requests incremented at entry, accepted at completion).
+	reg             *obs.Registry
+	requests        *obs.Counter
+	recordsAccepted *obs.Counter
+	deleteRequests  *obs.Counter
+	recordsDeleted  *obs.Counter
+	compactions     *obs.Counter
 	// compactMu serialises compactions: concurrent deletes must not pile
 	// up rewrites of the same log.
 	compactMu sync.Mutex
 }
 
-// NewStorePlugIn returns a store plug-in over p.
-func NewStorePlugIn(p Provenance) *StorePlugIn { return &StorePlugIn{prov: p} }
+// NewStorePlugIn returns a store plug-in over p, accounting into reg
+// (nil creates a private registry).
+func NewStorePlugIn(p Provenance, reg *obs.Registry) *StorePlugIn {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &StorePlugIn{
+		prov:            p,
+		reg:             reg,
+		requests:        reg.Counter("preserv_record_requests_total"),
+		recordsAccepted: reg.Counter("preserv_records_accepted_total"),
+		deleteRequests:  reg.Counter("preserv_delete_requests_total"),
+		recordsDeleted:  reg.Counter("preserv_records_deleted_total"),
+		compactions:     reg.Counter("preserv_compactions_total"),
+	}
+}
 
 // SetCompactRatio atomically replaces the garbage-ratio threshold for
 // delete-triggered compaction (zero restores DefaultCompactRatio,
@@ -119,50 +140,55 @@ func (p *StorePlugIn) Actions() []string {
 func (p *StorePlugIn) Handle(action string, body []byte) (interface{}, error) {
 	switch action {
 	case prep.ActionRecord:
-		p.requests.Add(1)
 		var req prep.RecordRequest
 		if err := xml.Unmarshal(body, &req); err != nil {
+			p.requests.Add(1)
 			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad record request: " + err.Error()}
 		}
 		accepted, rejects, err := p.prov.Record(req.Asserter, req.Records)
 		if err != nil {
+			p.requests.Add(1)
 			return nil, err
 		}
-		p.recordsAccepted.Add(int64(accepted))
+		// The request and its accepted count land together: a stats
+		// snapshot sees both or neither, never a request whose records
+		// are still unaccounted.
+		p.reg.Batch(func() {
+			p.requests.Add(1)
+			p.recordsAccepted.Add(int64(accepted))
+		})
 		return &prep.RecordResponse{Accepted: accepted, Rejects: rejects}, nil
 	case prep.ActionDelete:
-		p.deleteRequests.Add(1)
 		var req prep.DeleteRequest
 		if err := xml.Unmarshal(body, &req); err != nil {
+			p.deleteRequests.Add(1)
 			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad delete request: " + err.Error()}
 		}
 		if err := req.Validate(); err != nil {
+			p.deleteRequests.Add(1)
 			return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: err.Error()}
 		}
 		deleted := 0
+		var derr error
 		switch {
 		case req.StorageKey != "":
-			ok, err := p.prov.DeleteRecord(req.StorageKey)
-			if err != nil {
-				return nil, err
-			}
+			var ok bool
+			ok, derr = p.prov.DeleteRecord(req.StorageKey)
 			if ok {
 				deleted = 1
 			}
 		case len(req.StorageKeys) > 0:
-			n, err := p.prov.DeleteRecords(req.StorageKeys)
-			if err != nil {
-				return nil, err
-			}
-			deleted = n
+			deleted, derr = p.prov.DeleteRecords(req.StorageKeys)
 		default:
-			n, err := p.prov.DeleteSession(req.SessionID)
-			if err != nil {
-				return nil, err
-			}
-			deleted = n
+			deleted, derr = p.prov.DeleteSession(req.SessionID)
 		}
-		p.recordsDeleted.Add(int64(deleted))
+		p.reg.Batch(func() {
+			p.deleteRequests.Add(1)
+			p.recordsDeleted.Add(int64(deleted))
+		})
+		if derr != nil {
+			return nil, derr
+		}
 		resp := &prep.DeleteResponse{Deleted: deleted}
 		if deleted > 0 {
 			// A failed scheduled compaction must not mask the delete,
@@ -224,15 +250,19 @@ func (p *StorePlugIn) maybeCompact() (bool, error) {
 // and counts.
 type QueryPlugIn struct {
 	prov     Provenance
-	requests atomic.Int64
+	requests *obs.Counter
 }
 
-// NewQueryPlugIn returns a query plug-in over p. Planned-query actions
-// run through p's query planner (secondary indexes plus a result cache,
-// fanned out and merged when p is a shard router); the plain query
-// action keeps the scan path the paper measures.
-func NewQueryPlugIn(p Provenance) *QueryPlugIn {
-	return &QueryPlugIn{prov: p}
+// NewQueryPlugIn returns a query plug-in over p, accounting into reg
+// (nil creates a private registry). Planned-query actions run through
+// p's query planner (secondary indexes plus a result cache, fanned out
+// and merged when p is a shard router); the plain query action keeps
+// the scan path the paper measures.
+func NewQueryPlugIn(p Provenance, reg *obs.Registry) *QueryPlugIn {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &QueryPlugIn{prov: p, requests: reg.Counter("preserv_query_requests_total")}
 }
 
 // Actions implements soap.Handler.
@@ -296,6 +326,58 @@ func (p *QueryPlugIn) Handle(action string, body []byte) (interface{}, error) {
 	return nil, &soap.Fault{Code: soap.FaultBadAction, Message: action}
 }
 
+// StatsPlugIn handles prep.ActionStats: the wire window onto the
+// service's telemetry. It is what closes the remote-shard gap — a
+// router fronting this endpoint as a RemoteShard polls it for the
+// garbage ratio, tombstones and engine counters the base wire protocol
+// never carried.
+type StatsPlugIn struct {
+	svc *Service
+}
+
+// Actions implements soap.Handler.
+func (p *StatsPlugIn) Actions() []string { return []string{prep.ActionStats} }
+
+// Handle implements soap.Handler.
+func (p *StatsPlugIn) Handle(action string, body []byte) (interface{}, error) {
+	var req prep.StatsRequest
+	if err := xml.Unmarshal(body, &req); err != nil {
+		return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad stats request: " + err.Error()}
+	}
+	return p.svc.StatsResponse()
+}
+
+// timedHandler wraps a plug-in, timing every request into a per-action
+// latency histogram and span. The histograms are resolved per action
+// at construction, so serving a request costs no registry lookup.
+type timedHandler struct {
+	inner soap.Handler
+	reg   *obs.Registry
+	hists map[string]*obs.Histogram
+}
+
+func newTimedHandler(inner soap.Handler, reg *obs.Registry) *timedHandler {
+	th := &timedHandler{inner: inner, reg: reg, hists: make(map[string]*obs.Histogram)}
+	for _, a := range inner.Actions() {
+		th.hists[a] = reg.Histogram(fmt.Sprintf(`preserv_request_seconds{action=%q}`, actionShort(a)), nil)
+	}
+	return th
+}
+
+// actionShort strips the URI prefix: "urn:prep:record" -> "record".
+func actionShort(action string) string { return strings.TrimPrefix(action, "urn:prep:") }
+
+// Actions implements soap.Handler.
+func (th *timedHandler) Actions() []string { return th.inner.Actions() }
+
+// Handle implements soap.Handler.
+func (th *timedHandler) Handle(action string, body []byte) (interface{}, error) {
+	span := th.reg.Tracer().StartSpan("preserv." + actionShort(action))
+	reply, err := th.inner.Handle(action, body)
+	span.Observe(th.hists[action], err)
+	return reply, err
+}
+
 // Stats summarises service activity.
 type Stats struct {
 	RecordRequests  int64
@@ -343,9 +425,13 @@ type Service struct {
 	Store   *store.Store
 	prov    Provenance
 	shards  int
+	reg     *obs.Registry
 	storeP  *StorePlugIn
 	queryP  *QueryPlugIn
 	handler http.Handler
+	// pprofOn gates the /debug/pprof handlers Serve wires up; set it
+	// via EnablePprof before Serve.
+	pprofOn atomic.Bool
 }
 
 // NewService assembles a PReServ service over the given store.
@@ -365,16 +451,33 @@ func NewShardedService(rt *shard.Router) *Service {
 }
 
 func newService(p Provenance, shards int) *Service {
-	sp := NewStorePlugIn(p)
-	qp := NewQueryPlugIn(p)
-	return &Service{
-		prov:    p,
-		shards:  shards,
-		storeP:  sp,
-		queryP:  qp,
-		handler: soap.NewHTTPHandler(sp, qp),
+	reg := obs.NewRegistry()
+	sp := NewStorePlugIn(p, reg)
+	qp := NewQueryPlugIn(p, reg)
+	svc := &Service{
+		prov:   p,
+		shards: shards,
+		reg:    reg,
+		storeP: sp,
+		queryP: qp,
 	}
+	svc.handler = soap.NewHTTPHandler(
+		newTimedHandler(sp, reg),
+		newTimedHandler(qp, reg),
+		newTimedHandler(&StatsPlugIn{svc: svc}, reg),
+	)
+	return svc
 }
+
+// Obs returns the service's telemetry registry (request counters and
+// per-action latency histograms; store/router registries live with
+// their owners).
+func (svc *Service) Obs() *obs.Registry { return svc.reg }
+
+// EnablePprof makes Serve expose net/http/pprof under /debug/pprof on
+// this service's listener. Off by default: profiling endpoints leak
+// internals and belong behind an explicit operator decision.
+func (svc *Service) EnablePprof() { svc.pprofOn.Store(true) }
 
 // Provenance returns the store surface the service serves (the store's
 // shard.Local wrapper, or the shard router).
@@ -388,13 +491,18 @@ func (svc *Service) Handler() http.Handler { return svc.handler }
 // the threshold is stored atomically and picked up by the next delete.
 func (svc *Service) SetCompactRatio(r float64) { svc.storeP.SetCompactRatio(r) }
 
-// Stats returns a snapshot of service counters.
+// Stats returns a snapshot of service counters. The request counters
+// come from one registry snapshot, so the returned struct is
+// internally consistent — a record request and the records it accepted
+// appear together or not at all, where the old field-by-field atomic
+// loads could tear between them.
 func (svc *Service) Stats() Stats {
+	counters := svc.reg.CounterSnapshot()
 	es := svc.prov.EngineStats()
 	return Stats{
-		RecordRequests:         svc.storeP.requests.Load(),
-		RecordsAccepted:        svc.storeP.recordsAccepted.Load(),
-		QueryRequests:          svc.queryP.requests.Load(),
+		RecordRequests:         counters["preserv_record_requests_total"],
+		RecordsAccepted:        counters["preserv_records_accepted_total"],
+		QueryRequests:          counters["preserv_query_requests_total"],
 		QueryCacheHits:         es.CacheHits,
 		QueryCacheMisses:       es.CacheMisses,
 		QueryIndexPlans:        es.IndexPlans,
@@ -403,13 +511,92 @@ func (svc *Service) Stats() Stats {
 		QueryCostProbes:        es.CostProbes,
 		QueryPostingsRead:      es.PostingsRead,
 		QueryCandidatesFetched: es.CandidatesFetched,
-		DeleteRequests:         svc.storeP.deleteRequests.Load(),
-		RecordsDeleted:         svc.storeP.recordsDeleted.Load(),
-		Compactions:            svc.storeP.compactions.Load(),
+		DeleteRequests:         counters["preserv_delete_requests_total"],
+		RecordsDeleted:         counters["preserv_records_deleted_total"],
+		Compactions:            counters["preserv_compactions_total"],
 		Tombstones:             svc.prov.Tombstones(),
 		GarbageRatio:           svc.prov.GarbageRatio(),
 		Shards:                 svc.shards,
 	}
+}
+
+// StatsResponse assembles the urn:prep:stats reply: one consistent
+// counter snapshot, whole-store aggregates, the per-shard breakdown
+// (local shards report in full; remote shards are polled over the
+// wire), and the service's own request histograms and slow log.
+func (svc *Service) StatsResponse() (*prep.StatsResponse, error) {
+	counters := svc.reg.CounterSnapshot()
+	count, err := svc.prov.Count()
+	if err != nil {
+		return nil, err
+	}
+	resp := &prep.StatsResponse{
+		RecordRequests:  counters["preserv_record_requests_total"],
+		RecordsAccepted: counters["preserv_records_accepted_total"],
+		QueryRequests:   counters["preserv_query_requests_total"],
+		DeleteRequests:  counters["preserv_delete_requests_total"],
+		RecordsDeleted:  counters["preserv_records_deleted_total"],
+		Compactions:     counters["preserv_compactions_total"],
+		Records:         count.Records,
+		NumShards:       svc.shards,
+		GarbageRatio:    svc.prov.GarbageRatio(),
+		Tombstones:      svc.prov.Tombstones(),
+		Engine:          svc.prov.EngineStats().Wire(),
+		Histograms:      shard.HistogramStats(svc.reg),
+		Slow:            shard.SlowSpans(svc.reg.Tracer()),
+	}
+	switch p := svc.prov.(type) {
+	case interface {
+		ShardStats() ([]prep.ShardStats, error)
+	}:
+		shards, err := p.ShardStats()
+		if err != nil {
+			return nil, err
+		}
+		resp.Shards = shards
+	case shard.ShardStatser:
+		st, err := p.ShardStats()
+		if err != nil {
+			return nil, err
+		}
+		resp.Shards = []prep.ShardStats{st}
+	}
+	if rt, ok := svc.prov.(*shard.Router); ok {
+		// The router's own instruments (fan-out latency, merge width,
+		// drain counters) belong to no single shard: report them at the
+		// top level next to the service's request histograms.
+		resp.Histograms = append(resp.Histograms, shard.HistogramStats(rt.Obs())...)
+		resp.Slow = append(resp.Slow, shard.SlowSpans(rt.Obs().Tracer())...)
+	}
+	return resp, nil
+}
+
+// MetricsHandler serves the service's telemetry in the Prometheus text
+// exposition format: the service registry (request counters and
+// per-action latency), plus the store registry of a single-store
+// service — or, fronting a router, the router registry and every
+// embedded shard's store registry labelled shard="i". Remote shards
+// export their own /metrics.
+func (svc *Service) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		exports := []obs.Export{{Reg: svc.reg}}
+		switch p := svc.prov.(type) {
+		case *shard.Local:
+			exports = append(exports, obs.Export{Reg: p.Store().Obs()})
+		case *shard.Router:
+			exports = append(exports, obs.Export{Reg: p.Obs()})
+			for i := 0; i < p.NumShards(); i++ {
+				if l, ok := p.Shard(i).(*shard.Local); ok {
+					exports = append(exports, obs.Export{
+						Labels: fmt.Sprintf(`shard="%d"`, i),
+						Reg:    l.Store().Obs(),
+					})
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, exports...)
+	})
 }
 
 // DefaultDrainTimeout is how long Server.Close waits for in-flight
@@ -429,16 +616,29 @@ type Server struct {
 }
 
 // Serve starts serving svc on addr (use "127.0.0.1:0" to pick a free
-// port). It returns once the listener is active.
+// port). It returns once the listener is active. Besides the PReP
+// endpoint at "/", the server exposes the service's telemetry at
+// "/metrics" (Prometheus text format) and — only when EnablePprof was
+// called — the net/http/pprof handlers under "/debug/pprof/".
 func Serve(svc *Service, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("preserv: listening on %s: %w", addr, err)
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.Handle("/metrics", svc.MetricsHandler())
+	if svc.pprofOn.Load() {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &Server{
 		URL:     "http://" + ln.Addr().String(),
 		ln:      ln,
-		httpSrv: &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second},
+		httpSrv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
 		done:    make(chan struct{}),
 	}
 	go func() {
@@ -619,4 +819,15 @@ func (c *Client) Count() (prep.CountResponse, error) {
 		return prep.CountResponse{}, fmt.Errorf("preserv: count: %w", err)
 	}
 	return resp, nil
+}
+
+// StoreStats retrieves the endpoint's full telemetry snapshot via
+// urn:prep:stats: request counters, garbage state, engine counters,
+// per-shard breakdown, histogram summaries and the slow-operation log.
+func (c *Client) StoreStats() (*prep.StatsResponse, error) {
+	var resp prep.StatsResponse
+	if err := soap.Post(c.hc, c.url, prep.ActionStats, &prep.StatsRequest{}, &resp); err != nil {
+		return nil, fmt.Errorf("preserv: stats: %w", err)
+	}
+	return &resp, nil
 }

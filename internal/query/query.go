@@ -27,6 +27,7 @@ import (
 	"preserv/internal/core"
 	"preserv/internal/ids"
 	"preserv/internal/index"
+	"preserv/internal/obs"
 	"preserv/internal/prep"
 	"preserv/internal/store"
 )
@@ -47,6 +48,13 @@ type Engine struct {
 	s     *store.Store
 	cache *resultCache
 	stats plannerCounters
+	// Latency and postings-volume distributions live in the store's
+	// registry, so one registry carries a shard's complete telemetry.
+	// The cumulative plannerCounters above remain the EngineStats
+	// contract; the histograms add the distribution view.
+	plannedSec  *obs.Histogram
+	pageSec     *obs.Histogram
+	postingsPer *obs.Histogram
 }
 
 // New returns an engine over s with the default result cache.
@@ -55,7 +63,14 @@ func New(s *store.Store) *Engine { return NewSized(s, DefaultCacheSize) }
 // NewSized returns an engine with a result cache of the given capacity;
 // zero or negative disables caching.
 func NewSized(s *store.Store, cacheSize int) *Engine {
-	return &Engine{s: s, cache: newResultCache(cacheSize)}
+	reg := s.Obs()
+	return &Engine{
+		s:           s,
+		cache:       newResultCache(cacheSize),
+		plannedSec:  reg.Histogram("query_planned_seconds", nil),
+		pageSec:     reg.Histogram("query_page_seconds", nil),
+		postingsPer: reg.Histogram("query_postings_read", obs.SizeBuckets),
+	}
 }
 
 // Store returns the engine's underlying store.
@@ -195,6 +210,15 @@ func (e *Engine) planDims(ix *index.Index, q *prep.Query) ([]dimRef, error) {
 // reports the plan it used. Results are identical to store.Query: same
 // records, same storage-key order, same Total/Limit semantics.
 func (e *Engine) Query(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error) {
+	span := e.s.Obs().Tracer().StartSpan("query.planned")
+	recs, total, plan, err := e.query(q)
+	annotatePlan(span, plan)
+	e.observePlan(plan)
+	span.Observe(e.plannedSec, err)
+	return recs, total, plan, err
+}
+
+func (e *Engine) query(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, 0, nil, err
 	}
@@ -248,6 +272,15 @@ func (e *Engine) run(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error)
 // beyond it are never visited — so no total is reported and q.Limit is
 // ignored. Pages are not cached: each one is cheap by construction.
 func (e *Engine) QueryPage(q *prep.Query, after string, pageSize int) ([]core.Record, string, bool, *prep.QueryPlan, error) {
+	span := e.s.Obs().Tracer().StartSpan("query.page")
+	recs, next, done, plan, err := e.queryPage(q, after, pageSize)
+	annotatePlan(span, plan)
+	e.observePlan(plan)
+	span.Observe(e.pageSec, err)
+	return recs, next, done, plan, err
+}
+
+func (e *Engine) queryPage(q *prep.Query, after string, pageSize int) ([]core.Record, string, bool, *prep.QueryPlan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, "", false, nil, err
 	}
@@ -292,6 +325,40 @@ func (e *Engine) noteIndexPlan(plan *prep.QueryPlan) {
 	e.stats.indexPlans.Add(1)
 	e.stats.postingsRead.Add(int64(plan.Postings))
 	e.stats.candidatesFetched.Add(int64(plan.Candidates))
+}
+
+// annotatePlan copies the executed plan onto the query's span, so a
+// span that lands in the slow log carries the evidence needed to
+// explain it: which strategy ran, the measured dimension
+// cardinalities, and how far the cost estimate missed the actual
+// candidate count.
+func annotatePlan(span *obs.Span, plan *prep.QueryPlan) {
+	if span == nil || plan == nil {
+		return
+	}
+	span.SetAttr("strategy", string(plan.Strategy))
+	if len(plan.Dims) > 0 {
+		span.SetAttr("dims", strings.Join(plan.Dims, ","))
+		counts := make([]string, len(plan.DimCounts))
+		for i, c := range plan.DimCounts {
+			counts[i] = fmt.Sprint(c)
+		}
+		span.SetAttr("dim_counts", strings.Join(counts, ","))
+	}
+	span.SetAttr("est_candidates", fmt.Sprint(plan.EstCandidates))
+	span.SetAttr("candidates", fmt.Sprint(plan.Candidates))
+	span.SetAttr("postings", fmt.Sprint(plan.Postings))
+	if plan.Cached {
+		span.SetAttr("cached", "true")
+	}
+}
+
+// observePlan records the per-query postings volume distribution.
+func (e *Engine) observePlan(plan *prep.QueryPlan) {
+	if plan == nil || plan.Cached {
+		return
+	}
+	e.postingsPer.Observe(float64(plan.Postings))
 }
 
 // execOpts shapes one streaming execution.

@@ -12,6 +12,7 @@ import (
 
 	"preserv/internal/core"
 	"preserv/internal/ids"
+	"preserv/internal/obs"
 	"preserv/internal/prep"
 	"preserv/internal/query"
 )
@@ -43,6 +44,15 @@ type Router struct {
 	fp string
 	// drainMu serialises drains: one rebalance at a time.
 	drainMu sync.Mutex
+	// reg is the router's own telemetry: per-shard fan-out latency
+	// (fanoutSec[i], resolved at construction so the hot path never
+	// touches the registry map), k-way-merge width, and drain progress
+	// counters. Per-shard store registries stay with their shards.
+	reg        *obs.Registry
+	fanoutSec  []*obs.Histogram
+	mergeWidth *obs.Histogram
+	drainPages *obs.Counter
+	drainMoved *obs.Counter
 	// moveMu fences router-level deletions AND read fan-outs against a
 	// drain's page cycle. Drain holds it exclusively from reading a
 	// page off the source until that page's copies and source deletions
@@ -69,8 +79,19 @@ func NewRouter(shards ...Shard) (*Router, error) {
 	for i := range active {
 		active[i] = true
 	}
-	return &Router{shards: shards, active: active, fp: fingerprint(shards)}, nil
+	rt := &Router{shards: shards, active: active, fp: fingerprint(shards), reg: obs.NewRegistry()}
+	rt.fanoutSec = make([]*obs.Histogram, len(shards))
+	for i := range shards {
+		rt.fanoutSec[i] = rt.reg.Histogram(fmt.Sprintf(`router_shard_fanout_seconds{shard="%d"}`, i), nil)
+	}
+	rt.mergeWidth = rt.reg.Histogram("router_merge_width", obs.SizeBuckets)
+	rt.drainPages = rt.reg.Counter("router_drain_pages_total")
+	rt.drainMoved = rt.reg.Counter("router_drain_records_moved_total")
+	return rt, nil
 }
+
+// Obs returns the router's telemetry registry.
+func (rt *Router) Obs() *obs.Registry { return rt.reg }
 
 // fingerprint hashes the shard list's identity in order: a remote
 // shard contributes its endpoint URL, an embedded one its position
@@ -352,6 +373,18 @@ func (rt *Router) QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPl
 	return recs, total, mergePlans(plans), nil
 }
 
+// observeMergeWidth records how many shards contributed records to a
+// k-way merge — the effective fan-in, as opposed to the topology size.
+func (rt *Router) observeMergeWidth(parts [][]core.Record) {
+	width := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			width++
+		}
+	}
+	rt.mergeWidth.Observe(float64(width))
+}
+
 // mergeQueryResults combines per-shard Query answers under q's Limit.
 // Each shard returned its first Limit matches (or all of them when
 // Limit is 0), so the union's first Limit records are guaranteed to be
@@ -364,6 +397,7 @@ func (rt *Router) mergeQueryResults(q *prep.Query, results []*shardResult) ([]co
 		parts[i] = r.records
 		total += r.total
 	}
+	rt.observeMergeWidth(parts)
 	merged, dupes := mergeRecords(parts, q.Limit)
 	total -= dupes
 	if total < len(merged) {
@@ -511,6 +545,7 @@ func (rt *Router) QueryPage(q *prep.Query, after string, pageSize int) ([]core.R
 	for i, r := range results {
 		parts[i] = r.records
 	}
+	rt.observeMergeWidth(parts)
 	merged, _ := mergeRecords(parts, pageSize)
 
 	// Advance each shard's cursor past its consumed records; a shard
@@ -551,7 +586,9 @@ func (rt *Router) QueryPage(q *prep.Query, after string, pageSize int) ([]core.R
 	return merged, next, done, mergePlans(plans), nil
 }
 
-// fanOut2 is fanOut with the shard index in hand.
+// fanOut2 is fanOut with the shard index in hand. Each shard's leg is
+// timed into its fan-out histogram, so a slow or skewed shard is
+// visible per shard rather than folded into the merged latency.
 func (rt *Router) fanOut2(fn func(i int, s Shard) (*shardResult, error)) ([]*shardResult, error) {
 	results := make([]*shardResult, len(rt.shards))
 	errs := make([]error, len(rt.shards))
@@ -560,7 +597,9 @@ func (rt *Router) fanOut2(fn func(i int, s Shard) (*shardResult, error)) ([]*sha
 		wg.Add(1)
 		go func(i int, s Shard) {
 			defer wg.Done()
+			span := rt.reg.Tracer().StartSpan("router.fanout")
 			results[i], errs[i] = fn(i, s)
+			span.SetAttr("shard", strconv.Itoa(i)).Observe(rt.fanoutSec[i], errs[i])
 		}(i, s)
 	}
 	wg.Wait()
@@ -742,8 +781,54 @@ func (rt *Router) Tombstones() int64 {
 	return sum
 }
 
+// ShardStats reports every shard's telemetry, indexed in topology
+// order. Shards implementing ShardStatser (local shards, and remote
+// shards on a stats-capable server) report in full; others fall back
+// to the base Shard surface. The per-shard calls fan out concurrently
+// — a remote shard's stats cost a wire round trip.
+func (rt *Router) ShardStats() ([]prep.ShardStats, error) {
+	out := make([]prep.ShardStats, len(rt.shards))
+	errs := make([]error, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, s := range rt.shards {
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			var st prep.ShardStats
+			var err error
+			if ss, ok := s.(ShardStatser); ok {
+				st, err = ss.ShardStats()
+			} else {
+				var count prep.CountResponse
+				count, err = s.Count()
+				st = prep.ShardStats{
+					Records:      count.Records,
+					GarbageRatio: s.GarbageRatio(),
+					Tombstones:   s.Tombstones(),
+				}
+				if es, ok := s.(EngineStatser); ok {
+					st.Engine = es.EngineStats().Wire()
+				}
+			}
+			st.Index = i
+			if u, ok := s.(interface{ URL() string }); ok {
+				st.URL = u.URL()
+			}
+			out[i], errs[i] = st, err
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // EngineStats implements EngineStatser by aggregating over the shards
-// that can report (local shards; remote endpoints contribute zero).
+// that can report (local shards, and remote shards via the stats wire
+// action; shards that cannot report contribute zero).
 func (rt *Router) EngineStats() EngineStats {
 	var sum EngineStats
 	for _, s := range rt.shards {
@@ -863,7 +948,9 @@ func (rt *Router) drainPass(i int) (int, error) {
 }
 
 // drainOnePage moves one page: read, copy to survivors, delete source.
-func (rt *Router) drainOnePage(src Shard, i int, after string) ([]core.Record, string, bool, error) {
+func (rt *Router) drainOnePage(src Shard, i int, after string) (_ []core.Record, _ string, _ bool, err error) {
+	span := rt.reg.Tracer().StartSpan("router.drain_page").SetAttr("shard", strconv.Itoa(i))
+	defer func() { span.End(err) }()
 	rt.moveMu.Lock()
 	defer rt.moveMu.Unlock()
 	recs, next, done, _, err := src.QueryPage(&prep.Query{}, after, drainPageSize)
@@ -884,6 +971,10 @@ func (rt *Router) drainOnePage(src Shard, i int, after string) ([]core.Record, s
 	if _, err := src.DeleteRecords(keys); err != nil {
 		return nil, "", false, fmt.Errorf("shard: draining shard %d: deleting moved page: %w", i, err)
 	}
+	rt.reg.Batch(func() {
+		rt.drainPages.Add(1)
+		rt.drainMoved.Add(int64(len(recs)))
+	})
 	return recs, next, done, nil
 }
 

@@ -20,9 +20,11 @@ package shard
 
 import (
 	"hash/fnv"
+	"sort"
 
 	"preserv/internal/core"
 	"preserv/internal/ids"
+	"preserv/internal/obs"
 	"preserv/internal/prep"
 	"preserv/internal/query"
 	"preserv/internal/store"
@@ -92,9 +94,90 @@ func (s *EngineStats) add(o EngineStats) {
 }
 
 // EngineStatser is implemented by shards that can report query-engine
-// telemetry (local shards; the Router aggregates over them).
+// telemetry (local shards, and remote shards via the stats wire
+// action; the Router aggregates over them).
 type EngineStatser interface {
 	EngineStats() EngineStats
+}
+
+// Wire converts the stats to their urn:prep:stats wire form.
+func (s EngineStats) Wire() prep.EngineCounters {
+	return prep.EngineCounters{
+		CacheHits:         s.CacheHits,
+		CacheMisses:       s.CacheMisses,
+		IndexPlans:        s.IndexPlans,
+		ScanPlans:         s.ScanPlans,
+		PagedQueries:      s.PagedQueries,
+		CostProbes:        s.CostProbes,
+		PostingsRead:      s.PostingsRead,
+		CandidatesFetched: s.CandidatesFetched,
+	}
+}
+
+// EngineStatsFromWire converts wire counters back to EngineStats.
+func EngineStatsFromWire(c prep.EngineCounters) EngineStats {
+	return EngineStats{
+		CacheHits:         c.CacheHits,
+		CacheMisses:       c.CacheMisses,
+		IndexPlans:        c.IndexPlans,
+		ScanPlans:         c.ScanPlans,
+		PagedQueries:      c.PagedQueries,
+		CostProbes:        c.CostProbes,
+		PostingsRead:      c.PostingsRead,
+		CandidatesFetched: c.CandidatesFetched,
+	}
+}
+
+// ShardStatser is implemented by shards that can report full telemetry
+// (record counts, garbage state, engine counters, histogram summaries,
+// slow operations). It is an optional extension of Shard — remote
+// endpoints running an older server simply lack it and the router
+// falls back to the base surface.
+type ShardStatser interface {
+	ShardStats() (prep.ShardStats, error)
+}
+
+// HistogramStats summarises every histogram of a registry in wire
+// form, sorted by name for stable output.
+func HistogramStats(reg *obs.Registry) []prep.HistogramStat {
+	snaps := reg.HistogramSnapshots()
+	names := make([]string, 0, len(snaps))
+	for name := range snaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]prep.HistogramStat, 0, len(names))
+	for _, name := range names {
+		s := snaps[name]
+		out = append(out, prep.HistogramStat{
+			Name:  name,
+			Count: s.Count,
+			Sum:   s.Sum,
+			P50:   s.Quantile(0.50),
+			P95:   s.Quantile(0.95),
+			P99:   s.Quantile(0.99),
+		})
+	}
+	return out
+}
+
+// SlowSpans converts a tracer's slow log to wire form, oldest first.
+func SlowSpans(tr *obs.Tracer) []prep.SlowSpan {
+	spans := tr.Slow()
+	out := make([]prep.SlowSpan, 0, len(spans))
+	for _, s := range spans {
+		w := prep.SlowSpan{
+			Op:      s.Op(),
+			Start:   s.Start(),
+			Seconds: s.Duration().Seconds(),
+			Err:     s.Err(),
+		}
+		for _, a := range s.Attrs() {
+			w.Attrs = append(w.Attrs, prep.SpanAttr{Key: a.Key, Value: a.Value})
+		}
+		out = append(out, w)
+	}
+	return out
 }
 
 // Local is a Shard embedded in this process: a store.Store plus its
@@ -173,6 +256,24 @@ func (l *Local) Tombstones() int64 { return l.s.Tombstones() }
 
 // Close implements Shard.
 func (l *Local) Close() error { return l.s.Close() }
+
+// ShardStats implements ShardStatser: the shard's record count,
+// garbage state, engine counters, the store registry's histogram
+// summaries and the slow-operation log.
+func (l *Local) ShardStats() (prep.ShardStats, error) {
+	count, err := l.s.Count()
+	if err != nil {
+		return prep.ShardStats{}, err
+	}
+	return prep.ShardStats{
+		Records:      count.Records,
+		GarbageRatio: l.s.GarbageRatio(),
+		Tombstones:   l.s.Tombstones(),
+		Engine:       l.EngineStats().Wire(),
+		Histograms:   HistogramStats(l.s.Obs()),
+		Slow:         SlowSpans(l.s.Obs().Tracer()),
+	}, nil
+}
 
 // EngineStats implements EngineStatser.
 func (l *Local) EngineStats() EngineStats {

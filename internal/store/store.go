@@ -19,6 +19,7 @@ import (
 	"preserv/internal/ids"
 	"preserv/internal/index"
 	"preserv/internal/kv"
+	"preserv/internal/obs"
 	"preserv/internal/prep"
 )
 
@@ -108,10 +109,37 @@ type Store struct {
 	// stripes are the per-key commit locks; seed salts the stripe hash.
 	stripes [recordStripes]sync.Mutex
 	seed    maphash.Seed
+
+	// reg is this store's telemetry registry. Each store owns its own
+	// registry (rather than sharing a process-global one) so a router
+	// over several local stores can report per-shard numbers. The
+	// histogram handles are resolved once here, keeping the map lookup
+	// off the write path.
+	reg         *obs.Registry
+	recordSec   *obs.Histogram
+	recordBatch *obs.Histogram
+	deleteSec   *obs.Histogram
+	deleteBatch *obs.Histogram
+	compactSec  *obs.Histogram
 }
 
 // New wraps a backend in a Store.
-func New(b Backend) *Store { return &Store{b: b, seed: maphash.MakeSeed()} }
+func New(b Backend) *Store {
+	s := &Store{b: b, seed: maphash.MakeSeed(), reg: obs.NewRegistry()}
+	s.recordSec = s.reg.Histogram("store_record_seconds", nil)
+	s.recordBatch = s.reg.Histogram("store_record_batch_size", obs.SizeBuckets)
+	s.deleteSec = s.reg.Histogram("store_delete_seconds", nil)
+	s.deleteBatch = s.reg.Histogram("store_delete_batch_size", obs.SizeBuckets)
+	s.compactSec = s.reg.Histogram("store_compact_seconds", nil)
+	s.reg.GaugeFunc("store_garbage_ratio", s.GarbageRatio)
+	s.reg.GaugeFunc("store_tombstones", func() float64 { return float64(s.Tombstones()) })
+	return s
+}
+
+// Obs returns the store's telemetry registry. The query engine records
+// its plan histograms and slow spans here too, so one registry holds a
+// shard's complete read+write telemetry.
+func (s *Store) Obs() *obs.Registry { return s.reg }
 
 // stripeIndex maps a storage key to its commit lock stripe.
 func (s *Store) stripeIndex(key string) int {
@@ -209,6 +237,15 @@ func (s *Store) GetBatch(keys []string) (values [][]byte, present []bool, err er
 // run lock-free, commits serialise only per storage key (stripe locks),
 // and the call's posting entries ship to the backend as one batch.
 func (s *Store) Record(asserter core.ActorID, records []core.Record) (int, []prep.Reject, error) {
+	span := s.reg.Tracer().StartSpan("store.record").
+		SetAttr("batch", fmt.Sprint(len(records)))
+	accepted, rejects, err := s.record(asserter, records)
+	s.recordBatch.Observe(float64(len(records)))
+	span.Observe(s.recordSec, err)
+	return accepted, rejects, err
+}
+
+func (s *Store) record(asserter core.ActorID, records []core.Record) (int, []prep.Reject, error) {
 	if asserter == "" {
 		return 0, nil, fmt.Errorf("store: empty asserter")
 	}
@@ -344,6 +381,14 @@ func (s *Store) Record(asserter core.ActorID, records []core.Record) (int, []pre
 // delete commit protocol (deleteChunk), so the crash ordering and
 // locking story live in exactly one place.
 func (s *Store) DeleteRecord(key string) (bool, error) {
+	span := s.reg.Tracer().StartSpan("store.delete").SetAttr("kind", "record")
+	ok, err := s.deleteRecord(key)
+	s.deleteBatch.Observe(1)
+	span.Observe(s.deleteSec, err)
+	return ok, err
+}
+
+func (s *Store) deleteRecord(key string) (bool, error) {
 	if key == "" {
 		return false, fmt.Errorf("store: empty key")
 	}
@@ -373,6 +418,14 @@ const deleteChunkSize = 256
 // one contiguous log append), and all the call's posting removals flush
 // through one RemoveBatch per chunk.
 func (s *Store) DeleteSession(session ids.ID) (int, error) {
+	span := s.reg.Tracer().StartSpan("store.delete").SetAttr("kind", "session")
+	deleted, err := s.deleteSession(session)
+	s.deleteBatch.Observe(float64(deleted))
+	span.SetAttr("deleted", fmt.Sprint(deleted)).Observe(s.deleteSec, err)
+	return deleted, err
+}
+
+func (s *Store) deleteSession(session ids.ID) (int, error) {
 	if !session.Valid() {
 		return 0, fmt.Errorf("store: invalid session id")
 	}
@@ -399,6 +452,15 @@ func (s *Store) DeleteSession(session ids.ID) (int, error) {
 // the same chunked delete commit protocol as DeleteSession and returns
 // how many records were actually deleted.
 func (s *Store) DeleteRecords(keys []string) (int, error) {
+	span := s.reg.Tracer().StartSpan("store.delete").
+		SetAttr("kind", "records").SetAttr("batch", fmt.Sprint(len(keys)))
+	deleted, err := s.deleteRecords(keys)
+	s.deleteBatch.Observe(float64(len(keys)))
+	span.Observe(s.deleteSec, err)
+	return deleted, err
+}
+
+func (s *Store) deleteRecords(keys []string) (int, error) {
 	if len(keys) == 0 {
 		return 0, nil
 	}
@@ -559,10 +621,14 @@ type TombstoneReporter interface {
 // content — the generation does not advance, and cached query results
 // stay valid.
 func (s *Store) Compact() error {
-	if c, ok := s.b.(Compacter); ok {
-		return c.Compact()
+	c, ok := s.b.(Compacter)
+	if !ok {
+		return nil
 	}
-	return nil
+	span := s.reg.Tracer().StartSpan("store.compact")
+	err := c.Compact()
+	span.Observe(s.compactSec, err)
+	return err
 }
 
 // GarbageRatio reports the backend's dead-byte fraction (zero for
