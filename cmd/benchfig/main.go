@@ -10,6 +10,7 @@
 //	benchfig -exp query          # streaming-vs-materializing read-path sweep
 //	benchfig -exp shard          # sharded-store scaling sweep (1/2/4 shards)
 //	benchfig -exp obs            # instrumentation-overhead gate (on vs off)
+//	benchfig -exp readpath       # memory-speed read path floor gate
 //	benchfig -exp all            # everything
 //
 // By default the sweeps run at laptop scale (seconds); -paper selects
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: e1, fig4, fig5, gran, dist, ingest, query, shard, obs or all")
+	exp := flag.String("exp", "all", "experiment: e1, fig4, fig5, gran, dist, ingest, query, shard, obs, readpath or all")
 	paper := flag.Bool("paper", false, "run at the paper's scale (slow)")
 	seed := flag.Int64("seed", 2005, "workload seed")
 	quiet := flag.Bool("q", false, "suppress progress lines")
@@ -181,6 +182,26 @@ func main() {
 		}
 	}
 
+	runReadpath := func() {
+		opts := bench.ReadPathOptions{Seed: *seed}
+		if *paper {
+			opts.Keys = 20000
+			opts.IngestBatches = 24
+			opts.Sessions = 10
+			opts.PerSession = 18
+			opts.Reps = 8
+		}
+		points, err := bench.RunReadPathSweep(opts, progress)
+		if err != nil {
+			log.Fatalf("benchfig: readpath: %v", err)
+		}
+		bench.RenderReadPath(out, points)
+		fmt.Fprintln(out)
+		if err := bench.CheckReadPathFloors(points); err != nil {
+			log.Fatalf("benchfig: readpath: %v", err)
+		}
+	}
+
 	switch *exp {
 	case "e1":
 		runE1()
@@ -200,6 +221,8 @@ func main() {
 		runShard()
 	case "obs":
 		runObs()
+	case "readpath":
+		runReadpath()
 	case "all":
 		runE1()
 		runFig4()
@@ -210,6 +233,7 @@ func main() {
 		runQuery()
 		runShard()
 		runObs()
+		runReadpath()
 	default:
 		log.Fatalf("benchfig: unknown experiment %q", *exp)
 	}

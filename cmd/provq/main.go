@@ -61,6 +61,31 @@ import (
 	"preserv/internal/trace"
 )
 
+// onOff is a boolean flag that also accepts on/off, so the documented
+// `-mmap=off` escape hatch works alongside the stdlib true/false forms.
+type onOff bool
+
+func (o *onOff) String() string {
+	if o != nil && bool(*o) {
+		return "on"
+	}
+	return "off"
+}
+
+func (o *onOff) Set(s string) error {
+	switch s {
+	case "on", "true", "1", "t", "T", "TRUE", "True":
+		*o = true
+	case "off", "false", "0", "f", "F", "FALSE", "False":
+		*o = false
+	default:
+		return fmt.Errorf("invalid value %q (want on/off or true/false)", s)
+	}
+	return nil
+}
+
+func (o *onOff) IsBoolFlag() bool { return true }
+
 func main() {
 	storeURL := flag.String("store", "http://127.0.0.1:8734", "provenance store URL")
 	registryURL := flag.String("registry", "http://127.0.0.1:8735", "registry URL (validate)")
@@ -74,7 +99,10 @@ func main() {
 	key := flag.String("key", "", "record storage key (delete)")
 	shardsFlag := flag.String("shards", "", "comma-separated shard store URLs (query them as one store through an ephemeral router)")
 	watch := flag.Duration("watch", 0, "refresh interval for stats (0 = print once)")
+	mmapFlag := onOff(true)
+	flag.Var(&mmapFlag, "mmap", "memory-map file-backend segments for offline maintenance reads (off = plain file reads)")
 	flag.Parse()
+	store.SetMmapEnabled(bool(mmapFlag))
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: provq [flags] count|stats|sessions|categorize|compare|validate|lineage|consolidate|delete|compact")
@@ -306,6 +334,17 @@ func printStats(out io.Writer, st *prep.StatsResponse) {
 		st.Engine.IndexPlans, st.Engine.ScanPlans, st.Engine.PagedQueries,
 		st.Engine.CostProbes, st.Engine.PostingsRead, st.Engine.CandidatesFetched,
 		st.Engine.CacheHits, st.Engine.CacheHits+st.Engine.CacheMisses)
+	if st.GenerationValid {
+		fmt.Fprintf(out, "generation: %d\n", st.Generation)
+	}
+	rc := st.ReadCache
+	if rc != (prep.ReadCacheCounters{}) {
+		fmt.Fprintf(out, "read path: bloom skip=%d fp=%d hit=%d  block cache=%d/%d (%d entries, %d KiB)  result cache=%d/%d\n",
+			rc.BloomSkips, rc.BloomFalsePositives, rc.BloomHits,
+			rc.BlockCacheHits, rc.BlockCacheHits+rc.BlockCacheMisses,
+			rc.BlockCacheEntries, rc.BlockCacheBytes>>10,
+			rc.ResultCacheHits, rc.ResultCacheHits+rc.ResultCacheMisses)
+	}
 	for _, sh := range st.Shards {
 		loc := sh.URL
 		if loc == "" {

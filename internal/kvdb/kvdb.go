@@ -317,6 +317,36 @@ func (db *DB) Get(key string) ([]byte, error) {
 	return val, nil
 }
 
+// Lookup returns the value under key with a presence flag instead of an
+// error. Point misses are the read path's common case (dangling
+// postings, cross-shard probes), and Get pays an ErrNotFound wrap
+// allocation for every one; Lookup answers them allocation-free. When
+// the sorted key cache is live, a binary search settles absence before
+// the log index map is consulted at all — the kvdb mirror of the file
+// backend's bloom skip.
+func (db *DB) Lookup(key string) ([]byte, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	if s := db.sorted; s != nil {
+		i := sort.SearchStrings(s, key)
+		if i >= len(s) || s[i] != key {
+			return nil, false, nil
+		}
+	}
+	loc, ok := db.index[key]
+	if !ok {
+		return nil, false, nil
+	}
+	val := make([]byte, loc.valLen)
+	if _, err := db.f.ReadAt(val, loc.off); err != nil {
+		return nil, false, fmt.Errorf("kvdb: reading %q: %w", key, err)
+	}
+	return val, true, nil
+}
+
 // Has reports whether key is present.
 func (db *DB) Has(key string) bool {
 	db.mu.RLock()

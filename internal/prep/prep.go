@@ -394,6 +394,38 @@ type EngineCounters struct {
 	CandidatesFetched int64 `xml:"candidatesFetched"`
 }
 
+// ReadCacheCounters is the wire form of the storage read path's cache
+// telemetry: bloom-filter outcomes (skips answered without touching
+// the backend, false positives, confirmed hits), the record block
+// cache's lookup outcomes and residency, and the router-level result
+// cache's lookup outcomes. For a sharded store the bloom and block
+// cache fields are sums over the shards; the result cache fields
+// belong to the router itself.
+type ReadCacheCounters struct {
+	BloomSkips          int64 `xml:"bloomSkips"`
+	BloomFalsePositives int64 `xml:"bloomFalsePositives"`
+	BloomHits           int64 `xml:"bloomHits"`
+	BlockCacheHits      int64 `xml:"blockCacheHits"`
+	BlockCacheMisses    int64 `xml:"blockCacheMisses"`
+	BlockCacheBytes     int64 `xml:"blockCacheBytes"`
+	BlockCacheEntries   int64 `xml:"blockCacheEntries"`
+	ResultCacheHits     int64 `xml:"resultCacheHits"`
+	ResultCacheMisses   int64 `xml:"resultCacheMisses"`
+}
+
+// Add accumulates o into c (aggregating shard breakdowns).
+func (c *ReadCacheCounters) Add(o ReadCacheCounters) {
+	c.BloomSkips += o.BloomSkips
+	c.BloomFalsePositives += o.BloomFalsePositives
+	c.BloomHits += o.BloomHits
+	c.BlockCacheHits += o.BlockCacheHits
+	c.BlockCacheMisses += o.BlockCacheMisses
+	c.BlockCacheBytes += o.BlockCacheBytes
+	c.BlockCacheEntries += o.BlockCacheEntries
+	c.ResultCacheHits += o.ResultCacheHits
+	c.ResultCacheMisses += o.ResultCacheMisses
+}
+
 // HistogramStat is one latency or size distribution, summarised: total
 // observations, their sum (seconds for *_seconds histograms, raw units
 // otherwise) and interpolated percentiles.
@@ -427,14 +459,15 @@ type SlowSpan struct {
 // engine counters, histogram summaries and recent slow operations.
 // URL is set for remote shards, empty for local ones.
 type ShardStats struct {
-	Index        int             `xml:"index"`
-	URL          string          `xml:"url,omitempty"`
-	Records      int             `xml:"records"`
-	GarbageRatio float64         `xml:"garbageRatio"`
-	Tombstones   int64           `xml:"tombstones"`
-	Engine       EngineCounters  `xml:"engine"`
-	Histograms   []HistogramStat `xml:"histogram,omitempty"`
-	Slow         []SlowSpan      `xml:"slow,omitempty"`
+	Index        int               `xml:"index"`
+	URL          string            `xml:"url,omitempty"`
+	Records      int               `xml:"records"`
+	GarbageRatio float64           `xml:"garbageRatio"`
+	Tombstones   int64             `xml:"tombstones"`
+	Engine       EngineCounters    `xml:"engine"`
+	ReadCache    ReadCacheCounters `xml:"readCache"`
+	Histograms   []HistogramStat   `xml:"histogram,omitempty"`
+	Slow         []SlowSpan        `xml:"slow,omitempty"`
 }
 
 // StatsResponse is the urn:prep:stats reply: the service's request
@@ -452,12 +485,20 @@ type StatsResponse struct {
 	RecordsDeleted  int64 `xml:"recordsDeleted"`
 	Compactions     int64 `xml:"compactions"`
 
-	// Whole-store aggregates.
-	Records      int            `xml:"records"`
-	NumShards    int            `xml:"numShards"`
-	GarbageRatio float64        `xml:"garbageRatio"`
-	Tombstones   int64          `xml:"tombstones"`
-	Engine       EngineCounters `xml:"engine"`
+	// Whole-store aggregates. Generation is the store's content
+	// generation — it changes whenever any shard accepts or deletes a
+	// record, so equal generations imply equal query answers; a parent
+	// router probes it (cheaply, via its TTL-cached stats snapshot) to
+	// key its generation-tuple result cache. GenerationValid is false
+	// when some shard behind this service cannot report one.
+	Records         int               `xml:"records"`
+	NumShards       int               `xml:"numShards"`
+	Generation      uint64            `xml:"generation"`
+	GenerationValid bool              `xml:"generationValid"`
+	GarbageRatio    float64           `xml:"garbageRatio"`
+	Tombstones      int64             `xml:"tombstones"`
+	Engine          EngineCounters    `xml:"engine"`
+	ReadCache       ReadCacheCounters `xml:"readCache"`
 
 	// Per-shard breakdown plus the service's own request histograms.
 	Shards     []ShardStats    `xml:"shard,omitempty"`

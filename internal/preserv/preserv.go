@@ -545,6 +545,9 @@ func (svc *Service) StatsResponse() (*prep.StatsResponse, error) {
 		Histograms:      shard.HistogramStats(svc.reg),
 		Slow:            shard.SlowSpans(svc.reg.Tracer()),
 	}
+	if gp, ok := svc.prov.(shard.GenerationProber); ok {
+		resp.Generation, resp.GenerationValid = gp.Generation()
+	}
 	switch p := svc.prov.(type) {
 	case interface {
 		ShardStats() ([]prep.ShardStats, error)
@@ -561,7 +564,17 @@ func (svc *Service) StatsResponse() (*prep.StatsResponse, error) {
 		}
 		resp.Shards = []prep.ShardStats{st}
 	}
+	// The whole-store read-cache aggregate sums the shard breakdowns
+	// (each shard's bloom and block-cache outcomes); the router's own
+	// result cache — which belongs to no single shard — lands in the
+	// same aggregate next to them.
+	for i := range resp.Shards {
+		resp.ReadCache.Add(resp.Shards[i].ReadCache)
+	}
 	if rt, ok := svc.prov.(*shard.Router); ok {
+		hits, misses := rt.ResultCacheStats()
+		resp.ReadCache.ResultCacheHits += hits
+		resp.ReadCache.ResultCacheMisses += misses
 		// The router's own instruments (fan-out latency, merge width,
 		// drain counters) belong to no single shard: report them at the
 		// top level next to the service's request histograms.

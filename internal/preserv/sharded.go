@@ -154,6 +154,24 @@ func (r *RemoteShard) GarbageRatio() float64 {
 	return st.GarbageRatio
 }
 
+// Generation implements shard.GenerationProber via the endpoint's
+// stats action (TTL-cached). Mutations routed through this shard
+// invalidate the cache immediately, so their generation bumps surface
+// on the next probe; a writer shipping to the endpoint directly can be
+// invisible for up to remoteStatsTTL — the same staleness window
+// GarbageRatio already accepts, and bounded the same way. An endpoint
+// that cannot answer — or one running an older server whose stats
+// reply carries no generation — reports false, which makes the router
+// bypass its result cache rather than trust a generation it cannot
+// watch.
+func (r *RemoteShard) Generation() (uint64, bool) {
+	st, err := r.cachedStats()
+	if err != nil || !st.GenerationValid {
+		return 0, false
+	}
+	return st.Generation, true
+}
+
 // Tombstones implements shard.Shard via the endpoint's stats action
 // (TTL-cached; zero when the endpoint cannot answer).
 func (r *RemoteShard) Tombstones() int64 {
@@ -191,6 +209,7 @@ func (r *RemoteShard) ShardStats() (prep.ShardStats, error) {
 		GarbageRatio: st.GarbageRatio,
 		Tombstones:   st.Tombstones,
 		Engine:       st.Engine,
+		ReadCache:    st.ReadCache,
 		Histograms:   st.Histograms,
 		Slow:         st.Slow,
 	}, nil
@@ -201,9 +220,10 @@ func (r *RemoteShard) ShardStats() (prep.ShardStats, error) {
 func (r *RemoteShard) Close() error { return nil }
 
 var (
-	_ shard.Shard         = (*RemoteShard)(nil)
-	_ shard.ShardStatser  = (*RemoteShard)(nil)
-	_ shard.EngineStatser = (*RemoteShard)(nil)
+	_ shard.Shard            = (*RemoteShard)(nil)
+	_ shard.ShardStatser     = (*RemoteShard)(nil)
+	_ shard.EngineStatser    = (*RemoteShard)(nil)
+	_ shard.GenerationProber = (*RemoteShard)(nil)
 )
 
 // NewRemoteRouter builds a Router over the comma-separated remote store

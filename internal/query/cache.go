@@ -101,6 +101,11 @@ func (c *resultCache) len() int {
 // can change the result participates. Free-form fields (asserter,
 // service, state kind) are %q-quoted so embedded separators cannot make
 // two different predicates collide on one key.
+// CacheKey exposes the canonical predicate form for other caching
+// layers (the shard router's generation-tuple result cache) so a
+// predicate's identity is computed in exactly one place.
+func CacheKey(q *prep.Query) string { return cacheKey(q) }
+
 func cacheKey(q *prep.Query) string {
 	since, until := "-", "-"
 	if !q.Since.IsZero() {

@@ -68,6 +68,14 @@ type Router struct {
 	// Held per page, it delays readers and (rare, administrative)
 	// deletions by at most one page move; it never blocks writes.
 	moveMu sync.RWMutex
+	// rc caches merged fan-out answers keyed on the query's canonical
+	// form plus the tuple of every shard's content generation. The
+	// tuple is probed under moveMu (shared) BEFORE the fan-out, so a
+	// cached answer is always one some fenced fan-out could have
+	// produced; any shard that cannot report a generation disables
+	// caching for that call. See resultcache.go for the invalidation
+	// argument.
+	rc *routerResultCache
 }
 
 // NewRouter builds a router over the given shards (at least one).
@@ -87,7 +95,69 @@ func NewRouter(shards ...Shard) (*Router, error) {
 	rt.mergeWidth = rt.reg.Histogram("router_merge_width", obs.SizeBuckets)
 	rt.drainPages = rt.reg.Counter("router_drain_pages_total")
 	rt.drainMoved = rt.reg.Counter("router_drain_records_moved_total")
+	rt.rc = newRouterResultCache(DefaultResultCacheSize)
+	rt.reg.GaugeFunc("router_resultcache_hits", func() float64 { return float64(rt.rc.hits.Load()) })
+	rt.reg.GaugeFunc("router_resultcache_misses", func() float64 { return float64(rt.rc.misses.Load()) })
+	rt.reg.GaugeFunc("router_resultcache_entries", func() float64 { return float64(rt.rc.len()) })
 	return rt, nil
+}
+
+// SetResultCacheSize replaces the router's result cache with one of the
+// given entry capacity (0 or negative disables caching). Counters reset
+// with the cache. Safe to call while serving.
+func (rt *Router) SetResultCacheSize(capacity int) {
+	rt.moveMu.Lock()
+	defer rt.moveMu.Unlock()
+	rt.rc = newRouterResultCache(capacity)
+}
+
+// ResultCacheStats reports the result cache's cumulative lookup
+// outcomes (a tuple-mismatched entry evicted on lookup counts as a
+// miss, same convention as the per-store query cache).
+func (rt *Router) ResultCacheStats() (hits, misses int64) {
+	rt.moveMu.RLock()
+	rc := rt.rc
+	rt.moveMu.RUnlock()
+	return rc.hits.Load(), rc.misses.Load()
+}
+
+// probeGenerations collects every shard's content generation, in
+// topology order. ok is false — and the result nil — when any shard
+// cannot report one; the caller then bypasses the result cache for
+// this fan-out (no counters move: the cache was never consulted).
+// Callers hold moveMu (shared suffices): the probe and the fan-out it
+// guards must sit under the same fence acquisition, so a drain's page
+// move cannot slip between them.
+func (rt *Router) probeGenerations() ([]uint64, bool) {
+	gens := make([]uint64, len(rt.shards))
+	for i, s := range rt.shards {
+		p, ok := s.(GenerationProber)
+		if !ok {
+			return nil, false
+		}
+		g, ok := p.Generation()
+		if !ok {
+			return nil, false
+		}
+		gens[i] = g
+	}
+	return gens, true
+}
+
+// Generation implements GenerationProber for the router itself (a
+// router can be a shard of a parent router): the tuple folds to a sum,
+// which changes whenever any child's generation does — sufficient for
+// the parent's equality test, since generations only grow.
+func (rt *Router) Generation() (uint64, bool) {
+	gens, ok := rt.probeGenerations()
+	if !ok {
+		return 0, false
+	}
+	var sum uint64
+	for _, g := range gens {
+		sum += g
+	}
+	return sum, true
 }
 
 // Obs returns the router's telemetry registry.
@@ -331,6 +401,14 @@ func (rt *Router) Query(q *prep.Query) ([]core.Record, int, error) {
 	}
 	rt.moveMu.RLock()
 	defer rt.moveMu.RUnlock()
+	rc := rt.rc
+	key := "q|" + query.CacheKey(q)
+	gens, probed := rt.probeGenerations()
+	if probed {
+		if e, ok := rc.get(key, gens); ok {
+			return e.recs, e.total, nil
+		}
+	}
 	results, err := rt.fanOut(func(s Shard) (*shardResult, error) {
 		recs, total, err := s.Query(q)
 		if err != nil {
@@ -341,7 +419,11 @@ func (rt *Router) Query(q *prep.Query) ([]core.Record, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	return rt.mergeQueryResults(q, results)
+	recs, total, err := rt.mergeQueryResults(q, results)
+	if err == nil && probed {
+		rc.put(key, gens, recs, total, nil, "", false)
+	}
+	return recs, total, err
 }
 
 // QueryPlanned evaluates q across every shard via each shard's planner
@@ -352,6 +434,19 @@ func (rt *Router) QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPl
 	}
 	rt.moveMu.RLock()
 	defer rt.moveMu.RUnlock()
+	rc := rt.rc
+	key := "p|" + query.CacheKey(q)
+	gens, probed := rt.probeGenerations()
+	if probed {
+		if e, ok := rc.get(key, gens); ok {
+			plan := e.plan
+			if plan == nil {
+				plan = &prep.QueryPlan{}
+			}
+			plan.Cached = true
+			return e.recs, e.total, plan, nil
+		}
+	}
 	results, err := rt.fanOut(func(s Shard) (*shardResult, error) {
 		recs, total, plan, err := s.QueryPlanned(q)
 		if err != nil {
@@ -370,7 +465,11 @@ func (rt *Router) QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPl
 	for i, r := range results {
 		plans[i] = r.plan
 	}
-	return recs, total, mergePlans(plans), nil
+	merged := mergePlans(plans)
+	if probed {
+		rc.put(key, gens, recs, total, merged, "", false)
+	}
+	return recs, total, merged, nil
 }
 
 // observeMergeWidth records how many shards contributed records to a
@@ -525,6 +624,19 @@ func (rt *Router) QueryPage(q *prep.Query, after string, pageSize int) ([]core.R
 
 	rt.moveMu.RLock()
 	defer rt.moveMu.RUnlock()
+	rc := rt.rc
+	key := "g|" + query.CacheKey(q) + "|a=" + url.QueryEscape(after) + "|n=" + strconv.Itoa(pageSize)
+	gens, probed := rt.probeGenerations()
+	if probed {
+		if e, ok := rc.get(key, gens); ok {
+			plan := e.plan
+			if plan == nil {
+				plan = &prep.QueryPlan{}
+			}
+			plan.Cached = true
+			return e.recs, e.next, e.done, plan, nil
+		}
+	}
 	results, err := rt.fanOut2(func(i int, s Shard) (*shardResult, error) {
 		// A shard that proved exhaustion on an earlier page answers
 		// empty without being asked again.
@@ -583,7 +695,11 @@ func (rt *Router) QueryPage(q *prep.Query, after string, pageSize int) ([]core.R
 	if !done && len(merged) > 0 {
 		next = encodeCursor(rt.fp, nextCursors, exhausted)
 	}
-	return merged, next, done, mergePlans(plans), nil
+	mergedPlan := mergePlans(plans)
+	if probed {
+		rc.put(key, gens, merged, 0, mergedPlan, next, done)
+	}
+	return merged, next, done, mergedPlan, nil
 }
 
 // fanOut2 is fanOut with the shard index in hand. Each shard's leg is

@@ -197,6 +197,11 @@ func NewLocal(s *store.Store) *Local {
 // Store returns the underlying store.
 func (l *Local) Store() *store.Store { return l.s }
 
+// Generation implements GenerationProber: an embedded store's content
+// generation is one atomic load, cheap enough to probe before every
+// fanned-out read.
+func (l *Local) Generation() (uint64, bool) { return l.s.Generation(), true }
+
 // Record implements Shard.
 func (l *Local) Record(asserter core.ActorID, records []core.Record) (int, []prep.Reject, error) {
 	return l.s.Record(asserter, records)
@@ -265,13 +270,23 @@ func (l *Local) ShardStats() (prep.ShardStats, error) {
 	if err != nil {
 		return prep.ShardStats{}, err
 	}
+	rc := l.s.ReadCacheStats()
 	return prep.ShardStats{
 		Records:      count.Records,
 		GarbageRatio: l.s.GarbageRatio(),
 		Tombstones:   l.s.Tombstones(),
 		Engine:       l.EngineStats().Wire(),
-		Histograms:   HistogramStats(l.s.Obs()),
-		Slow:         SlowSpans(l.s.Obs().Tracer()),
+		ReadCache: prep.ReadCacheCounters{
+			BloomSkips:          rc.BloomSkips,
+			BloomFalsePositives: rc.BloomFalsePositives,
+			BloomHits:           rc.BloomHits,
+			BlockCacheHits:      rc.BlockCacheHits,
+			BlockCacheMisses:    rc.BlockCacheMisses,
+			BlockCacheBytes:     rc.BlockCacheBytes,
+			BlockCacheEntries:   rc.BlockCacheEntries,
+		},
+		Histograms: HistogramStats(l.s.Obs()),
+		Slow:       SlowSpans(l.s.Obs().Tracer()),
 	}, nil
 }
 

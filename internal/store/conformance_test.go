@@ -30,6 +30,18 @@ func allBackends() []backendUnderTest {
 			}
 			return b
 		}},
+		// The file backend again with segment mmapping forced off: the
+		// portable ReadFile path must satisfy the identical contract (it
+		// is the -mmap=off escape hatch and the non-linux build).
+		{"file-nommap", func(t *testing.T) Backend {
+			prev := SetMmapEnabled(false)
+			t.Cleanup(func() { SetMmapEnabled(prev) })
+			b, err := NewFileBackend(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}},
 		{"kvdb", func(t *testing.T) Backend {
 			b, err := NewKVBackend(t.TempDir())
 			if err != nil {

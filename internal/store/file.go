@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // FileBackend stores records in files under a directory, PReServ's
@@ -34,10 +35,14 @@ type FileBackend struct {
 	dir string
 	// keys maps storage key -> location; rebuilt on open.
 	keys map[string]fileLoc
-	// sorted caches the keys in sorted order; nil when dirty (a new key
-	// arrived since the last build). Scans and counts binary-search it
-	// instead of re-sorting the whole key set per call.
-	sorted []string
+	// sorted caches the keys in sorted order; pending overlays it with
+	// keys whose presence changed since the last build (true = present,
+	// false = removed). Small writes queue an O(1) delta instead of
+	// discarding the snapshot; the next snapshot read folds the overlay
+	// in with one merge pass. nil sorted = fully dirty (initial state
+	// and wholesale rebuilds).
+	sorted  []string
+	pending map[string]bool
 	// segSeq numbers segment files; monotonically increasing so open
 	// replays segments in write order (last write wins).
 	segSeq uint64
@@ -52,6 +57,28 @@ type FileBackend struct {
 	// GarbageRatio, which schedules online compaction.
 	liveBytes int64
 	deadBytes int64
+
+	// useMmap selects the read path: cached mmap segment handles (the
+	// default, see mmap.go) or the legacy open-per-call path
+	// (-mmap=off). Latched at open.
+	useMmap bool
+	// segMu guards the segment handle cache. Ordered below f.mu: it is
+	// only ever acquired with f.mu held or with no lock held, never the
+	// other way around.
+	segMu    sync.RWMutex
+	segs     map[string]*segMap
+	segBytes atomic.Int64
+
+	// blooms holds one filter per live segment (see bloom.go); agg is
+	// the lock-free store-wide negative filter folded from them plus the
+	// record-file keys, consulted by reads before f.mu.
+	blooms map[string]*bloomFilter
+	agg    atomic.Pointer[negFilter]
+	// bloom counters: lookups short-circuited / filter maybes that were
+	// absent after all / maybes that were present.
+	bloomSkips atomic.Int64
+	bloomFPs   atomic.Int64
+	bloomHits  atomic.Int64
 }
 
 // fileLoc locates one value: a whole record file (off < 0) or a byte
@@ -103,7 +130,13 @@ func NewFileBackend(dir string) (*FileBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	fb := &FileBackend{dir: dir, keys: make(map[string]fileLoc), tombstones: make(map[string]bool)}
+	fb := &FileBackend{
+		dir:        dir,
+		keys:       make(map[string]fileLoc),
+		tombstones: make(map[string]bool),
+		blooms:     make(map[string]*bloomFilter),
+		useMmap:    MmapEnabled(),
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
@@ -137,21 +170,42 @@ func NewFileBackend(dir string) (*FileBackend, error) {
 			return nil, err
 		}
 	}
+	fb.rebuildAggLocked()
 	return fb, nil
 }
 
 // loadSegment indexes the entries of one packed segment. A corrupt entry
 // ends the replay of that segment (everything after a torn write is
 // unreliable) without failing the open — the same torn-write tolerance
-// the record-file layout has.
+// the record-file layout has. On the mmap path the parse runs straight
+// off the cached mapping, which stays cached for the reads to come.
 func (f *FileBackend) loadSegment(name string) error {
+	if f.useMmap {
+		_, err := f.withSegData(name, func(data []byte) error {
+			f.replaySegment(name, data)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("store: reading segment %s: %w", name, err)
+		}
+		return nil
+	}
 	data, err := os.ReadFile(filepath.Join(f.dir, name))
 	if err != nil {
 		return fmt.Errorf("store: reading segment %s: %w", name, err)
 	}
+	f.replaySegment(name, data)
+	return nil
+}
+
+// replaySegment applies one segment's entries to the in-memory state
+// and adopts the segment's bloom filter. Open-time only (single
+// goroutine, f.mu not yet shared).
+func (f *FileBackend) replaySegment(name string, data []byte) {
 	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
-		return nil // not a segment we understand; leave it alone
+		return // not a segment we understand; leave it alone
 	}
+	var putKeys []string
 	off := len(segMagic)
 	for off < len(data) {
 		key, valOff, valLen, next, tomb, ok := parseSegEntry(data, off)
@@ -164,10 +218,99 @@ func (f *FileBackend) loadSegment(name string) error {
 			f.notePutLocked(key)
 			f.liveBytes += putEntrySize(key, valLen)
 			f.keys[key] = fileLoc{file: name, off: int64(valOff), vlen: valLen}
+			putKeys = append(putKeys, key)
 		}
 		off = next
 	}
-	return nil
+	f.adoptSegmentBloomLocked(name, putKeys)
+}
+
+// adoptSegmentBloomLocked installs the filter for a freshly replayed
+// segment: the persisted sidecar when it decodes cleanly (for a large
+// compacted segment that saves re-hashing every key), a rebuild from
+// the parsed keys otherwise. A truncated segment only ever replays a
+// prefix of the keys its sidecar was built over, so a structurally
+// valid sidecar is always a superset of the parsed keys and needs no
+// per-key validation. Callers hold f.mu (or own the backend).
+func (f *FileBackend) adoptSegmentBloomLocked(name string, keys []string) {
+	if len(keys) == 0 {
+		return // tombstone-only or empty: nothing for a filter to cover
+	}
+	if data, err := os.ReadFile(filepath.Join(f.dir, name+bloomExt)); err == nil {
+		if b, _, ok := decodeBloomSidecar(data); ok {
+			f.blooms[name] = b
+			return
+		}
+	}
+	b := newBloomFilter(len(keys))
+	for _, k := range keys {
+		b.add(k)
+	}
+	f.blooms[name] = b
+	if len(keys) >= bloomSidecarMinKeys {
+		f.writeBloomSidecar(name, b, len(keys))
+	}
+}
+
+// rebuildAggLocked rebuilds the store-wide negative filter from the
+// per-segment filters plus every record-file key. Folding filters in
+// word-wise instead of re-hashing their keys is what makes a compacted
+// segment's sidecar pay for itself at open. Runs at open, when growth
+// pushes the false-positive rate past its design point, and at the end
+// of Compact — the one moment deleted keys get washed out. Callers
+// hold f.mu.
+func (f *FileBackend) rebuildAggLocked() {
+	// Wide enough for every existing filter to fold in, with headroom
+	// for the live key count to double before the next rebuild.
+	need := bloomBitsFor(2 * len(f.keys))
+	for _, b := range f.blooms {
+		if w := uint64(len(b.words)) * 64; w > need {
+			need = w
+		}
+	}
+	nf := newNegFilter(int(need / bloomBitsPerKey))
+	for _, b := range f.blooms {
+		nf.orFilter(b, 0)
+	}
+	for k, loc := range f.keys {
+		if loc.off < 0 {
+			nf.add(k)
+		}
+	}
+	nf.n.Store(int64(len(f.keys)))
+	f.agg.Store(nf)
+}
+
+// aggAbsorbLocked folds a new segment's filter into the aggregate,
+// rebuilding when the shapes no longer fit or the aggregate has grown
+// past its design fill. Callers hold f.mu.
+func (f *FileBackend) aggAbsorbLocked(b *bloomFilter, nkeys int) {
+	nf := f.agg.Load()
+	if nf != nil && nf.orFilter(b, nkeys) && !nf.overfull() {
+		return
+	}
+	f.rebuildAggLocked()
+}
+
+// aggAddLocked folds a single record-file key in. Callers hold f.mu.
+func (f *FileBackend) aggAddLocked(key string) {
+	nf := f.agg.Load()
+	if nf == nil {
+		f.rebuildAggLocked()
+		return
+	}
+	nf.add(key)
+	if nf.overfull() {
+		f.rebuildAggLocked()
+	}
+}
+
+// BloomStats reports the negative-filter counters: lookups answered
+// "absent" without touching the lock (skips), filter maybes that were
+// absent after all (false positives), and maybes that were present
+// (hits).
+func (f *FileBackend) BloomStats() (skips, falsePositives, hits int64) {
+	return f.bloomSkips.Load(), f.bloomFPs.Load(), f.bloomHits.Load()
 }
 
 // notePutLocked updates the byte accounting and tombstone set for a
@@ -193,7 +336,7 @@ func (f *FileBackend) noteTombstoneLocked(key string) {
 			f.deadBytes += sz
 		}
 		delete(f.keys, key)
-		f.sorted = nil
+		f.markKeyLocked(key, false)
 	}
 	f.deadBytes += tombEntrySize(key)
 	f.tombstones[key] = true
@@ -311,41 +454,86 @@ func (f *FileBackend) Put(key string, value []byte) error {
 		return fmt.Errorf("store: writing key sidecar: %w", err)
 	}
 	f.setLocLocked(key, fileLoc{file: name, off: -1})
+	f.aggAddLocked(key)
 	return nil
 }
 
-// setLocLocked records a key's location, invalidating the sorted key
-// cache when the key is new. Callers hold f.mu.
+// setLocLocked records a key's location, queueing a sorted-overlay
+// delta when the key is new. Callers hold f.mu.
 func (f *FileBackend) setLocLocked(key string, loc fileLoc) {
 	if _, exists := f.keys[key]; !exists {
-		f.sorted = nil
+		f.markKeyLocked(key, true)
 	}
 	f.keys[key] = loc
 }
 
-// sortedKeysLocked returns the cached sorted key slice, rebuilding it if
-// stale. Callers hold f.mu (write).
-func (f *FileBackend) sortedKeysLocked() []string {
+// markKeyLocked records that key's presence changed. While a snapshot
+// exists the change lands in the pending overlay (an O(1) map write)
+// instead of discarding the snapshot — the churn fix for write phases
+// interleaved with scans, where every small PutBatch/DeleteBatch used
+// to force a full O(n log n) rebuild on the next read. Callers hold
+// f.mu.
+func (f *FileBackend) markKeyLocked(key string, present bool) {
 	if f.sorted == nil {
+		return // no snapshot to maintain; the next read rebuilds anyway
+	}
+	if f.pending == nil {
+		f.pending = make(map[string]bool)
+	}
+	f.pending[key] = present
+}
+
+// sortedKeysLocked returns the sorted key snapshot, folding any pending
+// overlay in — or rebuilding wholesale when there is no snapshot or the
+// overlay has grown to a significant fraction of it. Changed snapshots
+// are freshly allocated, never mutated in place, so readers holding an
+// old slice keep iterating it safely. Callers hold f.mu (write).
+func (f *FileBackend) sortedKeysLocked() []string {
+	if f.sorted != nil && len(f.pending) == 0 {
+		return f.sorted
+	}
+	if f.sorted == nil || len(f.pending) > len(f.sorted)/4+64 {
 		keys := make([]string, 0, len(f.keys))
 		for k := range f.keys {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		f.sorted = keys
+		f.sorted, f.pending = keys, nil
+		return f.sorted
 	}
+	delta := make([]string, 0, len(f.pending))
+	for k := range f.pending {
+		delta = append(delta, k)
+	}
+	sort.Strings(delta)
+	merged := make([]string, 0, len(f.sorted)+len(delta))
+	i := 0
+	for _, k := range delta {
+		j := i + sort.SearchStrings(f.sorted[i:], k)
+		merged = append(merged, f.sorted[i:j]...)
+		if j < len(f.sorted) && f.sorted[j] == k {
+			j++ // key already present: replaced (kept) or removed below
+		}
+		if f.pending[k] {
+			merged = append(merged, k)
+		}
+		i = j
+	}
+	merged = append(merged, f.sorted[i:]...)
+	f.sorted, f.pending = merged, nil
 	return f.sorted
 }
 
-// sortedSnapshot returns the sorted key cache, rebuilding only when
-// stale. Cache warm, the cost is one shared-lock acquisition: the slice
-// is immutable once built (writers replace, never mutate), so readers
-// iterate it concurrently; staleness is absorbed by the per-key Get.
+// sortedSnapshot returns the sorted key cache, folding deltas in only
+// when present. Cache clean, the cost is one shared-lock acquisition:
+// the slice is immutable once built (writers replace, never mutate), so
+// readers iterate it concurrently; staleness is absorbed by the per-key
+// Get.
 func (f *FileBackend) sortedSnapshot() []string {
 	f.mu.RLock()
-	keys := f.sorted
+	keys, clean := f.sorted, len(f.pending) == 0
 	f.mu.RUnlock()
-	if keys != nil {
+	if keys != nil && clean {
 		return keys
 	}
 	f.mu.Lock()
@@ -392,16 +580,13 @@ func (f *FileBackend) putBatchLocked(kvs []KV) error {
 	name := fmt.Sprintf("%016x%s", f.segSeq, segExt)
 
 	buf := []byte(segMagic)
-	type loc struct {
-		key  string
-		off  int64
-		vlen int
-	}
-	locs := make([]loc, 0, len(kvs))
-	for _, p := range kvs {
+	b := newBloomFilter(len(kvs))
+	offs := make([]int64, len(kvs))
+	for i, p := range kvs {
 		buf = appendSegEntry(buf, p.Key, p.Value)
 		// The value sits immediately before the entry's trailing CRC.
-		locs = append(locs, loc{key: p.Key, off: int64(len(buf) - 4 - len(p.Value)), vlen: len(p.Value)})
+		offs[i] = int64(len(buf) - 4 - len(p.Value))
+		b.add(p.Key)
 	}
 
 	path := filepath.Join(f.dir, name)
@@ -413,11 +598,31 @@ func (f *FileBackend) putBatchLocked(kvs []KV) error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: publishing segment %s: %w", name, err)
 	}
-	for _, l := range locs {
-		f.notePutLocked(l.key)
-		f.liveBytes += putEntrySize(l.key, l.vlen)
-		f.setLocLocked(l.key, fileLoc{file: name, off: l.off, vlen: l.vlen})
+	// Per-key bookkeeping in ONE map probe per key (this loop is the
+	// ingest floor's hot path): it fuses what notePutLocked plus
+	// setLocLocked would do in three probes each batch key.
+	haveTombs := len(f.tombstones) > 0
+	for i, p := range kvs {
+		old, ok := f.keys[p.Key]
+		if ok && old.off >= 0 {
+			sz := putEntrySize(p.Key, old.vlen)
+			f.liveBytes -= sz
+			f.deadBytes += sz
+		}
+		if haveTombs {
+			delete(f.tombstones, p.Key)
+		}
+		if !ok {
+			f.markKeyLocked(p.Key, true)
+		}
+		f.liveBytes += putEntrySize(p.Key, len(p.Value))
+		f.keys[p.Key] = fileLoc{file: name, off: offs[i], vlen: len(p.Value)}
 	}
+	f.blooms[name] = b
+	if len(kvs) >= bloomSidecarMinKeys {
+		f.writeBloomSidecar(name, b, len(kvs))
+	}
+	f.aggAbsorbLocked(b, len(kvs))
 	return nil
 }
 
@@ -497,7 +702,7 @@ func (f *FileBackend) DeleteBatch(keys []string) error {
 		}
 		_ = os.Remove(path)
 		delete(f.keys, k)
-		f.sorted = nil
+		f.markKeyLocked(k, false)
 	}
 	return nil
 }
@@ -509,6 +714,8 @@ func (f *FileBackend) DeleteBatch(keys []string) error {
 func (f *FileBackend) GetBatch(keys []string) ([][]byte, []bool, error) {
 	values := make([][]byte, len(keys))
 	present := make([]bool, len(keys))
+	flt := f.agg.Load()
+	var skips, fps, hits int64
 	f.mu.RLock()
 	type fetch struct {
 		i   int
@@ -516,10 +723,16 @@ func (f *FileBackend) GetBatch(keys []string) ([][]byte, []bool, error) {
 	}
 	byFile := make(map[string][]fetch)
 	for i, k := range keys {
-		loc, ok := f.keys[k]
-		if !ok {
+		if flt != nil && !flt.mayContain(k) {
+			skips++
 			continue
 		}
+		loc, ok := f.keys[k]
+		if !ok {
+			fps++
+			continue
+		}
+		hits++
 		if loc.off >= 0 && loc.vlen == 0 {
 			// Empty segment value (an index posting): no file access.
 			values[i] = []byte{}
@@ -529,6 +742,17 @@ func (f *FileBackend) GetBatch(keys []string) ([][]byte, []bool, error) {
 		byFile[loc.file] = append(byFile[loc.file], fetch{i: i, loc: loc})
 	}
 	f.mu.RUnlock()
+	if flt != nil {
+		if skips > 0 {
+			f.bloomSkips.Add(skips)
+		}
+		if fps > 0 {
+			f.bloomFPs.Add(fps)
+		}
+		if hits > 0 {
+			f.bloomHits.Add(hits)
+		}
+	}
 	for file, fetches := range byFile {
 		if fetches[0].loc.off < 0 {
 			// Whole record files: one ReadFile each.
@@ -544,6 +768,24 @@ func (f *FileBackend) GetBatch(keys []string) ([][]byte, []bool, error) {
 				present[ft.i] = true
 			}
 			continue
+		}
+		if f.useMmap {
+			// One handle acquisition serves every range in this segment;
+			// values are copied straight out of the mapping.
+			if _, err := f.withSegData(file, func(seg []byte) error {
+				for _, ft := range fetches {
+					end := ft.loc.off + int64(ft.loc.vlen)
+					if end > int64(len(seg)) {
+						return fmt.Errorf("store: segment %s shorter than indexed range", file)
+					}
+					values[ft.i] = append([]byte(nil), seg[ft.loc.off:end]...)
+					present[ft.i] = true
+				}
+				return nil
+			}); err != nil {
+				return nil, nil, err
+			}
+			continue // a vanished segment leaves its keys absent
 		}
 		fh, err := os.Open(filepath.Join(f.dir, file))
 		if err != nil {
@@ -567,13 +809,26 @@ func (f *FileBackend) GetBatch(keys []string) ([][]byte, []bool, error) {
 	return values, present, nil
 }
 
-// Get implements Backend.
+// Get implements Backend. The negative filter runs BEFORE f.mu: a key
+// that cannot exist is answered without queueing behind writers, which
+// hold the lock across segment file I/O.
 func (f *FileBackend) Get(key string) ([]byte, bool, error) {
+	flt := f.agg.Load()
+	if flt != nil && !flt.mayContain(key) {
+		f.bloomSkips.Add(1)
+		return nil, false, nil
+	}
 	f.mu.RLock()
 	loc, ok := f.keys[key]
 	f.mu.RUnlock()
 	if !ok {
+		if flt != nil {
+			f.bloomFPs.Add(1)
+		}
 		return nil, false, nil
+	}
+	if flt != nil {
+		f.bloomHits.Add(1)
 	}
 	return f.readLoc(loc)
 }
@@ -596,6 +851,21 @@ func (f *FileBackend) readLoc(loc fileLoc) ([]byte, bool, error) {
 		// Empty segment values (index postings) need no file access —
 		// the hot posting-resolution path must not pay an open per key.
 		return []byte{}, true, nil
+	}
+	if f.useMmap {
+		var data []byte
+		found, err := f.withSegData(loc.file, func(seg []byte) error {
+			end := loc.off + int64(loc.vlen)
+			if end > int64(len(seg)) {
+				return fmt.Errorf("store: segment %s shorter than indexed range", loc.file)
+			}
+			data = append([]byte(nil), seg[loc.off:end]...)
+			return nil
+		})
+		if err != nil || !found {
+			return nil, false, err
+		}
+		return data, true, nil
 	}
 	fh, err := os.Open(path)
 	if err != nil {
@@ -735,6 +1005,19 @@ func (f *FileBackend) Compact() error {
 		f.keys[l.key] = fileLoc{file: name, off: l.off, vlen: l.vlen}
 		newLive += putEntrySize(l.key, l.vlen)
 	}
+	if len(locs) > 0 {
+		// The merged segment's filter is exact over its keys; its sidecar
+		// is the one that pays off at the next open (compaction output is
+		// where the per-segment key counts get large).
+		mb := newBloomFilter(len(locs))
+		for _, l := range locs {
+			mb.add(l.key)
+		}
+		f.blooms[name] = mb
+		if len(locs) >= bloomSidecarMinKeys {
+			f.writeBloomSidecar(name, mb, len(locs))
+		}
+	}
 	// Tombstoned keys: make sure no record-file copy survives before the
 	// tombstones are dropped with their segments (DeleteBatch already
 	// removed these; this is the crash-recovery sweep).
@@ -760,6 +1043,17 @@ func (f *FileBackend) Compact() error {
 	var removeErr error
 	for _, e := range entries { // ReadDir sorts: fixed-width hex names replay order
 		n := e.Name()
+		if strings.HasSuffix(n, segExt+bloomExt) {
+			// Bloom sidecars of retired segments (and any orphans from a
+			// crashed earlier compaction) go best-effort — a sidecar is
+			// never a source of truth, so failure here can't corrupt.
+			if n != name+bloomExt {
+				if _, err := strconv.ParseUint(strings.TrimSuffix(n, segExt+bloomExt), 16, 64); err == nil {
+					_ = os.Remove(filepath.Join(f.dir, n))
+				}
+			}
+			continue
+		}
 		if !strings.HasSuffix(n, segExt) || n == name {
 			continue
 		}
@@ -772,8 +1066,14 @@ func (f *FileBackend) Compact() error {
 			removeErr = fmt.Errorf("store: removing compacted segment %s: %w", n, err)
 			break
 		}
+		delete(f.blooms, n)
+		f.dropSeg(n) // unmap under the handle lock; readers have copied out
 	}
 	f.liveBytes = newLive
+	// Rebuild the negative filter from what survived: on a clean sweep
+	// that is the merged segment alone, which washes out every deleted
+	// key the old aggregate still answered "maybe" for.
+	f.rebuildAggLocked()
 	if removeErr != nil {
 		// The merged segment is authoritative and the directory replays
 		// consistently — but the leftover segments (tombstones included)
@@ -810,5 +1110,19 @@ func (f *FileBackend) Tombstones() int64 {
 	return int64(len(f.tombstones))
 }
 
-// Close implements Backend.
-func (f *FileBackend) Close() error { return nil }
+// Close implements Backend: release every cached segment handle
+// (unmapping where mapped). Reads after Close lazily re-open handles —
+// Close is a resource release, not a poisoning.
+func (f *FileBackend) Close() error {
+	f.segMu.Lock()
+	defer f.segMu.Unlock()
+	var first error
+	for name, m := range f.segs {
+		if err := m.close(); err != nil && first == nil {
+			first = fmt.Errorf("store: unmapping segment %s: %w", name, err)
+		}
+		delete(f.segs, name)
+	}
+	f.segBytes.Store(0)
+	return first
+}

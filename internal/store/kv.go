@@ -1,7 +1,6 @@
 package store
 
 import (
-	"errors"
 	"fmt"
 
 	"preserv/internal/kvdb"
@@ -38,16 +37,12 @@ func (k *KVBackend) PutBatch(kvs []KV) error {
 	return k.db.PutBatch(kvs)
 }
 
-// Get implements Backend.
+// Get implements Backend. Lookup (not kvdb.Get) keeps point misses —
+// the planner's dangling postings, existence probes — allocation-free:
+// absence binary-searches the sorted key cache before the log index and
+// never builds an ErrNotFound wrap.
 func (k *KVBackend) Get(key string) ([]byte, bool, error) {
-	v, err := k.db.Get(key)
-	if err != nil {
-		if errors.Is(err, kvdb.ErrNotFound) {
-			return nil, false, nil
-		}
-		return nil, false, err
-	}
-	return v, true, nil
+	return k.db.Lookup(key)
 }
 
 // GetBatch implements Backend: one lock acquisition and one

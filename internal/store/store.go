@@ -121,11 +121,19 @@ type Store struct {
 	deleteSec   *obs.Histogram
 	deleteBatch *obs.Histogram
 	compactSec  *obs.Histogram
+
+	// bc is the shared record block cache (see blockcache.go): every
+	// GetRecord/GetBatch consumer — queries, the planner's candidate
+	// fetches, presence-only total counting — reads through it. Entries
+	// are stamped with the generation loaded before the backend read, so
+	// the existing invalidation contract (gen bumps on accepted records
+	// and attempted deletes) covers it with no new bookkeeping.
+	bc *BlockCache
 }
 
 // New wraps a backend in a Store.
 func New(b Backend) *Store {
-	s := &Store{b: b, seed: maphash.MakeSeed(), reg: obs.NewRegistry()}
+	s := &Store{b: b, seed: maphash.MakeSeed(), reg: obs.NewRegistry(), bc: newBlockCache(DefaultBlockCacheBytes)}
 	s.recordSec = s.reg.Histogram("store_record_seconds", nil)
 	s.recordBatch = s.reg.Histogram("store_record_batch_size", obs.SizeBuckets)
 	s.deleteSec = s.reg.Histogram("store_delete_seconds", nil)
@@ -133,7 +141,56 @@ func New(b Backend) *Store {
 	s.compactSec = s.reg.Histogram("store_compact_seconds", nil)
 	s.reg.GaugeFunc("store_garbage_ratio", s.GarbageRatio)
 	s.reg.GaugeFunc("store_tombstones", func() float64 { return float64(s.Tombstones()) })
+	s.reg.GaugeFunc("store_blockcache_resident_bytes", func() float64 { return float64(s.bc.stats().Bytes) })
+	s.reg.GaugeFunc("store_blockcache_entries", func() float64 { return float64(s.bc.stats().Entries) })
+	s.reg.GaugeFunc("store_blockcache_hit_ratio", func() float64 {
+		st := s.bc.stats()
+		if st.Hits+st.Misses == 0 {
+			return 0
+		}
+		return float64(st.Hits) / float64(st.Hits+st.Misses)
+	})
+	if bs, ok := b.(BloomStatser); ok {
+		s.reg.GaugeFunc("store_bloom_skips", func() float64 { sk, _, _ := bs.BloomStats(); return float64(sk) })
+		s.reg.GaugeFunc("store_bloom_false_positives", func() float64 { _, fp, _ := bs.BloomStats(); return float64(fp) })
+		s.reg.GaugeFunc("store_bloom_hits", func() float64 { _, _, h := bs.BloomStats(); return float64(h) })
+	}
+	if mb, ok := b.(interface{ MappedBytes() int64 }); ok {
+		s.reg.GaugeFunc("store_mapped_bytes", func() float64 { return float64(mb.MappedBytes()) })
+	}
 	return s
+}
+
+// SetBlockCacheBytes resizes the record block cache's byte budget,
+// evicting down to it immediately; n <= 0 disables the cache.
+func (s *Store) SetBlockCacheBytes(n int64) { s.bc.setMax(n) }
+
+// ReadCacheStats is a snapshot of the read-path cache counters: the
+// backend's negative-filter traffic (zero on backends without one) and
+// the record block cache.
+type ReadCacheStats struct {
+	BloomSkips          int64
+	BloomFalsePositives int64
+	BloomHits           int64
+	BlockCacheHits      int64
+	BlockCacheMisses    int64
+	BlockCacheBytes     int64
+	BlockCacheEntries   int64
+}
+
+// ReadCacheStats reports the read-path cache counters.
+func (s *Store) ReadCacheStats() ReadCacheStats {
+	st := s.bc.stats()
+	out := ReadCacheStats{
+		BlockCacheHits:    st.Hits,
+		BlockCacheMisses:  st.Misses,
+		BlockCacheBytes:   st.Bytes,
+		BlockCacheEntries: st.Entries,
+	}
+	if bs, ok := s.b.(BloomStatser); ok {
+		out.BloomSkips, out.BloomFalsePositives, out.BloomHits = bs.BloomStats()
+	}
+	return out
 }
 
 // Obs returns the store's telemetry registry. The query engine records
@@ -203,11 +260,22 @@ func (s *Store) dropIndex() {
 // GetRecord fetches and decodes one record by its storage key — the
 // point lookup the query planner uses to resolve posting-list candidates.
 func (s *Store) GetRecord(key string) (*core.Record, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	value, ok, err := s.b.Get(key)
-	if err != nil || !ok {
-		return nil, false, err
+	// The generation is loaded BEFORE the backend read: a mutation that
+	// races the read has already bumped past it, so the entry this read
+	// caches dies on its first lookup — stale values cannot be served,
+	// only invalidated too eagerly.
+	gen := s.gen.Load()
+	value, cached := s.bc.get(key, gen)
+	if !cached {
+		s.mu.RLock()
+		var ok bool
+		var err error
+		value, ok, err = s.b.Get(key)
+		s.mu.RUnlock()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		s.bc.put(key, gen, value)
 	}
 	r, err := core.DecodeRecord(value)
 	if err != nil {
@@ -223,9 +291,42 @@ func (s *Store) GetRecord(key string) (*core.Record, bool, error) {
 // error). Values are returned undecoded so callers that only need
 // existence (total counting past a query's Limit) skip the decode.
 func (s *Store) GetBatch(keys []string) (values [][]byte, present []bool, err error) {
+	if !s.bc.enabled() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.b.GetBatch(keys)
+	}
+	gen := s.gen.Load() // pre-read, same under-stamping rule as GetRecord
+	values = make([][]byte, len(keys))
+	present = make([]bool, len(keys))
+	var missKeys []string
+	var missIdx []int
+	for i, k := range keys {
+		if v, ok := s.bc.get(k, gen); ok {
+			values[i] = v
+			present[i] = true
+		} else {
+			missKeys = append(missKeys, k)
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missKeys) == 0 {
+		return values, present, nil
+	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.b.GetBatch(keys)
+	mv, mp, err := s.b.GetBatch(missKeys)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	for j, i := range missIdx {
+		if mp[j] {
+			values[i] = mv[j]
+			present[i] = true
+			s.bc.put(missKeys[j], gen, mv[j])
+		}
+	}
+	return values, present, nil
 }
 
 // Record validates and stores a batch of p-assertions asserted by
@@ -614,6 +715,13 @@ type GarbageReporter interface {
 // deletion markers.
 type TombstoneReporter interface {
 	Tombstones() int64
+}
+
+// BloomStatser is implemented by backends with a negative-lookup
+// filter (the file backend's aggregate bloom); the store surfaces its
+// counters through ReadCacheStats and the obs registry.
+type BloomStatser interface {
+	BloomStats() (skips, falsePositives, hits int64)
 }
 
 // Compact reclaims dead bytes in the underlying backend, if it supports
