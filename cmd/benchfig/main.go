@@ -11,6 +11,7 @@
 //	benchfig -exp shard          # sharded-store scaling sweep (1/2/4 shards)
 //	benchfig -exp obs            # instrumentation-overhead gate (on vs off)
 //	benchfig -exp readpath       # memory-speed read path floor gate
+//	benchfig -exp writeavail     # write availability under compaction floor gate
 //	benchfig -exp all            # everything
 //
 // By default the sweeps run at laptop scale (seconds); -paper selects
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: e1, fig4, fig5, gran, dist, ingest, query, shard, obs, readpath or all")
+	exp := flag.String("exp", "all", "experiment: e1, fig4, fig5, gran, dist, ingest, query, shard, obs, readpath, writeavail or all")
 	paper := flag.Bool("paper", false, "run at the paper's scale (slow)")
 	seed := flag.Int64("seed", 2005, "workload seed")
 	quiet := flag.Bool("q", false, "suppress progress lines")
@@ -202,6 +203,25 @@ func main() {
 		}
 	}
 
+	runWriteavail := func() {
+		opts := bench.WriteAvailOptions{Seed: *seed}
+		if *paper {
+			opts.Batches = 16
+			opts.BatchSize = 512
+			opts.Records = 2000
+			opts.Reps = 8
+		}
+		points, err := bench.RunWriteAvailSweep(opts, progress)
+		if err != nil {
+			log.Fatalf("benchfig: writeavail: %v", err)
+		}
+		bench.RenderWriteAvail(out, points)
+		fmt.Fprintln(out)
+		if err := bench.CheckWriteAvailFloors(points); err != nil {
+			log.Fatalf("benchfig: writeavail: %v", err)
+		}
+	}
+
 	switch *exp {
 	case "e1":
 		runE1()
@@ -223,6 +243,8 @@ func main() {
 		runObs()
 	case "readpath":
 		runReadpath()
+	case "writeavail":
+		runWriteavail()
 	case "all":
 		runE1()
 		runFig4()
@@ -234,6 +256,7 @@ func main() {
 		runShard()
 		runObs()
 		runReadpath()
+		runWriteavail()
 	default:
 		log.Fatalf("benchfig: unknown experiment %q", *exp)
 	}

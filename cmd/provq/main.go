@@ -345,6 +345,11 @@ func printStats(out io.Writer, st *prep.StatsResponse) {
 			rc.BlockCacheEntries, rc.BlockCacheBytes>>10,
 			rc.ResultCacheHits, rc.ResultCacheHits+rc.ResultCacheMisses)
 	}
+	wp := st.WritePath
+	if wp != (prep.WritePathCounters{}) {
+		fmt.Fprintf(out, "write path: compacting=%d  stalls=%d (p99=%.2fms, total=%.1fs)\n",
+			wp.CompactionsInProgress, wp.StallCount, wp.StallP99*1000, wp.StallSeconds)
+	}
 	for _, sh := range st.Shards {
 		loc := sh.URL
 		if loc == "" {

@@ -22,7 +22,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +52,9 @@ type Stats struct {
 	Recorded int64
 	// Shipped counts p-assertions confirmed stored.
 	Shipped int64
+	// FlushRetries counts re-ship attempts of sealed journal files whose
+	// earlier ship failed — the signal that an endpoint is flapping.
+	FlushRetries int64
 }
 
 // StatsReporter is implemented by recorders that track Stats.
@@ -127,12 +133,21 @@ const DefaultFlushConcurrency = 4
 // require just a few milliseconds to prepare a record to be temporarily
 // stored in a file and submitted asynchronously".
 //
-// Flush is a streaming pipeline: the journal is decoded incrementally
-// and batches ship through a bounded pool of concurrent POSTs, batches
-// striped round-robin across the configured endpoints. The bounded
-// channel between decoder and shippers is the backpressure — at most
-// roughly 2× the concurrency's worth of batches is ever materialised,
-// however large the backlog grew.
+// Journals rotate: a flush first SEALS the active journal — an O(1)
+// rename under the record lock — then ships the sealed file with no
+// record lock held, while new Record calls append to a fresh active
+// journal. Recording therefore never waits on network shipping, and a
+// failed ship re-ships one sealed file instead of the whole backlog.
+// Sealed files left behind by a crash (the recorder died mid-rotation
+// or mid-ship) are adopted on the next open and re-enter the pending
+// backlog.
+//
+// Shipping is a streaming pipeline: the sealed journal is decoded
+// incrementally and batches ship through a bounded pool of concurrent
+// POSTs, batches striped round-robin across the configured endpoints.
+// The bounded channel between decoder and shippers is the backpressure
+// — at most roughly 2× the concurrency's worth of batches is ever
+// materialised, however large the backlog grew.
 type AsyncRecorder struct {
 	mu          sync.Mutex
 	asserter    core.ActorID
@@ -143,14 +158,30 @@ type AsyncRecorder struct {
 	path        string
 	batchSize   int
 	concurrency int
+	// pending is the total backlog: records in the active journal
+	// (activeCount) plus every sealed journal's count.
 	pending     int64
-	recorded    atomic.Int64
+	activeCount int64
+	// sealSeq numbers sealed journal files; sealed lists them
+	// oldest-first. Both are guarded by mu; a sealed file's contents are
+	// only touched by the shipper holding shipMu.
+	sealSeq uint64
+	sealed  []*sealedJournal
+	// shipMu serialises shippers (background auto-flush, explicit Flush,
+	// Close) against each other. Ordered above mu: a shipper takes
+	// shipMu first and mu only in short sections, so Record calls keep
+	// flowing while a ship is on the wire.
+	shipMu sync.Mutex
+	// flushRetries counts re-ship attempts of sealed files whose earlier
+	// ship failed (Stats.FlushRetries).
+	flushRetries atomic.Int64
+	recorded     atomic.Int64
 	// shipped counts p-assertions confirmed stored. Workers add to it
-	// live during a flush; a failed flush rolls it back to its
-	// pre-flush value (the journal is kept whole, so the retry re-ships
-	// and re-counts everything — without the rollback every retried
-	// batch would double-count, since the store accepts idempotent
-	// re-records, and Shipped could exceed Recorded).
+	// live during a ship; a failed ship rolls it back to the value it
+	// had when that sealed file's ship started (the file is kept whole,
+	// so the retry re-ships and re-counts everything — without the
+	// rollback every retried batch would double-count, since the store
+	// accepts idempotent re-records, and Shipped could exceed Recorded).
 	shipped atomic.Int64
 	// rr is the round-robin endpoint cursor. It lives on the recorder —
 	// not inside one flush — so consecutive flushes continue around the
@@ -188,9 +219,53 @@ type AsyncRecorder struct {
 	journalPending *obs.Gauge
 }
 
+// sealedExt suffixes rotated-out journal files: <journal>.<seq>.sealed.
+const sealedExt = ".sealed"
+
+// sealedJournal is one rotated-out journal file awaiting shipment.
+type sealedJournal struct {
+	path string
+	// count is how many records the file holds, for pending accounting.
+	count int64
+	// attempts counts failed ship attempts. Once it reaches
+	// maxAutoShipAttempts the background shipper skips the file; an
+	// explicit Flush or Close still retries it. Mutated only under
+	// shipMu (and at construction, before any concurrency).
+	attempts int
+	// recovered marks a file adopted from a crashed predecessor: its
+	// tail may be torn, so the shipper treats a decode error as the end
+	// of the clean prefix rather than corruption.
+	recovered bool
+}
+
+// maxAutoShipAttempts bounds how often the background shipper retries
+// one sealed journal before leaving it for an explicit Flush/Close.
+const maxAutoShipAttempts = 5
+
+// countJournalRecords reports how many records decode cleanly from a
+// journal file — the length of its clean prefix.
+func countJournalRecords(path string) int64 {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(bufio.NewReaderSize(f, 64<<10))
+	var n int64
+	for {
+		var rec core.Record
+		if err := dec.Decode(&rec); err != nil {
+			return n
+		}
+		n++
+	}
+}
+
 // NewAsyncRecorder creates an asynchronous recorder journaling to
 // journalPath and shipping to the given endpoints (at least one).
-// batchSize <= 0 selects DefaultBatchSize.
+// batchSize <= 0 selects DefaultBatchSize. Sealed journal files a
+// crashed predecessor left beside journalPath are adopted: their clean
+// prefixes re-enter the pending backlog and ship with the next flush.
 func NewAsyncRecorder(asserter core.ActorID, journalPath string, batchSize int, clients ...*preserv.Client) (*AsyncRecorder, error) {
 	if len(clients) == 0 {
 		return nil, errors.New("client: async recorder needs at least one store endpoint")
@@ -202,9 +277,42 @@ func NewAsyncRecorder(asserter core.ActorID, journalPath string, batchSize int, 
 	if err != nil {
 		return nil, fmt.Errorf("client: opening journal: %w", err)
 	}
+	var (
+		sealed  []*sealedJournal
+		sealSeq uint64
+		pending int64
+	)
+	dir, base := filepath.Split(journalPath)
+	if dir == "" {
+		dir = "."
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			n := e.Name()
+			if !strings.HasPrefix(n, base+".") || !strings.HasSuffix(n, sealedExt) {
+				continue
+			}
+			seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(n, base+"."), sealedExt), 10, 64)
+			if err != nil {
+				continue
+			}
+			if seq > sealSeq {
+				sealSeq = seq
+			}
+			sp := filepath.Join(dir, n)
+			count := countJournalRecords(sp)
+			if count == 0 {
+				os.Remove(sp) // nothing recoverable in it
+				continue
+			}
+			sealed = append(sealed, &sealedJournal{path: sp, count: count, recovered: true})
+			pending += count
+		}
+		sort.Slice(sealed, func(i, j int) bool { return sealed[i].path < sealed[j].path })
+	}
 	bw := bufio.NewWriterSize(f, 64<<10)
 	reg := obs.NewRegistry()
-	return &AsyncRecorder{
+	r := &AsyncRecorder{
 		asserter:       asserter,
 		clients:        clients,
 		journal:        f,
@@ -212,10 +320,15 @@ func NewAsyncRecorder(asserter core.ActorID, journalPath string, batchSize int, 
 		enc:            gob.NewEncoder(bw),
 		path:           journalPath,
 		batchSize:      batchSize,
+		sealSeq:        sealSeq,
+		sealed:         sealed,
+		pending:        pending,
 		reg:            reg,
 		flushSec:       reg.Histogram("client_flush_seconds", nil),
 		journalPending: reg.Gauge("client_journal_pending"),
-	}, nil
+	}
+	r.journalPending.Set(pending)
+	return r, nil
 }
 
 // Obs returns the recorder's telemetry registry: client_flush_seconds
@@ -248,12 +361,13 @@ func (r *AsyncRecorder) SetShardedTopology(sharded bool) {
 // journal backlog reaches n pending records, so a long-running actor
 // ships continuously instead of accumulating everything until an
 // explicit Flush or Close. n <= 0 disables (the default — the paper's
-// record-everything-then-ship-after-execution mode). While a background
-// flush is shipping, Record calls block behind it — that is the
-// recorder's natural backpressure: the backlog can never outgrow one
-// threshold's worth plus one in-flight flush. A failed background flush
-// keeps the journal whole (the next flush re-ships, idempotent
-// recording absorbs the overlap) and is reported by AutoFlushErr.
+// record-everything-then-ship-after-execution mode). Crossing the
+// threshold seals the active journal (an O(1) rename) and ships the
+// sealed file in the background, so Record calls keep flowing into a
+// fresh journal while the ship is on the wire. A failed background
+// ship keeps the sealed file whole (the next flush re-ships,
+// idempotent recording absorbs the overlap) and is reported by
+// AutoFlushErr.
 func (r *AsyncRecorder) SetAutoFlushThreshold(n int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -271,27 +385,35 @@ func (r *AsyncRecorder) AutoFlushErr() error {
 	return err
 }
 
-// maybeAutoFlushLocked spawns the background shipper when the backlog
-// crossed the threshold and none is already in flight. Callers hold
-// r.mu.
+// maybeAutoFlushLocked seals the active journal and spawns the
+// background shipper when the backlog crossed the threshold and none is
+// already in flight. The seal is O(1) (rename + reopen) so the Record
+// call paying for it barely notices; the shipping happens off-lock.
+// Callers hold r.mu.
 func (r *AsyncRecorder) maybeAutoFlushLocked() {
 	if r.autoFlushAt <= 0 || r.pending < r.autoFlushAt || r.pending < r.retryAt || r.flushing || r.closed {
 		return
 	}
+	if err := r.sealActiveLocked(); err != nil {
+		r.autoFlushErr = err
+		return
+	}
 	r.flushing = true
 	go func() {
+		span := r.reg.Tracer().StartSpan("client.flush")
+		err := r.shipSealed(false)
+		span.Observe(r.flushSec, err)
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		r.flushing = false
-		if r.closed || r.pending == 0 {
-			return // Close or an explicit Flush got here first
-		}
-		if err := r.flushLocked(); err != nil {
+		if err != nil {
 			r.autoFlushErr = err
-			// Back off: the journal is whole, so re-attempting on the
-			// very next Record would just replay the same failure. Wait
-			// for another threshold's worth of backlog first.
+			// Back off: the sealed files are whole, so re-attempting on
+			// the very next Record would just replay the same failure.
+			// Wait for another threshold's worth of backlog first.
 			r.retryAt = r.pending + r.autoFlushAt
+		} else {
+			r.retryAt = 0
 		}
 	}()
 }
@@ -311,6 +433,7 @@ func (r *AsyncRecorder) Record(records ...core.Record) error {
 			return fmt.Errorf("client: journaling record: %w", err)
 		}
 	}
+	r.activeCount += int64(len(records))
 	r.pending += int64(len(records))
 	r.journalPending.Set(r.pending)
 	r.recorded.Add(int64(len(records)))
@@ -318,39 +441,151 @@ func (r *AsyncRecorder) Record(records ...core.Record) error {
 	return nil
 }
 
-// Flush ships all journaled records to the configured endpoints in
-// batches, striped round-robin when several endpoints are configured,
-// then truncates the journal.
-func (r *AsyncRecorder) Flush() error {
+// Rotate seals the active journal — an O(1) rename — without shipping
+// it: the records become a sealed file the next flush (background or
+// explicit) ships. Exposed for tests and crash harnesses that need the
+// mid-rotation on-disk state.
+func (r *AsyncRecorder) Rotate() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.flushLocked()
+	if r.closed {
+		return errors.New("client: recorder closed")
+	}
+	return r.sealActiveLocked()
 }
 
-func (r *AsyncRecorder) flushLocked() (err error) {
-	if r.pending == 0 {
+// sealActiveLocked rotates the active journal out: flush the buffer,
+// rename the file to <journal>.<seq>.sealed, and start a fresh journal
+// (with a fresh gob stream — each sealed file must decode standalone).
+// No-op when the active journal is empty. Callers hold r.mu.
+func (r *AsyncRecorder) sealActiveLocked() error {
+	if r.activeCount == 0 {
 		return nil
 	}
-	span := r.reg.Tracer().StartSpan("client.flush").
-		SetAttr("pending", strconv.FormatInt(r.pending, 10))
-	defer func() { span.Observe(r.flushSec, err) }()
 	if err := r.bw.Flush(); err != nil {
 		return fmt.Errorf("client: flushing journal buffer: %w", err)
 	}
-	if _, err := r.journal.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("client: rewinding journal: %w", err)
+	if err := r.journal.Close(); err != nil {
+		return fmt.Errorf("client: closing journal for rotation: %w", err)
 	}
-	dec := gob.NewDecoder(bufio.NewReaderSize(r.journal, 64<<10))
+	r.sealSeq++
+	sp := fmt.Sprintf("%s.%06d%s", r.path, r.sealSeq, sealedExt)
+	if err := os.Rename(r.path, sp); err != nil {
+		// The records still sit at r.path; reopen it and continue the
+		// same gob stream (the encoder survives a bw retarget) so the
+		// recorder stays usable.
+		r.sealSeq--
+		f, oerr := os.OpenFile(r.path, os.O_RDWR|os.O_CREATE, 0o644)
+		if oerr == nil {
+			if _, oerr = f.Seek(0, io.SeekEnd); oerr == nil {
+				r.journal = f
+				r.bw.Reset(f)
+			}
+		}
+		return fmt.Errorf("client: sealing journal: %w", err)
+	}
+	f, err := os.OpenFile(r.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("client: reopening journal after rotation: %w", err)
+	}
+	r.journal = f
+	r.bw.Reset(f)
+	r.enc = gob.NewEncoder(r.bw)
+	r.sealed = append(r.sealed, &sealedJournal{path: sp, count: r.activeCount})
+	r.activeCount = 0
+	return nil
+}
 
-	workers := r.concurrency
+// Flush seals the active journal and ships every sealed file to the
+// configured endpoints in batches, striped round-robin when several
+// endpoints are configured. Shipped files are removed. Unlike the
+// background shipper, an explicit Flush retries even sealed files that
+// have exhausted their automatic attempt budget.
+func (r *AsyncRecorder) Flush() error {
+	r.mu.Lock()
+	if err := r.sealActiveLocked(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	pending := r.pending
+	r.mu.Unlock()
+	if pending == 0 {
+		return nil
+	}
+	span := r.reg.Tracer().StartSpan("client.flush").
+		SetAttr("pending", strconv.FormatInt(pending, 10))
+	err := r.shipSealed(true)
+	span.Observe(r.flushSec, err)
+	if err == nil {
+		r.mu.Lock()
+		r.retryAt = 0 // the endpoint evidently recovered
+		r.mu.Unlock()
+	}
+	return err
+}
+
+// shipSealed ships sealed journals oldest-first until none remain (or
+// one fails). With all=false — the background shipper — files that have
+// exhausted maxAutoShipAttempts are skipped so a poisoned file cannot
+// wedge the pipeline; all=true retries everything. Each shipped file is
+// deducted from pending and removed. Callers must NOT hold r.mu.
+func (r *AsyncRecorder) shipSealed(all bool) error {
+	r.shipMu.Lock()
+	defer r.shipMu.Unlock()
+	for {
+		r.mu.Lock()
+		var sj *sealedJournal
+		for _, c := range r.sealed {
+			if all || c.attempts < maxAutoShipAttempts {
+				sj = c
+				break
+			}
+		}
+		workers, sharded := r.concurrency, r.sharded
+		r.mu.Unlock()
+		if sj == nil {
+			return nil
+		}
+		if sj.attempts > 0 {
+			r.flushRetries.Add(1)
+		}
+		if err := r.shipJournal(sj, workers, sharded); err != nil {
+			sj.attempts++
+			return err
+		}
+		r.mu.Lock()
+		for i, c := range r.sealed {
+			if c == sj {
+				r.sealed = append(r.sealed[:i], r.sealed[i+1:]...)
+				break
+			}
+		}
+		r.pending -= sj.count
+		r.journalPending.Set(r.pending)
+		r.mu.Unlock()
+		os.Remove(sj.path)
+	}
+}
+
+// shipJournal decodes one sealed journal and ships its batches through
+// the bounded worker pipeline. On failure the file is left whole and
+// the shipped counter rolls back to this ship's starting point.
+func (r *AsyncRecorder) shipJournal(sj *sealedJournal, workers int, sharded bool) (err error) {
+	f, err := os.Open(sj.path)
+	if err != nil {
+		return fmt.Errorf("client: opening sealed journal: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(bufio.NewReaderSize(f, 64<<10))
+
 	if workers <= 0 {
 		workers = DefaultFlushConcurrency
 	}
 
-	// shippedBase is this flush's rollback point: workers add confirmed
+	// shippedBase is this ship's rollback point: workers add confirmed
 	// batches to r.shipped as they land (so Stats sees live progress),
-	// and a failed flush restores the pre-flush value — the journal is
-	// kept whole, the retry re-ships everything, and counting any batch
+	// and a failed ship restores the starting value — the file is kept
+	// whole, the retry re-ships everything, and counting any batch
 	// twice would let Shipped exceed Recorded (the store accepts
 	// idempotent re-records as accepted).
 	shippedBase := r.shipped.Load()
@@ -420,12 +655,17 @@ func (r *AsyncRecorder) flushLocked() (err error) {
 	for !failed.Load() {
 		var rec core.Record
 		if err := dec.Decode(&rec); err != nil {
-			if err != io.EOF {
+			if err != io.EOF && !sj.recovered {
+				// A recovered file may end in a torn tail (the writer
+				// crashed mid-encode): its clean prefix ships, the tail
+				// is gone either way. A file this process sealed was
+				// fully flushed before the rename, so any decode error
+				// there is real corruption.
 				decodeErr = fmt.Errorf("client: reading journal: %w", err)
 			}
 			break
 		}
-		if r.sharded {
+		if sharded {
 			ci := shard.Affinity(&rec, len(r.clients))
 			perEndpoint[ci] = append(perEndpoint[ci], rec)
 			if len(perEndpoint[ci]) >= r.batchSize {
@@ -459,61 +699,67 @@ func (r *AsyncRecorder) flushLocked() (err error) {
 		err = decodeErr
 	}
 	if err != nil {
-		// The journal is kept whole: the retry re-ships everything and
-		// the store's idempotent recording absorbs the overlap — so the
-		// shipped counter must forget this attempt's partial progress,
-		// or the retry would count those batches twice. The streaming
-		// decode may have stopped mid-file (and its buffered reader
-		// read ahead of it), so restore the append position — otherwise
-		// the next Record would overwrite unshipped bytes.
+		// The sealed file is kept whole: the retry re-ships everything
+		// and the store's idempotent recording absorbs the overlap — so
+		// the shipped counter must forget this attempt's partial
+		// progress, or the retry would count those batches twice.
 		r.shipped.Store(shippedBase)
-		if _, serr := r.journal.Seek(0, io.SeekEnd); serr != nil {
-			return fmt.Errorf("client: restoring journal position after failed flush: %w (flush: %v)", serr, err)
-		}
 		return err
 	}
-
-	// All shipped: reset the journal (and any auto-flush backoff — the
-	// endpoint evidently recovered).
-	if err := r.journal.Truncate(0); err != nil {
-		return fmt.Errorf("client: truncating journal: %w", err)
-	}
-	if _, err := r.journal.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("client: rewinding journal: %w", err)
-	}
-	r.bw.Reset(r.journal)
-	r.enc = gob.NewEncoder(r.bw)
-	r.pending = 0
-	r.journalPending.Set(0)
-	r.retryAt = 0
 	return nil
 }
 
-// Pending reports how many records await shipping.
+// Pending reports how many records await shipping (active journal plus
+// sealed files).
 func (r *AsyncRecorder) Pending() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.pending
 }
 
-// Close flushes, closes and removes the journal.
+// Close flushes, then closes and removes the journal files — including
+// sealed files whose final ship failed (matching the previous
+// semantics: Close never leaves journals behind).
 func (r *AsyncRecorder) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return nil
 	}
-	flushErr := r.flushLocked()
+	sealErr := r.sealActiveLocked()
 	r.closed = true
+	r.mu.Unlock()
+
+	var shipErr error
+	if sealErr == nil {
+		shipErr = r.shipSealed(true)
+	}
+
+	r.shipMu.Lock()
+	r.mu.Lock()
 	closeErr := r.journal.Close()
 	os.Remove(r.path)
-	if flushErr != nil {
-		return flushErr
+	for _, sj := range r.sealed {
+		os.Remove(sj.path)
+	}
+	r.sealed = nil
+	r.mu.Unlock()
+	r.shipMu.Unlock()
+
+	if sealErr != nil {
+		return sealErr
+	}
+	if shipErr != nil {
+		return shipErr
 	}
 	return closeErr
 }
 
 // Stats implements StatsReporter.
 func (r *AsyncRecorder) Stats() Stats {
-	return Stats{Recorded: r.recorded.Load(), Shipped: r.shipped.Load()}
+	return Stats{
+		Recorded:     r.recorded.Load(),
+		Shipped:      r.shipped.Load(),
+		FlushRetries: r.flushRetries.Load(),
+	}
 }

@@ -62,6 +62,13 @@ type DB struct {
 	index  map[string]entryLoc
 	offset int64 // append position
 	closed bool
+	// compactMu serialises compactions (incremental or serial) against
+	// each other; db.mu alone still serialises them against writes.
+	compactMu sync.Mutex
+	// legacyCompact selects the original stop-the-world Compact, which
+	// holds db.mu for the whole rewrite. Kept for comparison benchmarks
+	// and so crash/conformance suites cover both paths.
+	legacyCompact bool
 	// garbage counts bytes occupied by superseded or deleted records,
 	// used to decide when compaction is worthwhile.
 	garbage int64
@@ -541,10 +548,180 @@ func (db *DB) Sync() error {
 	return db.f.Sync()
 }
 
+// SetIncrementalCompaction selects between the incremental compaction
+// path (the default: writers keep running during the rewrite) and the
+// legacy stop-the-world path that holds the lock for the whole rewrite.
+func (db *DB) SetIncrementalCompaction(on bool) {
+	db.mu.Lock()
+	db.legacyCompact = !on
+	db.mu.Unlock()
+}
+
 // Compact rewrites the log keeping only live records, reclaiming space
 // from superseded values and tombstones. The database remains usable
-// afterwards.
+// afterwards. By default the rewrite runs against a snapshot of the
+// index with writers still admitted; a short exclusive section at the
+// end folds in the redo window (records appended during the rewrite)
+// and swaps the logs.
 func (db *DB) Compact() error {
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
+	db.mu.RLock()
+	legacy := db.legacyCompact
+	db.mu.RUnlock()
+	if legacy {
+		return db.compactSerial()
+	}
+	return db.compactIncremental()
+}
+
+// compactIncremental rewrites the log in three phases: (1) snapshot the
+// index and append position under a brief read lock; (2) with no lock
+// held, write every snapshot-live record into compact.tmp — the live
+// log is append-only, so snapshot offsets stay readable — and fold in
+// large redo windows as they accumulate; (3) under a short exclusive
+// section, fold the final redo window (a verbatim byte copy of the
+// appended region, parsed with recovery's logic to update the new
+// index), fsync, rename, and swap. A crash at any point leaves either
+// the old log or the fully renamed new log authoritative: Open discards
+// a leftover compact.tmp.
+func (db *DB) compactIncremental() error {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrClosed
+	}
+	snap := make(map[string]entryLoc, len(db.index))
+	for k, loc := range db.index {
+		snap[k] = loc
+	}
+	snapOff := db.offset
+	db.mu.RUnlock()
+
+	tmpPath := filepath.Join(db.dir, tmpFileName)
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvdb: compaction temp: %w", err)
+	}
+	fail := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return e
+	}
+
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	newIndex := make(map[string]entryLoc, len(snap))
+	var newOff, newGarbage, newTombs int64
+	for _, k := range keys {
+		loc := snap[k]
+		val := make([]byte, loc.valLen)
+		if _, err := db.f.ReadAt(val, loc.off); err != nil {
+			return fail(fmt.Errorf("kvdb: compaction read: %w", err))
+		}
+		rec := encodeRecord(make([]byte, 0, headerSize+len(k)+len(val)), 0, k, val)
+		if _, err := tmp.WriteAt(rec, newOff); err != nil {
+			return fail(fmt.Errorf("kvdb: compaction write: %w", err))
+		}
+		newIndex[k] = entryLoc{off: newOff + headerSize + int64(len(k)), valLen: len(val)}
+		newOff += int64(len(rec))
+	}
+
+	// Fold large redo windows without the exclusive lock so the final
+	// swap section only replays the last sliver of concurrent appends.
+	const redoFoldMax = 1 << 20
+	for spins := 0; spins < 8; spins++ {
+		db.mu.RLock()
+		cur, closed := db.offset, db.closed
+		db.mu.RUnlock()
+		if closed {
+			return fail(ErrClosed)
+		}
+		if cur-snapOff <= redoFoldMax {
+			break
+		}
+		if err := db.foldRedo(tmp, snapOff, cur, &newOff, newIndex, &newGarbage, &newTombs); err != nil {
+			return fail(err)
+		}
+		snapOff = cur
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fail(ErrClosed)
+	}
+	if db.offset > snapOff {
+		if err := db.foldRedo(tmp, snapOff, db.offset, &newOff, newIndex, &newGarbage, &newTombs); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("kvdb: compaction sync: %w", err))
+	}
+	if err := os.Rename(tmpPath, filepath.Join(db.dir, dataFileName)); err != nil {
+		return fail(fmt.Errorf("kvdb: compaction rename: %w", err))
+	}
+	old := db.f
+	db.f = tmp
+	db.index = newIndex
+	db.offset = newOff
+	db.garbage = newGarbage
+	db.tombs = newTombs
+	old.Close()
+	return nil
+}
+
+// foldRedo copies the live log's [from, to) byte range — whole records
+// by construction, since offset only advances past fully written
+// records — verbatim onto the end of the compaction temp file, and
+// replays it against newIndex with the same accounting recovery uses.
+func (db *DB) foldRedo(tmp *os.File, from, to int64, newOff *int64, newIndex map[string]entryLoc, garbage, tombs *int64) error {
+	buf := make([]byte, to-from)
+	if _, err := db.f.ReadAt(buf, from); err != nil {
+		return fmt.Errorf("kvdb: compaction redo read: %w", err)
+	}
+	if _, err := tmp.WriteAt(buf, *newOff); err != nil {
+		return fmt.Errorf("kvdb: compaction redo write: %w", err)
+	}
+	base := *newOff
+	off := 0
+	for off < len(buf) {
+		if off+headerSize > len(buf) {
+			return fmt.Errorf("kvdb: torn redo window at %d", from+int64(off))
+		}
+		flags := buf[off+4]
+		keyLen := int(binary.BigEndian.Uint32(buf[off+5:]))
+		valLen := int(binary.BigEndian.Uint32(buf[off+9:]))
+		recLen := headerSize + keyLen + valLen
+		if off+recLen > len(buf) {
+			return fmt.Errorf("kvdb: torn redo window at %d", from+int64(off))
+		}
+		key := string(buf[off+headerSize : off+headerSize+keyLen])
+		if prev, ok := newIndex[key]; ok {
+			*garbage += int64(headerSize + keyLen + prev.valLen)
+		}
+		if flags&flagTombstone != 0 {
+			delete(newIndex, key)
+			*garbage += int64(recLen)
+			*tombs++
+		} else {
+			newIndex[key] = entryLoc{off: base + int64(off+headerSize+keyLen), valLen: valLen}
+		}
+		off += recLen
+	}
+	*newOff = base + int64(len(buf))
+	return nil
+}
+
+// compactSerial is the legacy stop-the-world compaction: it holds the
+// exclusive lock for the entire rewrite. Retained for benchmarks and
+// crash/conformance coverage of both paths.
+func (db *DB) compactSerial() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

@@ -426,6 +426,28 @@ func (c *ReadCacheCounters) Add(o ReadCacheCounters) {
 	c.ResultCacheMisses += o.ResultCacheMisses
 }
 
+// WritePathCounters is the wire form of the storage write path's health
+// telemetry: how many backend compactions are running right now, and
+// the per-record commit-stall distribution summarised. For a sharded
+// store the counts and seconds are sums over the shards and StallP99 is
+// the worst shard's p99.
+type WritePathCounters struct {
+	CompactionsInProgress int64   `xml:"compactionsInProgress"`
+	StallCount            int64   `xml:"stallCount"`
+	StallSeconds          float64 `xml:"stallSeconds"`
+	StallP99              float64 `xml:"stallP99"`
+}
+
+// Add accumulates o into c (aggregating shard breakdowns).
+func (c *WritePathCounters) Add(o WritePathCounters) {
+	c.CompactionsInProgress += o.CompactionsInProgress
+	c.StallCount += o.StallCount
+	c.StallSeconds += o.StallSeconds
+	if o.StallP99 > c.StallP99 {
+		c.StallP99 = o.StallP99
+	}
+}
+
 // HistogramStat is one latency or size distribution, summarised: total
 // observations, their sum (seconds for *_seconds histograms, raw units
 // otherwise) and interpolated percentiles.
@@ -466,6 +488,7 @@ type ShardStats struct {
 	Tombstones   int64             `xml:"tombstones"`
 	Engine       EngineCounters    `xml:"engine"`
 	ReadCache    ReadCacheCounters `xml:"readCache"`
+	WritePath    WritePathCounters `xml:"writePath"`
 	Histograms   []HistogramStat   `xml:"histogram,omitempty"`
 	Slow         []SlowSpan        `xml:"slow,omitempty"`
 }
@@ -499,6 +522,7 @@ type StatsResponse struct {
 	Tombstones      int64             `xml:"tombstones"`
 	Engine          EngineCounters    `xml:"engine"`
 	ReadCache       ReadCacheCounters `xml:"readCache"`
+	WritePath       WritePathCounters `xml:"writePath"`
 
 	// Per-shard breakdown plus the service's own request histograms.
 	Shards     []ShardStats    `xml:"shard,omitempty"`

@@ -564,12 +564,14 @@ func (svc *Service) StatsResponse() (*prep.StatsResponse, error) {
 		}
 		resp.Shards = []prep.ShardStats{st}
 	}
-	// The whole-store read-cache aggregate sums the shard breakdowns
-	// (each shard's bloom and block-cache outcomes); the router's own
+	// The whole-store read-cache and write-path aggregates sum the shard
+	// breakdowns (each shard's bloom and block-cache outcomes; each
+	// shard's in-flight compactions and commit stalls); the router's own
 	// result cache — which belongs to no single shard — lands in the
 	// same aggregate next to them.
 	for i := range resp.Shards {
 		resp.ReadCache.Add(resp.Shards[i].ReadCache)
+		resp.WritePath.Add(resp.Shards[i].WritePath)
 	}
 	if rt, ok := svc.prov.(*shard.Router); ok {
 		hits, misses := rt.ResultCacheStats()

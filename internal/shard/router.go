@@ -727,6 +727,31 @@ func (rt *Router) fanOut2(fn func(i int, s Shard) (*shardResult, error)) ([]*sha
 	return results, nil
 }
 
+// fanOutJoin runs fn against every shard concurrently and aggregates
+// every shard's error rather than surfacing only the first. Mutating
+// fan-outs (compaction, deletion) want this shape: one failed shard
+// must not mask what happened on the others, and the caller needs to
+// know exactly which shards still hold work to redo. Each leg is timed
+// into its fan-out histogram like fanOut2.
+func (rt *Router) fanOutJoin(fn func(i int, s Shard) error) error {
+	errs := make([]error, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, s := range rt.shards {
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			span := rt.reg.Tracer().StartSpan("router.fanout")
+			err := fn(i, s)
+			span.SetAttr("shard", strconv.Itoa(i)).Observe(rt.fanoutSec[i], err)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // Sessions unions the shards' session listings, sorted and distinct.
 func (rt *Router) Sessions() ([]ids.ID, error) {
 	rt.moveMu.RLock()
@@ -806,15 +831,12 @@ func (rt *Router) DeleteRecords(keys []string) (int, error) {
 	defer rt.moveMu.Unlock()
 	var mu sync.Mutex
 	deleted := 0
-	_, err := rt.fanOut(func(s Shard) (*shardResult, error) {
+	err := rt.fanOutJoin(func(_ int, s Shard) error {
 		n, err := s.DeleteRecords(keys)
 		mu.Lock()
 		deleted += n
 		mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		return &shardResult{}, nil
+		return err
 	})
 	return deleted, err
 }
@@ -830,28 +852,23 @@ func (rt *Router) DeleteSession(session ids.ID) (int, error) {
 	defer rt.moveMu.Unlock()
 	var mu sync.Mutex
 	deleted := 0
-	_, err := rt.fanOut(func(s Shard) (*shardResult, error) {
+	err := rt.fanOutJoin(func(_ int, s Shard) error {
 		n, err := s.DeleteSession(session)
 		mu.Lock()
 		deleted += n
 		mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		return &shardResult{}, nil
+		return err
 	})
 	return deleted, err
 }
 
-// Compact fans compaction out to every shard.
+// Compact fans compaction out to every shard. Shards compact
+// independently, so one failure does not stop the others; the joined
+// error names every shard that still holds garbage.
 func (rt *Router) Compact() error {
-	_, err := rt.fanOut(func(s Shard) (*shardResult, error) {
-		if err := s.Compact(); err != nil {
-			return nil, err
-		}
-		return &shardResult{}, nil
+	return rt.fanOutJoin(func(_ int, s Shard) error {
+		return s.Compact()
 	})
-	return err
 }
 
 // CompactAbove compacts only the shards whose own garbage ratio has
@@ -864,15 +881,12 @@ func (rt *Router) CompactAbove(threshold float64) error {
 	if threshold < 0 {
 		return nil
 	}
-	_, err := rt.fanOut(func(s Shard) (*shardResult, error) {
+	return rt.fanOutJoin(func(_ int, s Shard) error {
 		if s.GarbageRatio() >= threshold {
-			if err := s.Compact(); err != nil {
-				return nil, err
-			}
+			return s.Compact()
 		}
-		return &shardResult{}, nil
+		return nil
 	})
-	return err
 }
 
 // GarbageRatio reports the worst shard's dead-byte fraction — the shard

@@ -516,6 +516,45 @@ func TestCompactAboveSkipsCleanShards(t *testing.T) {
 	}
 }
 
+// failingShard wraps a Shard, forcing its mutating fan-out legs to
+// fail with a fixed error.
+type failingShard struct {
+	Shard
+	err error
+}
+
+func (f *failingShard) Compact() error                           { return f.err }
+func (f *failingShard) DeleteRecords(keys []string) (int, error) { return 0, f.err }
+
+// TestMutatingFanOutAggregatesErrors pins the joined-error shape of
+// the mutating fan-outs: every failed shard appears in the error (one
+// failing shard must not mask another), the error names the shard
+// index, and healthy shards still do their work.
+func TestMutatingFanOutAggregatesErrors(t *testing.T) {
+	bad0 := &failingShard{Shard: NewLocal(store.New(store.NewMemoryBackend())), err: errors.New("disk full")}
+	good := &gaugeShard{Shard: NewLocal(store.New(store.NewMemoryBackend()))}
+	bad2 := &failingShard{Shard: NewLocal(store.New(store.NewMemoryBackend())), err: errors.New("remote gone")}
+	rt, err := NewRouter(bad0, good, bad2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Compact()
+	if err == nil {
+		t.Fatal("Compact with two failing shards returned nil")
+	}
+	for _, want := range []string{"shard 0: disk full", "shard 2: remote gone"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error %q missing %q", err, want)
+		}
+	}
+	if good.compacts != 1 {
+		t.Fatalf("healthy shard compacted %d times, want 1 despite sibling failures", good.compacts)
+	}
+	if _, err := rt.DeleteRecords([]string{"k"}); err == nil || !strings.Contains(err.Error(), "shard 2: remote gone") {
+		t.Fatalf("DeleteRecords error %v, want joined per-shard error", err)
+	}
+}
+
 // TestQueryPageRejectsBadCompositeCursor pins the typed error for
 // undecodable composite cursors — stale across a topology resize,
 // truncated, or corrupted — so servers can fault them as client input

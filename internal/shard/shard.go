@@ -271,6 +271,7 @@ func (l *Local) ShardStats() (prep.ShardStats, error) {
 		return prep.ShardStats{}, err
 	}
 	rc := l.s.ReadCacheStats()
+	wp := l.s.WritePathStats()
 	return prep.ShardStats{
 		Records:      count.Records,
 		GarbageRatio: l.s.GarbageRatio(),
@@ -284,6 +285,12 @@ func (l *Local) ShardStats() (prep.ShardStats, error) {
 			BlockCacheMisses:    rc.BlockCacheMisses,
 			BlockCacheBytes:     rc.BlockCacheBytes,
 			BlockCacheEntries:   rc.BlockCacheEntries,
+		},
+		WritePath: prep.WritePathCounters{
+			CompactionsInProgress: wp.CompactionsInProgress,
+			StallCount:            wp.StallCount,
+			StallSeconds:          wp.StallSeconds,
+			StallP99:              wp.StallP99,
 		},
 		Histograms: HistogramStats(l.s.Obs()),
 		Slow:       SlowSpans(l.s.Obs().Tracer()),

@@ -42,11 +42,33 @@ func allBackends() []backendUnderTest {
 			}
 			return b
 		}},
+		// The file backend with the legacy serial compactor: both
+		// compaction paths (incremental snapshot-rewrite-swap and the
+		// stop-the-world rewrite) must leave identical stores behind.
+		{"file-serialcompact", func(t *testing.T) Backend {
+			b, err := NewFileBackend(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.SetIncrementalCompaction(false)
+			return b
+		}},
 		{"kvdb", func(t *testing.T) Backend {
 			b, err := NewKVBackend(t.TempDir())
 			if err != nil {
 				t.Fatal(err)
 			}
+			t.Cleanup(func() { b.Close() })
+			return b
+		}},
+		// kvdb with the legacy serial compactor, for the same reason as
+		// file-serialcompact.
+		{"kvdb-serialcompact", func(t *testing.T) Backend {
+			b, err := NewKVBackend(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.SetIncrementalCompaction(false)
 			t.Cleanup(func() { b.Close() })
 			return b
 		}},

@@ -49,14 +49,33 @@ type FileBackend struct {
 	// tombstones tracks keys whose newest segment entry is a tombstone:
 	// the key is dead, but its tombstone must survive until Compact has
 	// made sure no earlier layout copy (a record file, an older segment)
-	// could resurrect it on replay.
-	tombstones map[string]bool
+	// could resurrect it on replay. The value is the sequence number of
+	// the segment holding the newest tombstone entry, so an incremental
+	// compaction can tell tombstones its snapshot covered (droppable at
+	// swap) from ones written during the rewrite (which must survive).
+	tombstones map[string]uint64
 	// liveBytes / deadBytes approximate how segment bytes split between
 	// entries that still back a live key and entries that are garbage
 	// (superseded values, tombstones, tombstoned values) — the inputs of
 	// GarbageRatio, which schedules online compaction.
 	liveBytes int64
 	deadBytes int64
+
+	// compactMu serialises compactions against each other; f.mu alone
+	// still serialises the swap section against writers. Ordered above
+	// f.mu: Compact takes compactMu first, then f.mu in short sections.
+	compactMu sync.Mutex
+	// compactBoundary is the merged segment's sequence number while an
+	// incremental compaction is in flight (0 = idle). Writers use it to
+	// split dead-byte accounting: garbage born in segments ABOVE the
+	// boundary survives the swap and accrues in deadSinceSnap, which the
+	// swap section promotes to the new deadBytes.
+	compactBoundary uint64
+	deadSinceSnap   int64
+	// legacyCompact selects the original stop-the-world Compact (held
+	// f.mu for the whole merge). Kept for comparison benchmarks and so
+	// crash/conformance suites cover both paths.
+	legacyCompact bool
 
 	// useMmap selects the read path: cached mmap segment handles (the
 	// default, see mmap.go) or the legacy open-per-call path
@@ -133,7 +152,7 @@ func NewFileBackend(dir string) (*FileBackend, error) {
 	fb := &FileBackend{
 		dir:        dir,
 		keys:       make(map[string]fileLoc),
-		tombstones: make(map[string]bool),
+		tombstones: make(map[string]uint64),
 		blooms:     make(map[string]*bloomFilter),
 		useMmap:    MmapEnabled(),
 	}
@@ -205,6 +224,7 @@ func (f *FileBackend) replaySegment(name string, data []byte) {
 	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
 		return // not a segment we understand; leave it alone
 	}
+	seq, _ := segSeqOf(name)
 	var putKeys []string
 	off := len(segMagic)
 	for off < len(data) {
@@ -213,7 +233,7 @@ func (f *FileBackend) replaySegment(name string, data []byte) {
 			break
 		}
 		if tomb {
-			f.noteTombstoneLocked(key)
+			f.noteTombstoneLocked(key, seq)
 		} else {
 			f.notePutLocked(key)
 			f.liveBytes += putEntrySize(key, valLen)
@@ -313,6 +333,27 @@ func (f *FileBackend) BloomStats() (skips, falsePositives, hits int64) {
 	return f.bloomSkips.Load(), f.bloomFPs.Load(), f.bloomHits.Load()
 }
 
+// segSeqOf parses the sequence number out of a %016x.seg name; false
+// for foreign segment names.
+func segSeqOf(name string) (uint64, bool) {
+	seq, err := strconv.ParseUint(strings.TrimSuffix(name, segExt), 16, 64)
+	return seq, err == nil
+}
+
+// noteDeadLocked records sz bytes of the segment entry in file going
+// dead. While an incremental compaction is in flight, garbage born in
+// segments above the snapshot boundary survives the coming swap, so it
+// is tracked separately for the swap section to promote. Callers hold
+// f.mu.
+func (f *FileBackend) noteDeadLocked(file string, sz int64) {
+	f.deadBytes += sz
+	if f.compactBoundary != 0 {
+		if seq, ok := segSeqOf(file); ok && seq > f.compactBoundary {
+			f.deadSinceSnap += sz
+		}
+	}
+}
+
 // notePutLocked updates the byte accounting and tombstone set for a
 // segment put of key: a previous segment copy becomes dead, a previous
 // tombstone stops being the key's newest entry. Callers hold f.mu.
@@ -320,26 +361,34 @@ func (f *FileBackend) notePutLocked(key string) {
 	if old, ok := f.keys[key]; ok && old.off >= 0 {
 		sz := putEntrySize(key, old.vlen)
 		f.liveBytes -= sz
-		f.deadBytes += sz
+		f.noteDeadLocked(old.file, sz)
 	}
 	delete(f.tombstones, key)
 }
 
-// noteTombstoneLocked applies one tombstone entry: the key's live
-// segment copy (if any) becomes dead, the key leaves the directory, and
-// the tombstone itself is garbage-to-be. Callers hold f.mu.
-func (f *FileBackend) noteTombstoneLocked(key string) {
+// noteTombstoneLocked applies one tombstone entry written in segment
+// sequence seq: the key's live segment copy (if any) becomes dead, the
+// key leaves the directory, and the tombstone itself is garbage-to-be.
+// Callers hold f.mu.
+func (f *FileBackend) noteTombstoneLocked(key string, seq uint64) {
 	if old, ok := f.keys[key]; ok {
 		if old.off >= 0 {
 			sz := putEntrySize(key, old.vlen)
 			f.liveBytes -= sz
-			f.deadBytes += sz
+			f.noteDeadLocked(old.file, sz)
 		}
 		delete(f.keys, key)
 		f.markKeyLocked(key, false)
 	}
-	f.deadBytes += tombEntrySize(key)
-	f.tombstones[key] = true
+	ts := tombEntrySize(key)
+	f.deadBytes += ts
+	if f.compactBoundary != 0 {
+		// Tombstone entries always land in a post-boundary segment while
+		// a compaction is in flight (the boundary sequence was claimed
+		// before any concurrent write could allocate one).
+		f.deadSinceSnap += ts
+	}
+	f.tombstones[key] = seq
 }
 
 // Segment entry layout: uvarint keyLen, uvarint valLen, key, value,
@@ -438,7 +487,7 @@ func (f *FileBackend) Put(key string, value []byte) error {
 		}
 		// Segment file vanished underneath us: write the record file.
 	}
-	if f.tombstones[key] {
+	if _, dead := f.tombstones[key]; dead {
 		// A live tombstone outranks every record file on replay (record
 		// files load before all segments), so a re-put of a deleted key
 		// must land in a segment with a later sequence number than the
@@ -607,7 +656,7 @@ func (f *FileBackend) putBatchLocked(kvs []KV) error {
 		if ok && old.off >= 0 {
 			sz := putEntrySize(p.Key, old.vlen)
 			f.liveBytes -= sz
-			f.deadBytes += sz
+			f.noteDeadLocked(old.file, sz)
 		}
 		if haveTombs {
 			delete(f.tombstones, p.Key)
@@ -686,7 +735,7 @@ func (f *FileBackend) DeleteBatch(keys []string) error {
 			return fmt.Errorf("store: publishing tombstone segment %s: %w", name, err)
 		}
 		for _, k := range doomed {
-			f.noteTombstoneLocked(k)
+			f.noteTombstoneLocked(k, f.segSeq)
 			// A cross-layout identical copy may sit in a record file;
 			// remove it so the tombstone can eventually be compacted
 			// away.
@@ -949,11 +998,225 @@ func (f *FileBackend) Segments() int {
 // key).
 //
 // Crash safety: the merged segment is written to a temp file and
-// renamed in under the next sequence number, so it replays after (and
-// consistently with) the segments it replaces; the old files are
-// removed only after the rename. A crash in between leaves both — the
-// replay resolves every key to the same bytes either way.
+// renamed in under its pre-allocated sequence number, so it replays
+// after (and consistently with) the segments it replaces; the old files
+// are removed only after the rename. A crash in between leaves both —
+// the replay resolves every key to the same bytes either way.
+//
+// By default the merge runs incrementally: the expensive rewrite works
+// against a snapshot with no lock held while writers keep landing
+// segments, and a short exclusive section swaps the result in. The
+// legacy stop-the-world path is kept behind SetIncrementalCompaction
+// for comparison benchmarks and dual-path crash/conformance coverage.
 func (f *FileBackend) Compact() error {
+	f.compactMu.Lock()
+	defer f.compactMu.Unlock()
+	f.mu.RLock()
+	legacy := f.legacyCompact
+	f.mu.RUnlock()
+	if legacy {
+		return f.compactSerial()
+	}
+	return f.compactIncremental()
+}
+
+// SetIncrementalCompaction selects between the incremental compaction
+// path (the default: writers keep running during the merge) and the
+// legacy stop-the-world path that holds the lock for the whole merge.
+func (f *FileBackend) SetIncrementalCompaction(on bool) {
+	f.mu.Lock()
+	f.legacyCompact = !on
+	f.mu.Unlock()
+}
+
+// compactIncremental merges segments in three phases. Phase 1 (short
+// exclusive section): snapshot every segment-resident key's location
+// and the tombstone set, and claim the merged segment's sequence number
+// — the "boundary". Every segment a concurrent writer lands during the
+// rewrite gets a HIGHER sequence and therefore replays after the merged
+// output, which is what makes the on-disk state consistent at every
+// instant without any content redo. Phase 2 (no lock): read the
+// snapshot values (only Compact removes segments, and compactions are
+// serialised, so snapshot locations stay readable), write the merged
+// segment under the boundary sequence, sweep record files shadowed by
+// snapshot tombstones, and build the merged bloom filter. Phase 3
+// (short exclusive section): repoint every key that still resolves to
+// its snapshot location — keys overwritten or deleted during the
+// rewrite keep their newer location and their merged copy is born dead
+// — then retire the victims (sequence below the boundary) and settle
+// the byte accounting from deadSinceSnap, which tracked garbage born in
+// surviving segments while the rewrite ran.
+func (f *FileBackend) compactIncremental() error {
+	type snapEntry struct {
+		key string
+		loc fileLoc
+	}
+	f.mu.Lock()
+	liveSegs := make(map[string]bool)
+	snap := make([]snapEntry, 0, len(f.keys))
+	for k, loc := range f.keys {
+		if loc.off >= 0 {
+			liveSegs[loc.file] = true
+			snap = append(snap, snapEntry{key: k, loc: loc})
+		}
+	}
+	if len(liveSegs) <= 1 && len(f.tombstones) == 0 && f.deadBytes == 0 {
+		f.mu.Unlock()
+		return nil // nothing to merge, nothing to reclaim
+	}
+	tombSnap := make([]string, 0, len(f.tombstones))
+	for k := range f.tombstones {
+		tombSnap = append(tombSnap, k)
+	}
+	f.segSeq++
+	boundary := f.segSeq
+	f.compactBoundary = boundary
+	f.deadSinceSnap = 0
+	f.mu.Unlock()
+
+	abort := func(e error) error {
+		f.mu.Lock()
+		f.compactBoundary = 0
+		f.deadSinceSnap = 0
+		f.mu.Unlock()
+		return e
+	}
+
+	sort.Slice(snap, func(i, j int) bool { return snap[i].key < snap[j].key })
+	buf := []byte(segMagic)
+	type placed struct {
+		key     string
+		snapLoc fileLoc
+		off     int64
+		vlen    int
+	}
+	locs := make([]placed, 0, len(snap))
+	for _, s := range snap {
+		value, ok, err := f.readLoc(s.loc)
+		if err != nil {
+			return abort(fmt.Errorf("store: compacting %s: %w", s.key, err))
+		}
+		if !ok {
+			continue // segment vanished underneath us; key is dead
+		}
+		buf = appendSegEntry(buf, s.key, value)
+		locs = append(locs, placed{key: s.key, snapLoc: s.loc, off: int64(len(buf) - 4 - len(value)), vlen: len(value)})
+	}
+
+	// Record-file sweep for snapshot tombstones (the crash-recovery
+	// repeat of DeleteBatch's removal) — safe without the lock: while a
+	// key is tombstoned no new record file can appear for it, because
+	// re-puts of tombstoned keys route into segments.
+	for _, k := range tombSnap {
+		rec := filepath.Join(f.dir, fileNameFor(k))
+		if err := os.Remove(rec + ".key"); err != nil && !os.IsNotExist(err) {
+			return abort(fmt.Errorf("store: compacting tombstoned %s: %w", k, err))
+		}
+		_ = os.Remove(rec)
+	}
+
+	name := fmt.Sprintf("%016x%s", boundary, segExt)
+	path := filepath.Join(f.dir, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return abort(fmt.Errorf("store: writing compacted segment: %w", err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return abort(fmt.Errorf("store: publishing compacted segment: %w", err))
+	}
+	var mb *bloomFilter
+	if len(locs) > 0 {
+		mb = newBloomFilter(len(locs))
+		for _, l := range locs {
+			mb.add(l.key)
+		}
+		if len(locs) >= bloomSidecarMinKeys {
+			f.writeBloomSidecar(name, mb, len(locs))
+		}
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Repoint keys whose location is still exactly the snapshot one; a
+	// key overwritten or deleted during the rewrite keeps its newer
+	// location, and its merged copy counts straight into the new dead
+	// tally (the concurrent write's own accounting already covered the
+	// old copy it superseded).
+	var mergedDead int64
+	for _, l := range locs {
+		if cur, ok := f.keys[l.key]; ok && cur == l.snapLoc {
+			f.keys[l.key] = fileLoc{file: name, off: l.off, vlen: l.vlen}
+		} else {
+			mergedDead += putEntrySize(l.key, l.vlen)
+		}
+	}
+	if mb != nil {
+		f.blooms[name] = mb
+	}
+	// Retire the victims: every sequence-named segment BELOW the
+	// boundary. Segments above it were written during the rewrite and
+	// are live. Removal order and the stop-at-first-failure contract
+	// match compactSerial (see the comment there).
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		f.compactBoundary = 0
+		f.deadSinceSnap = 0
+		return fmt.Errorf("store: listing %s after compaction: %w", f.dir, err)
+	}
+	var removeErr error
+	for _, e := range entries { // ReadDir sorts: fixed-width hex names replay order
+		n := e.Name()
+		if strings.HasSuffix(n, segExt+bloomExt) {
+			if seq, ok := segSeqOf(strings.TrimSuffix(n, bloomExt)); ok && seq < boundary {
+				_ = os.Remove(filepath.Join(f.dir, n))
+			}
+			continue
+		}
+		if !strings.HasSuffix(n, segExt) {
+			continue
+		}
+		seq, ok := segSeqOf(n)
+		if !ok || seq >= boundary {
+			continue // foreign, the merged output, or written during the rewrite
+		}
+		if err := os.Remove(filepath.Join(f.dir, n)); err != nil && !os.IsNotExist(err) {
+			removeErr = fmt.Errorf("store: removing compacted segment %s: %w", n, err)
+			break
+		}
+		delete(f.blooms, n)
+		f.dropSeg(n) // unmap under the handle lock; readers have copied out
+	}
+	var newLive int64
+	for k, loc := range f.keys {
+		if loc.off >= 0 {
+			newLive += putEntrySize(k, loc.vlen)
+		}
+	}
+	f.liveBytes = newLive
+	f.compactBoundary = 0
+	if removeErr == nil {
+		// Tombstones the snapshot covered are fully reclaimed: their
+		// segments are gone and the record-file sweep ran. Ones written
+		// during the rewrite live in surviving segments and must stay.
+		for k, seq := range f.tombstones {
+			if seq <= boundary {
+				delete(f.tombstones, k)
+			}
+		}
+		f.deadBytes = f.deadSinceSnap + mergedDead
+	}
+	// On a removal failure the victims (tombstone segments included) are
+	// still on disk, so — exactly as in compactSerial — the tombstone
+	// set and the dead-byte count survive for the next Compact to retry.
+	f.deadSinceSnap = 0
+	f.rebuildAggLocked()
+	return removeErr
+}
+
+// compactSerial is the legacy stop-the-world merge: it holds f.mu for
+// the entire rewrite.
+func (f *FileBackend) compactSerial() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
@@ -1084,7 +1347,7 @@ func (f *FileBackend) Compact() error {
 		// early-return instead of retrying the removal.
 		return removeErr
 	}
-	f.tombstones = make(map[string]bool)
+	f.tombstones = make(map[string]uint64)
 	f.deadBytes = 0
 	return nil
 }

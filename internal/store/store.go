@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"preserv/internal/core"
 	"preserv/internal/ids"
@@ -121,6 +122,13 @@ type Store struct {
 	deleteSec   *obs.Histogram
 	deleteBatch *obs.Histogram
 	compactSec  *obs.Histogram
+	// writeStallSec is the per-record commit latency (stripe lock wait
+	// plus the backend get/put) — the distribution that shows whether
+	// background maintenance stalls writers. compacting counts backend
+	// compactions currently running (the store_compaction_in_progress
+	// gauge).
+	writeStallSec *obs.Histogram
+	compacting    atomic.Int64
 
 	// bc is the shared record block cache (see blockcache.go): every
 	// GetRecord/GetBatch consumer — queries, the planner's candidate
@@ -139,6 +147,8 @@ func New(b Backend) *Store {
 	s.deleteSec = s.reg.Histogram("store_delete_seconds", nil)
 	s.deleteBatch = s.reg.Histogram("store_delete_batch_size", obs.SizeBuckets)
 	s.compactSec = s.reg.Histogram("store_compact_seconds", nil)
+	s.writeStallSec = s.reg.Histogram("store_write_stall_seconds", nil)
+	s.reg.GaugeFunc("store_compaction_in_progress", func() float64 { return float64(s.compacting.Load()) })
 	s.reg.GaugeFunc("store_garbage_ratio", s.GarbageRatio)
 	s.reg.GaugeFunc("store_tombstones", func() float64 { return float64(s.Tombstones()) })
 	s.reg.GaugeFunc("store_blockcache_resident_bytes", func() float64 { return float64(s.bc.stats().Bytes) })
@@ -191,6 +201,27 @@ func (s *Store) ReadCacheStats() ReadCacheStats {
 		out.BloomSkips, out.BloomFalsePositives, out.BloomHits = bs.BloomStats()
 	}
 	return out
+}
+
+// WritePathStats is a snapshot of write-path health: how many backend
+// compactions are running right now, and the per-record commit-stall
+// distribution summarised (count, total seconds, p99).
+type WritePathStats struct {
+	CompactionsInProgress int64
+	StallCount            int64
+	StallSeconds          float64
+	StallP99              float64
+}
+
+// WritePathStats reports the write-path health counters.
+func (s *Store) WritePathStats() WritePathStats {
+	snap := s.writeStallSec.Snapshot()
+	return WritePathStats{
+		CompactionsInProgress: s.compacting.Load(),
+		StallCount:            snap.Count,
+		StallSeconds:          snap.Sum,
+		StallP99:              snap.Quantile(0.99),
+	}
 }
 
 // Obs returns the store's telemetry registry. The query engine records
@@ -420,13 +451,18 @@ func (s *Store) record(asserter core.ActorID, records []core.Record) (int, []pre
 
 	// Phase 2 — commit each record under its key's lock stripe, so the
 	// exists/identical/conflict decision is atomic per key while
-	// unrelated keys commit in parallel.
+	// unrelated keys commit in parallel. Each record's commit section —
+	// stripe-lock wait plus the backend get/put — is observed into the
+	// write-stall histogram: its tail is where a writer-blocking
+	// compaction or a contended stripe shows up.
 	for _, st := range batch {
+		stall := time.Now()
 		mu := s.stripeFor(st.key)
 		mu.Lock()
 		existing, ok, err := s.b.Get(st.key)
 		if err != nil {
 			mu.Unlock()
+			s.writeStallSec.Observe(time.Since(stall).Seconds())
 			// Best-effort flush so already-committed records get their
 			// commit-marker postings before the error surfaces.
 			_ = flushIndex()
@@ -435,6 +471,7 @@ func (s *Store) record(asserter core.ActorID, records []core.Record) (int, []pre
 		}
 		if ok {
 			mu.Unlock()
+			s.writeStallSec.Observe(time.Since(stall).Seconds())
 			if sameRecordBytes(existing, st.encoded) {
 				// Idempotent re-record. Re-put the postings too: if a
 				// previous attempt committed the record but failed before
@@ -453,6 +490,7 @@ func (s *Store) record(asserter core.ActorID, records []core.Record) (int, []pre
 		}
 		err = s.b.Put(st.key, st.encoded)
 		mu.Unlock()
+		s.writeStallSec.Observe(time.Since(stall).Seconds())
 		if err != nil {
 			_ = flushIndex()
 			sortRejects(rejects)
@@ -734,7 +772,9 @@ func (s *Store) Compact() error {
 		return nil
 	}
 	span := s.reg.Tracer().StartSpan("store.compact")
+	s.compacting.Add(1)
 	err := c.Compact()
+	s.compacting.Add(-1)
 	span.Observe(s.compactSec, err)
 	return err
 }
