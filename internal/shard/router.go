@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"preserv/internal/core"
 	"preserv/internal/ids"
@@ -25,9 +26,10 @@ import (
 // Topology: the shard list is fixed at construction, but a shard can be
 // deactivated by Drain — it then receives no new affine writes while
 // staying in the read fan-out (its records are moving to the survivors;
-// reads are fenced from the page moves, and the merge's key-dedup
-// collapses the overlap a crashed drain leaves behind, so query answers
-// stay exact throughout).
+// reads are fenced from the page moves, paging cursors carry the drain
+// epoch so a walk can never silently straddle a move, and the merge's
+// key-dedup plus overlap-aware Total counting collapse the overlap a
+// crashed drain leaves behind, so query answers stay exact throughout).
 type Router struct {
 	shards []Shard
 	// topo guards the active set. Record holds it shared across routing
@@ -68,6 +70,28 @@ type Router struct {
 	// Held per page, it delays readers and (rare, administrative)
 	// deletions by at most one page move; it never blocks writes.
 	moveMu sync.RWMutex
+	// moveEpoch counts page moves: bumped (always under moveMu held
+	// exclusively) at every Drain start and finish and after every page a
+	// drain relocates. Composite cursors embed the epoch they were minted
+	// under; a cursor replayed after a bump is rejected as ErrStaleCursor
+	// instead of silently skipping records a move carried behind it. The
+	// epoch also keys the paged result cache, so a cached cursor chain
+	// can never be served against a post-move topology.
+	moveEpoch atomic.Uint64
+	// overlaps tracks shards a failed drain may have left overlapping
+	// the survivors (copies landed, source deletions unconfirmed). While
+	// any shard is suspect, Limit-ed fan-outs switch from summed Totals
+	// to a presence-only key union (Limit-free fetch) so the Total stays
+	// exact; a drain that completes clears its shard's suspicion. All
+	// writes happen on the drain path (serialised by drainMu); overlapN
+	// is the fan-out paths' lock-free read.
+	overlapMu sync.Mutex
+	overlaps  map[int]bool
+	overlapN  atomic.Int64
+	// drainPage is how many records one drain step moves (the
+	// drainPageSize default; tests shrink it to force multi-page drains
+	// on small data sets). Read on the drain path under drainMu.
+	drainPage int
 	// rc caches merged fan-out answers keyed on the query's canonical
 	// form plus the tuple of every shard's content generation. The
 	// tuple is probed under moveMu (shared) BEFORE the fan-out, so a
@@ -87,7 +111,14 @@ func NewRouter(shards ...Shard) (*Router, error) {
 	for i := range active {
 		active[i] = true
 	}
-	rt := &Router{shards: shards, active: active, fp: fingerprint(shards), reg: obs.NewRegistry()}
+	rt := &Router{
+		shards:    shards,
+		active:    active,
+		fp:        fingerprint(shards),
+		reg:       obs.NewRegistry(),
+		overlaps:  make(map[int]bool),
+		drainPage: drainPageSize,
+	}
 	rt.fanoutSec = make([]*obs.Histogram, len(shards))
 	for i := range shards {
 		rt.fanoutSec[i] = rt.reg.Histogram(fmt.Sprintf(`router_shard_fanout_seconds{shard="%d"}`, i), nil)
@@ -162,6 +193,49 @@ func (rt *Router) Generation() (uint64, bool) {
 
 // Obs returns the router's telemetry registry.
 func (rt *Router) Obs() *obs.Registry { return rt.reg }
+
+// DrainEpoch reports the router's current drain epoch (see moveEpoch):
+// it advances whenever a drain starts, moves a page, or finishes, and a
+// composite cursor minted under an older epoch no longer resumes.
+func (rt *Router) DrainEpoch() uint64 { return rt.moveEpoch.Load() }
+
+// bumpMoveEpoch advances the drain epoch under the move fence, so the
+// bump is ordered against every page fan-out: fan-outs in flight when
+// the bump waits for the lock finished encoding their cursor under the
+// old epoch, and every later fan-out observes the new one.
+func (rt *Router) bumpMoveEpoch() {
+	rt.moveMu.Lock()
+	rt.moveEpoch.Add(1)
+	rt.moveMu.Unlock()
+}
+
+// markOverlap flips shard i's crashed-drain overlap suspicion.
+func (rt *Router) markOverlap(i int, suspect bool) {
+	rt.overlapMu.Lock()
+	defer rt.overlapMu.Unlock()
+	if suspect == rt.overlaps[i] {
+		return
+	}
+	if suspect {
+		rt.overlaps[i] = true
+		rt.overlapN.Add(1)
+	} else {
+		delete(rt.overlaps, i)
+		rt.overlapN.Add(-1)
+	}
+}
+
+// OverlapSuspected reports whether any shard may still hold records a
+// failed drain already copied to the survivors. While true, Limit-ed
+// queries compute their Total by key union over Limit-free per-shard
+// fetches instead of the summed fast path, keeping the Total exact
+// across the overlap; a drain of the shard that completes (including
+// the cheap re-drain of an already-empty shard) clears it. The flag is
+// in-process state: a router constructed over shards that already
+// overlap (a process crash mid-drain) cannot know, and the operator
+// re-drains — as crash recovery already requires — to restore both
+// disjointness and the flag.
+func (rt *Router) OverlapSuspected() bool { return rt.overlapN.Load() > 0 }
 
 // fingerprint hashes the shard list's identity in order: a remote
 // shard contributes its endpoint URL, an embedded one its position
@@ -300,8 +374,15 @@ func (rt *Router) fanOut(fn func(s Shard) (*shardResult, error)) ([]*shardResult
 // after a crashed drain a record is present on two shards until a
 // re-drain absorbs the overlap, and it must count once. limit > 0
 // truncates the merged records (not the total). It returns the merged
-// records and the number of duplicate keys met.
-func mergeRecords(parts [][]core.Record, limit int) (out []core.Record, dupes int) {
+// records and the number of duplicate keys met. With countAll the scan
+// runs every head to exhaustion and counts dupes across the WHOLE
+// input, including keys beyond the limit cut, so that when the caller
+// fetched Limit-free (the exact-Total path over a crashed-drain
+// overlap) the dupe count deducts every twin and the summed Total
+// lands exactly on the key union. Without countAll the merge returns
+// as soon as the limit is filled — the paged fan-out path discards the
+// dupe count and must not pay for scanning past the page cut.
+func mergeRecords(parts [][]core.Record, limit int, countAll bool) (out []core.Record, dupes int) {
 	type head struct {
 		part, pos int
 		key       string
@@ -323,19 +404,21 @@ func mergeRecords(parts [][]core.Record, limit int) (out []core.Record, dupes in
 			}
 		}
 		h := heads[min]
-		// Key dedup: a drain-overlap twin merges to one record. All
+		// Key dedup: a drain-overlap twin merges (and counts) once. All
 		// copies of a key sort adjacent, so comparing against the
-		// previous merged key suffices.
+		// previous distinct key suffices — and prevKey advances on every
+		// distinct key, appended or beyond the cut, so twins of an
+		// overshoot key still register as dupes.
 		if prevKey != "" && h.key == prevKey {
 			dupes++
-			goto advance
+		} else {
+			if limit <= 0 || len(out) < limit {
+				out = append(out, parts[h.part][h.pos])
+			} else if !countAll {
+				return out, dupes
+			}
+			prevKey = h.key
 		}
-		if limit > 0 && len(out) >= limit {
-			return out, dupes
-		}
-		out = append(out, parts[h.part][h.pos])
-		prevKey = h.key
-	advance:
 		heads[min].pos++
 		if heads[min].pos >= len(parts[h.part]) {
 			heads[min] = heads[len(heads)-1]
@@ -386,15 +469,16 @@ func mergePlans(plans []*prep.QueryPlan) *prep.QueryPlan {
 // (moveMu, shared) orders the fan-out against a drain's page moves, so
 // a record mid-move is seen on exactly one side — never on neither.
 //
-// Totals are exact whenever the shards are disjoint, which the fence
-// makes the steady state even mid-drain; the exception is the overlap
-// a crashed drain leaves until a re-drain absorbs it, where a query
-// with a Limit can over-count its Total: each shard reports its full
-// match count but fetches only Limit records, so an overlap twin
-// sorting beyond the fetched window cannot be deducted. The returned
-// records are exact regardless (every one of the union's first Limit
-// keys is inside some shard's fetched window, and twins collapse in
-// the merge).
+// Totals are exact. When the shards are disjoint — the steady state,
+// which the fence preserves even mid-drain — per-shard totals simply
+// sum. The one state that breaks disjointness is the overlap a failed
+// drain leaves until a re-drain absorbs it (copies on the survivors,
+// source deletions unconfirmed); there a Limit-ed fetch would hide
+// overlap twins beyond the fetched window, so while the router
+// suspects such an overlap (OverlapSuspected) it fetches Limit-free,
+// deducts every twin the merge meets, and truncates the returned
+// records to Limit afterwards — presence-only key-union counting, at
+// the cost of the Limit pushdown, only while the suspicion stands.
 func (rt *Router) Query(q *prep.Query) ([]core.Record, int, error) {
 	if err := q.Validate(); err != nil {
 		return nil, 0, err
@@ -409,8 +493,9 @@ func (rt *Router) Query(q *prep.Query) ([]core.Record, int, error) {
 			return e.recs, e.total, nil
 		}
 	}
+	fq := rt.fanOutQuery(q)
 	results, err := rt.fanOut(func(s Shard) (*shardResult, error) {
-		recs, total, err := s.Query(q)
+		recs, total, err := s.Query(fq)
 		if err != nil {
 			return nil, err
 		}
@@ -447,8 +532,9 @@ func (rt *Router) QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPl
 			return e.recs, e.total, plan, nil
 		}
 	}
+	fq := rt.fanOutQuery(q)
 	results, err := rt.fanOut(func(s Shard) (*shardResult, error) {
-		recs, total, plan, err := s.QueryPlanned(q)
+		recs, total, plan, err := s.QueryPlanned(fq)
 		if err != nil {
 			return nil, err
 		}
@@ -484,6 +570,21 @@ func (rt *Router) observeMergeWidth(parts [][]core.Record) {
 	rt.mergeWidth.Observe(float64(width))
 }
 
+// fanOutQuery picks the query the per-shard legs actually run: q
+// itself, or — when a crashed drain's overlap is suspected and q
+// carries a Limit over more than one shard — a Limit-free copy, so
+// every overlap twin is inside the fetched windows and the merge's
+// dupe count makes the summed Total exactly the key union's size.
+// mergeQueryResults still truncates the merged records to q's Limit.
+func (rt *Router) fanOutQuery(q *prep.Query) *prep.Query {
+	if q.Limit <= 0 || len(rt.shards) == 1 || !rt.OverlapSuspected() {
+		return q
+	}
+	full := *q
+	full.Limit = 0
+	return &full
+}
+
 // mergeQueryResults combines per-shard Query answers under q's Limit.
 // Each shard returned its first Limit matches (or all of them when
 // Limit is 0), so the union's first Limit records are guaranteed to be
@@ -497,7 +598,7 @@ func (rt *Router) mergeQueryResults(q *prep.Query, results []*shardResult) ([]co
 		total += r.total
 	}
 	rt.observeMergeWidth(parts)
-	merged, dupes := mergeRecords(parts, q.Limit)
+	merged, dupes := mergeRecords(parts, q.Limit, true)
 	total -= dupes
 	if total < len(merged) {
 		total = len(merged)
@@ -512,17 +613,22 @@ func (rt *Router) mergeQueryResults(q *prep.Query, results []*shardResult) ([]co
 const compositeCursorPrefix = "sc1!"
 
 // encodeCursor packs per-shard cursors into one opaque composite
-// cursor: "sc1!" + N + "!" + topology fingerprint + "!" + N
-// url-escaped per-shard after-keys. A shard that proved exhaustion
-// carries a "*" before its escaped key (QueryEscape never emits "*"),
-// so later pages skip it instead of re-planning an empty page against
-// it every time.
-func encodeCursor(fp string, perShard []string, exhausted []bool) string {
+// cursor: "sc1!" + N + "!" + topology fingerprint "." drain epoch (hex)
+// + "!" + N url-escaped per-shard after-keys. A shard that proved
+// exhaustion carries a "*" before its escaped key (QueryEscape never
+// emits "*"), so later pages skip it instead of re-planning an empty
+// page against it every time. The epoch rides inside the fingerprint
+// field — the field that already means "the world this cursor was
+// minted against" — so the wire shape ("sc1!" and the field count)
+// is unchanged.
+func encodeCursor(fp string, epoch uint64, perShard []string, exhausted []bool) string {
 	var b strings.Builder
 	b.WriteString(compositeCursorPrefix)
 	b.WriteString(strconv.Itoa(len(perShard)))
 	b.WriteString("!")
 	b.WriteString(fp)
+	b.WriteString(".")
+	b.WriteString(strconv.FormatUint(epoch, 16))
 	for i, c := range perShard {
 		b.WriteString("!")
 		if exhausted[i] {
@@ -539,34 +645,57 @@ func encodeCursor(fp string, perShard []string, exhausted []bool) string {
 // fault.
 var ErrBadCursor = errors.New("shard: malformed composite cursor")
 
+// ErrStaleCursor marks a composite cursor minted before a drain epoch
+// bump: a page move may have carried records from in front of the
+// cursor's position to behind it, so resuming the walk could silently
+// skip them. Like ErrBadCursor it is client input mapped to a
+// bad-request fault, but it is retryable: the walk restarts from a
+// consistent position — Client.QueryStream resumes from the last
+// storage key it delivered as a plain cursor, which is exact because
+// storage keys are shard-independent, so per-shard seek-after
+// semantics survive any move.
+var ErrStaleCursor = errors.New("shard: stale page cursor")
+
 // decodeCursor unpacks a composite cursor for n shards under the
 // router's topology fingerprint. A plain (untagged) cursor fans out
-// as-is to every shard; a tagged cursor minted against a different
-// shard list — resized OR reordered — is rejected rather than silently
-// applying one shard's position to another (which would seek past
-// records with no error).
-func decodeCursor(after, fp string, n int) (perShard []string, exhausted []bool, err error) {
+// as-is to every shard (composite=false, epoch meaningless); a tagged
+// cursor minted against a different shard list — resized OR reordered —
+// is rejected rather than silently applying one shard's position to
+// another (which would seek past records with no error). The drain
+// epoch the cursor was minted under returns to the caller, who
+// compares it against the live epoch; a fingerprint field without an
+// epoch suffix (a cursor minted by a pre-epoch build) decodes as epoch
+// 0, which a router that has ever drained rejects as stale — the safe
+// side.
+func decodeCursor(after, fp string, n int) (perShard []string, exhausted []bool, epoch uint64, composite bool, err error) {
 	perShard = make([]string, n)
 	exhausted = make([]bool, n)
 	if !strings.HasPrefix(after, compositeCursorPrefix) {
 		for i := range perShard {
 			perShard[i] = after
 		}
-		return perShard, exhausted, nil
+		return perShard, exhausted, 0, false, nil
 	}
 	fields := strings.Split(after[len(compositeCursorPrefix):], "!")
 	if len(fields) < 2 {
-		return nil, nil, ErrBadCursor
+		return nil, nil, 0, false, ErrBadCursor
 	}
 	count, err := strconv.Atoi(fields[0])
 	if err != nil || count != len(fields)-2 {
-		return nil, nil, ErrBadCursor
+		return nil, nil, 0, false, ErrBadCursor
 	}
 	if count != n {
-		return nil, nil, fmt.Errorf("%w: built for %d shards, used against %d", ErrBadCursor, count, n)
+		return nil, nil, 0, false, fmt.Errorf("%w: built for %d shards, used against %d", ErrBadCursor, count, n)
 	}
-	if fields[1] != fp {
-		return nil, nil, fmt.Errorf("%w: built for a different shard topology", ErrBadCursor)
+	fpField, epochField, hasEpoch := strings.Cut(fields[1], ".")
+	if fpField != fp {
+		return nil, nil, 0, false, fmt.Errorf("%w: built for a different shard topology", ErrBadCursor)
+	}
+	if hasEpoch {
+		epoch, err = strconv.ParseUint(epochField, 16, 64)
+		if err != nil {
+			return nil, nil, 0, false, fmt.Errorf("%w: bad drain epoch: %v", ErrBadCursor, err)
+		}
 	}
 	for i := 0; i < n; i++ {
 		f := fields[i+2]
@@ -576,11 +705,11 @@ func decodeCursor(after, fp string, n int) (perShard []string, exhausted []bool,
 		}
 		c, err := url.QueryUnescape(f)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%w: %v", ErrBadCursor, err)
+			return nil, nil, 0, false, fmt.Errorf("%w: %v", ErrBadCursor, err)
 		}
 		perShard[i] = c
 	}
-	return perShard, exhausted, nil
+	return perShard, exhausted, epoch, true, nil
 }
 
 // QueryPage evaluates one cursor-delimited page of q across the shards:
@@ -594,19 +723,23 @@ func decodeCursor(after, fp string, n int) (perShard []string, exhausted []bool,
 // it is ordinary storage-key seek-after semantics per shard, which the
 // single-store page path already honours.
 //
-// Two windows are weaker than the single-store contract. First, a
-// multi-page walk that SPANS an in-flight Drain can miss a record the
-// drain moves from in front of the walk's cursor on the source shard to
-// behind its cursor on a survivor (the cursors are client-side state
-// the stateless router cannot fence). Second, the cursor's exhaustion
-// markers make a shard that proved done stay silent for the rest of the
-// walk — a record written to it mid-walk stays invisible to that walk
-// even if its key sorts after the walk's position, where a single-store
-// walk would incidentally surface it. Neither contract promises
-// mid-walk writes appear; one-shot queries, and paged walks not
-// overlapping the write or rebalance, always see the full set, and a
-// walker that must be current simply re-runs. Snapshot-consistent
-// cross-shard paging is an open ROADMAP item.
+// A multi-page walk cannot silently straddle a drain: every composite
+// cursor carries the drain epoch it was minted under, the whole
+// fetch+merge+encode window holds the move fence shared (so the epoch
+// cannot advance between reading it and stamping it into the returned
+// cursor — the cursor handed back never points into a mid-move gap),
+// and a cursor whose epoch predates any drain activity is rejected as
+// ErrStaleCursor rather than resumed past records a page move carried
+// behind it. The stateless router cannot know which records a rejected
+// walker already delivered, so the restart is the client's:
+// Client.QueryStream resumes from the last storage key it delivered as
+// a plain cursor, which plain seek-after semantics make exact across
+// any move. One remaining documented weakness: the cursor's exhaustion
+// markers make a shard that proved done stay silent for the rest of
+// the walk, so a record written to it mid-walk stays invisible to that
+// walk even if its key sorts after the walk's position (neither the
+// sharded nor the single-store contract promises mid-walk writes
+// appear; a walker that must be current re-runs).
 func (rt *Router) QueryPage(q *prep.Query, after string, pageSize int) ([]core.Record, string, bool, *prep.QueryPlan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, "", false, nil, err
@@ -617,15 +750,24 @@ func (rt *Router) QueryPage(q *prep.Query, after string, pageSize int) ([]core.R
 	if pageSize > query.MaxPageSize {
 		pageSize = query.MaxPageSize
 	}
-	cursors, exhausted, err := decodeCursor(after, rt.fp, len(rt.shards))
+	cursors, exhausted, cursorEpoch, composite, err := decodeCursor(after, rt.fp, len(rt.shards))
 	if err != nil {
 		return nil, "", false, nil, err
 	}
 
 	rt.moveMu.RLock()
 	defer rt.moveMu.RUnlock()
+	// The epoch read here is the one stamped into the returned cursor:
+	// bumps take moveMu exclusively, so it cannot move while we hold the
+	// fence shared across the fan-out, merge and encode below.
+	epoch := rt.moveEpoch.Load()
+	if composite && cursorEpoch != epoch {
+		return nil, "", false, nil, fmt.Errorf(
+			"%w: minted in drain epoch %d, now %d — a rebalance moved records; restart the walk",
+			ErrStaleCursor, cursorEpoch, epoch)
+	}
 	rc := rt.rc
-	key := "g|" + query.CacheKey(q) + "|a=" + url.QueryEscape(after) + "|n=" + strconv.Itoa(pageSize)
+	key := "g|" + query.CacheKey(q) + "|a=" + url.QueryEscape(after) + "|n=" + strconv.Itoa(pageSize) + "|e=" + strconv.FormatUint(epoch, 10)
 	gens, probed := rt.probeGenerations()
 	if probed {
 		if e, ok := rc.get(key, gens); ok {
@@ -658,7 +800,7 @@ func (rt *Router) QueryPage(q *prep.Query, after string, pageSize int) ([]core.R
 		parts[i] = r.records
 	}
 	rt.observeMergeWidth(parts)
-	merged, _ := mergeRecords(parts, pageSize)
+	merged, _ := mergeRecords(parts, pageSize, false)
 
 	// Advance each shard's cursor past its consumed records; a shard
 	// none of whose fetched records made the cut keeps its old cursor.
@@ -693,7 +835,7 @@ func (rt *Router) QueryPage(q *prep.Query, after string, pageSize int) ([]core.R
 	}
 	next := ""
 	if !done && len(merged) > 0 {
-		next = encodeCursor(rt.fp, nextCursors, exhausted)
+		next = encodeCursor(rt.fp, epoch, nextCursors, exhausted)
 	}
 	mergedPlan := mergePlans(plans)
 	if probed {
@@ -985,6 +1127,29 @@ func (rt *Router) Close() error {
 // DeleteRecords call.
 const drainPageSize = 256
 
+// SetDrainPageSize overrides how many records one drain step moves.
+// Tests (and the race harness) shrink it so a drain over a small data
+// set still takes many page moves — the window the epoch fencing
+// exists for. Values < 1 restore the default. Safe to call between
+// drains; a drain in flight keeps the size it started with.
+func (rt *Router) SetDrainPageSize(n int) {
+	rt.drainMu.Lock()
+	defer rt.drainMu.Unlock()
+	if n < 1 {
+		n = drainPageSize
+	}
+	rt.drainPage = n
+}
+
+// shardDesc names a shard for error messages: the endpoint URL for a
+// remote shard, its embedded position otherwise.
+func shardDesc(i int, s Shard) string {
+	if u, ok := s.(interface{ URL() string }); ok && u.URL() != "" {
+		return u.URL()
+	}
+	return fmt.Sprintf("embedded shard %d", i)
+}
+
 // maxDrainPasses bounds Drain's sweep loop. The router's own writes are
 // fenced by the topology flip, so pass two is normally the empty
 // confirmation sweep — but a writer shipping to the shard's endpoint
@@ -1002,11 +1167,14 @@ const maxDrainPasses = 16
 // onto the survivors FIRST and deleted from the source only after every
 // copy is acknowledged, so a crash at any point loses nothing; at worst
 // it leaves copies on both sides, which idempotent re-recording (on a
-// drain retry) and the read merge's key-dedup absorb. One-shot queries
-// running concurrently keep seeing exactly the full record set
-// throughout — the moveMu read fence orders each fan-out against the
-// page moves; a multi-page walk whose cursor spans the drain can still
-// miss a moved record (see QueryPage).
+// drain retry) and the read merge's key-dedup absorb — and which the
+// router remembers (markOverlap) so Limit-ed Totals stay exact until a
+// re-drain absorbs the twins. One-shot queries running concurrently
+// keep seeing exactly the full record set throughout — the moveMu read
+// fence orders each fan-out against the page moves; a multi-page walk
+// whose cursor spans the drain is fenced by the drain epoch the cursor
+// carries (see QueryPage): it is rejected as ErrStaleCursor and
+// restarted by the client, never silently short.
 //
 // The drained shard stays in the read fan-out (it is empty, so it
 // answers trivially); re-draining an already-drained shard is a cheap
@@ -1035,6 +1203,14 @@ func (rt *Router) Drain(i int) (int, error) {
 	}
 	rt.topo.Unlock()
 
+	// Epoch bumps bracket the drain: the bump here retires every cursor
+	// minted before it (a walk resumed mid-drain would otherwise race
+	// the first page move), drainOnePage bumps after each page it
+	// relocates, and the deferred bump retires cursors minted between
+	// the last page move and the finish.
+	rt.bumpMoveEpoch()
+	defer rt.bumpMoveEpoch()
+
 	moved := 0
 	// Passes repeat until a full sweep moves nothing: the first pass
 	// races only writes that were already routed before the topology
@@ -1049,11 +1225,18 @@ func (rt *Router) Drain(i int) (int, error) {
 			return moved, err
 		}
 		if n == 0 {
+			// The sweep confirmed the source is empty: any overlap a
+			// previously failed drain left has been absorbed, so summed
+			// Totals are exact again.
+			rt.markOverlap(i, false)
 			return moved, nil
 		}
 	}
-	return moved, fmt.Errorf("shard: draining shard %d: still receiving records after %d sweeps — an external writer is shipping to it directly; stop it (or route it through the router) and re-drain",
-		i, maxDrainPasses)
+	// Every page cycle in the capped sweeps completed (copy AND source
+	// deletion), so hitting the cap leaves no overlap — only a shard
+	// that keeps refilling.
+	return moved, fmt.Errorf("shard: draining shard %d (%s): still receiving records after %d sweeps — an external writer is shipping to it directly; stop it (or route it through the router) and re-drain",
+		i, shardDesc(i, rt.shards[i]), maxDrainPasses)
 }
 
 // drainPass streams one full sweep of shard i: page, copy, delete —
@@ -1083,14 +1266,23 @@ func (rt *Router) drainOnePage(src Shard, i int, after string) (_ []core.Record,
 	defer func() { span.End(err) }()
 	rt.moveMu.Lock()
 	defer rt.moveMu.Unlock()
-	recs, next, done, _, err := src.QueryPage(&prep.Query{}, after, drainPageSize)
+	recs, next, done, _, err := src.QueryPage(&prep.Query{}, after, rt.drainPage)
 	if err != nil {
 		return nil, "", false, fmt.Errorf("shard: draining shard %d: reading page: %w", i, err)
 	}
 	if len(recs) == 0 {
 		return nil, next, done, nil
 	}
+	// From here on records may land on the survivors, so whatever the
+	// outcome the epoch must advance before the fence drops: cursors
+	// minted before this page cannot be allowed to resume past the
+	// move. (Deferred after the Unlock above, so it runs first — still
+	// under the fence.) A failure past this point additionally leaves
+	// the source page possibly twinned on the survivors until a
+	// re-drain confirms it gone.
+	defer rt.moveEpoch.Add(1)
 	if err := rt.relocate(i, recs); err != nil {
+		rt.markOverlap(i, true)
 		return nil, "", false, err
 	}
 	keys := make([]string, len(recs))
@@ -1099,6 +1291,7 @@ func (rt *Router) drainOnePage(src Shard, i int, after string) (_ []core.Record,
 	}
 	// Copies are acknowledged: only now may the source forget.
 	if _, err := src.DeleteRecords(keys); err != nil {
+		rt.markOverlap(i, true)
 		return nil, "", false, fmt.Errorf("shard: draining shard %d: deleting moved page: %w", i, err)
 	}
 	rt.reg.Batch(func() {

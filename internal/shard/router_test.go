@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -191,13 +192,20 @@ func TestCompositeCursorRoundTrip(t *testing.T) {
 	const fp = "00000000deadbeef"
 	cursors := []string{"i/x/1/sender/svc:enactor/e", "", "s/with!bang and spaces/\x00odd", "*starts/with/star"}
 	marks := []bool{false, true, false, true}
-	enc := encodeCursor(fp, cursors, marks)
+	const mintEpoch = uint64(0x2f)
+	enc := encodeCursor(fp, mintEpoch, cursors, marks)
 	if !strings.HasPrefix(enc, compositeCursorPrefix) {
 		t.Fatalf("encoded cursor %q lacks prefix", enc)
 	}
-	dec, done, err := decodeCursor(enc, fp, 4)
+	dec, done, epoch, composite, err := decodeCursor(enc, fp, 4)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !composite {
+		t.Fatal("composite cursor decoded as plain")
+	}
+	if epoch != mintEpoch {
+		t.Fatalf("epoch decoded %d, want %d", epoch, mintEpoch)
 	}
 	for i := range cursors {
 		if dec[i] != cursors[i] {
@@ -208,19 +216,33 @@ func TestCompositeCursorRoundTrip(t *testing.T) {
 		}
 	}
 	// Shard-count mismatch is rejected.
-	if _, _, err := decodeCursor(enc, fp, 2); err == nil {
+	if _, _, _, _, err := decodeCursor(enc, fp, 2); err == nil {
 		t.Fatal("cursor for 4 shards accepted against 2")
 	}
 	// A cursor minted against a different topology (same count,
 	// reordered or replaced shards — a different fingerprint) is
 	// rejected instead of mis-applying per-shard positions.
-	if _, _, err := decodeCursor(enc, "1111111111111111", 4); err == nil {
+	if _, _, _, _, err := decodeCursor(enc, "1111111111111111", 4); err == nil {
 		t.Fatal("cursor accepted against a different topology fingerprint")
 	}
+	// A pre-epoch cursor (fingerprint field without the "." suffix —
+	// minted by an older build) still decodes, as epoch 0.
+	legacy := strings.Replace(enc, fp+"."+strconv.FormatUint(mintEpoch, 16), fp, 1)
+	if _, _, epoch, composite, err := decodeCursor(legacy, fp, 4); err != nil || !composite || epoch != 0 {
+		t.Fatalf("legacy cursor: epoch=%d composite=%v err=%v, want 0/true/nil", epoch, composite, err)
+	}
+	// A garbled epoch suffix is malformed, not stale.
+	garbled := strings.Replace(enc, fp+"."+strconv.FormatUint(mintEpoch, 16), fp+".zz", 1)
+	if _, _, _, _, err := decodeCursor(garbled, fp, 4); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("garbled epoch: err=%v, want ErrBadCursor", err)
+	}
 	// A plain storage key fans out unchanged, with no shard exhausted.
-	plain, done, err := decodeCursor("i/abc", fp, 2)
+	plain, done, _, composite, err := decodeCursor("i/abc", fp, 2)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if composite {
+		t.Fatal("plain cursor decoded as composite")
 	}
 	if plain[0] != "i/abc" || plain[1] != "i/abc" || done[0] || done[1] {
 		t.Fatalf("plain cursor mangled: %v %v", plain, done)

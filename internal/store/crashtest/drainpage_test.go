@@ -1,0 +1,263 @@
+package crashtest
+
+// Drain/paging race harness: concurrent multi-page QueryPage walks —
+// with the client's stale-cursor restart protocol — race whole-shard
+// drains (including one that crashes mid-page and leaves a twinned
+// overlap) over three children of every backend flavour. Every
+// completed walk must deliver exactly the committed key set, in order,
+// no misses and no dupes; Limit-ed Totals must stay exact throughout,
+// across the in-flight drains AND across the crashed drain's overlap;
+// and a pre-drain cursor must come back as shard.ErrStaleCursor, never
+// a silently short page. Run under -race in CI.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"preserv/internal/core"
+	"preserv/internal/prep"
+	"preserv/internal/shard"
+	"preserv/internal/store"
+)
+
+// crashOnceShard fails its first DeleteRecords call — the drain then
+// aborts between copying a page to the survivors and deleting it from
+// the source, the exact overlap a mid-drain crash leaves.
+type crashOnceShard struct {
+	shard.Shard
+	mu       sync.Mutex
+	failures int
+}
+
+func (c *crashOnceShard) DeleteRecords(keys []string) (int, error) {
+	c.mu.Lock()
+	fail := c.failures > 0
+	if fail {
+		c.failures--
+	}
+	c.mu.Unlock()
+	if fail {
+		return 0, fmt.Errorf("injected mid-drain crash")
+	}
+	return c.Shard.DeleteRecords(keys)
+}
+
+// pagedWalk walks the whole result set page by page, restarting from
+// the last delivered key whenever a drain retires its cursor — the
+// same protocol Client.QueryStream speaks. It returns the delivered
+// storage keys in order.
+func pagedWalk(rt *shard.Router, pageSize int) ([]string, error) {
+	var keys []string
+	after := ""
+	lastKey := ""
+	retried := false
+	for steps := 0; ; steps++ {
+		if steps > 2000 {
+			return nil, fmt.Errorf("paged walk did not terminate")
+		}
+		recs, next, done, _, err := rt.QueryPage(&prep.Query{}, after, pageSize)
+		if err != nil {
+			if errors.Is(err, shard.ErrStaleCursor) && !retried {
+				retried = true
+				after = lastKey
+				continue
+			}
+			return nil, err
+		}
+		for i := range recs {
+			lastKey = recs[i].StorageKey()
+			keys = append(keys, lastKey)
+			retried = false
+		}
+		if done || next == "" {
+			return keys, nil
+		}
+		after = next
+	}
+}
+
+func assertWalkExact(committed, got []string, label string) error {
+	if len(got) != len(committed) {
+		return fmt.Errorf("%s: walked %d keys, want %d", label, len(got), len(committed))
+	}
+	for i := range committed {
+		if got[i] != committed[i] {
+			return fmt.Errorf("%s: key %d is %s, want %s", label, i, got[i], committed[i])
+		}
+	}
+	return nil
+}
+
+func TestRouterDrainVsPagedWalksAllBackends(t *testing.T) {
+	flavours := []struct {
+		name string
+		open func(t *testing.T) store.Backend
+	}{
+		{"memory", func(t *testing.T) store.Backend { return store.NewMemoryBackend() }},
+		{"file", func(t *testing.T) store.Backend {
+			b, err := store.NewFileBackend(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}},
+		{"kvdb", func(t *testing.T) store.Backend {
+			b, err := store.NewKVBackend(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { b.Close() })
+			return b
+		}},
+	}
+	const (
+		shards     = 3
+		sessions   = 12
+		perSession = 5
+		walkers    = 3
+	)
+	for _, fl := range flavours {
+		t.Run(fl.name, func(t *testing.T) {
+			children := make([]shard.Shard, shards)
+			for i := range children {
+				children[i] = shard.NewLocal(store.New(fl.open(t)))
+			}
+			// Shard 1's first drained page crashes between copy and
+			// delete.
+			crash := &crashOnceShard{Shard: children[1], failures: 1}
+			children[1] = crash
+			rt, err := shard.NewRouter(children...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Small drain pages: each drain takes several fenced page
+			// moves — the window the walks race.
+			rt.SetDrainPageSize(4)
+
+			// Commit a fixed record set up front; the walks assert
+			// against it, so no concurrent writes in this harness.
+			var committed []string
+			for s := 0; s < sessions; s++ {
+				sid := seq.NewID()
+				recs := make([]core.Record, 0, perSession)
+				for j := 0; j < perSession; j++ {
+					recs = append(recs, mkInteraction(sid, core.ActorID(fmt.Sprintf("svc:stage-%d", j%3)), j))
+				}
+				acc, rejects, err := rt.Record("svc:enactor", recs)
+				if err != nil || acc != perSession || len(rejects) != 0 {
+					t.Fatalf("seeding session %d: acc=%d rejects=%v err=%v", s, acc, rejects, err)
+				}
+				for _, r := range recs {
+					committed = append(committed, r.StorageKey())
+				}
+			}
+			sort.Strings(committed)
+			if cnt, err := rt.Shard(1).Count(); err != nil || cnt.Records == 0 {
+				t.Fatalf("workload left shard 1 empty (records=%d err=%v)", cnt.Records, err)
+			}
+
+			// Walkers page the full set over and over, with randomized
+			// page sizes, restarting on stale cursors; a totals checker
+			// pins exact Limit-ed Totals concurrently. Both run across
+			// the crashed drain, the recovery re-drain, and a second
+			// drain.
+			stop := make(chan struct{})
+			errs := make(chan error, walkers+2)
+			var wg sync.WaitGroup
+			for w := 0; w < walkers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(9100 + w)))
+					for walk := 0; ; walk++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						pageSize := 3 + rng.Intn(7)
+						got, err := pagedWalk(rt, pageSize)
+						if err != nil {
+							errs <- fmt.Errorf("walker %d walk %d: %w", w, walk, err)
+							return
+						}
+						if err := assertWalkExact(committed, got, fmt.Sprintf("walker %d walk %d (page %d)", w, walk, pageSize)); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for _, lim := range []int{0, 1, 7} {
+						_, total, err := rt.Query(&prep.Query{Limit: lim})
+						if err != nil {
+							errs <- fmt.Errorf("totals checker: %w", err)
+							return
+						}
+						if total != len(committed) {
+							errs <- fmt.Errorf("totals checker: Limit %d Total %d, want exact %d", lim, total, len(committed))
+							return
+						}
+					}
+				}
+			}()
+
+			// The drain lifecycle, racing everything above: a crashing
+			// drain of shard 1 (leaves overlap), the recovery re-drain,
+			// then a drain of shard 2 down to a single survivor.
+			if _, err := rt.Drain(1); err == nil {
+				t.Error("crashing drain of shard 1 reported success")
+			}
+			if !rt.OverlapSuspected() {
+				t.Error("crashed drain did not raise overlap suspicion")
+			}
+			if _, err := rt.Drain(1); err != nil {
+				t.Errorf("recovery re-drain: %v", err)
+			}
+			if _, err := rt.Drain(2); err != nil {
+				t.Errorf("drain of shard 2: %v", err)
+			}
+			close(stop)
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Quiesced: drained shards empty, suspicion cleared, one
+			// final walk and Limit-ed Total exact against the committed
+			// set.
+			for _, i := range []int{1, 2} {
+				if cnt, _ := rt.Shard(i).Count(); cnt.Records != 0 {
+					t.Fatalf("drained shard %d still holds %d records", i, cnt.Records)
+				}
+			}
+			if rt.OverlapSuspected() {
+				t.Fatal("overlap suspicion survived successful drains")
+			}
+			got, err := pagedWalk(rt, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := assertWalkExact(committed, got, "final walk"); err != nil {
+				t.Fatal(err)
+			}
+			if _, total, err := rt.Query(&prep.Query{Limit: 5}); err != nil || total != len(committed) {
+				t.Fatalf("final limited Total %d (err=%v), want %d", total, err, len(committed))
+			}
+		})
+	}
+}
