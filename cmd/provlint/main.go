@@ -1,0 +1,104 @@
+// Command provlint runs the provlint analyzer suite (internal/lint):
+// lockorder, atomicfield, typedfault, obshotpath, and genbump — the
+// mechanical checks over the store's concurrency and wire-contract
+// invariants.
+//
+// It is dual-mode:
+//
+//   - As a vet tool, it speaks the unitchecker protocol, so
+//     `go vet -vettool=$(which provlint) ./...` runs the suite with
+//     go's own package loading and caching.
+//
+//   - Standalone, `provlint [-json] [packages]` re-executes the go
+//     command with itself as the vet tool — `provlint ./...` is all
+//     CI needs. -json emits the vet JSON stream (diagnostics keyed by
+//     package and analyzer, suggested fixes included) instead of the
+//     human-readable text.
+//
+// `provlint help` lists the analyzers; `provlint help <name>`
+// describes one.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"preserv/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if isVetProtocol(args) {
+		unitchecker.Main(lint.Analyzers()...) // exits
+	}
+	os.Exit(standalone(args))
+}
+
+// isVetProtocol reports whether the process was invoked by the go
+// command's vet machinery (or asked for analyzer help, which the
+// unitchecker also serves): a *.cfg argument carries the unit of work,
+// -V=full is the version/fingerprint query, and -flags asks for the
+// tool's flag schema.
+func isVetProtocol(args []string) bool {
+	for _, a := range args {
+		switch {
+		case strings.HasSuffix(a, ".cfg"),
+			strings.HasPrefix(a, "-V"),
+			a == "-flags",
+			a == "help":
+			return true
+		}
+	}
+	return false
+}
+
+// standalone re-executes `go vet` with this binary as the vet tool, so
+// one command covers package loading, caching, and analysis.
+func standalone(args []string) int {
+	var jsonOut bool
+	patterns := make([]string, 0, len(args))
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: provlint [-json] [packages]\n       provlint help [analyzer]")
+			return 2
+		default:
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(os.Stderr, "provlint: unknown flag %s\n", a)
+				return 2
+			}
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "provlint: locating own binary: %v\n", err)
+		return 1
+	}
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	if jsonOut {
+		vetArgs = append(vetArgs, "-json")
+	}
+	vetArgs = append(vetArgs, patterns...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "provlint: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}

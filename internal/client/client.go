@@ -149,6 +149,7 @@ const DefaultFlushConcurrency = 4
 // — at most roughly 2× the concurrency's worth of batches is ever
 // materialised, however large the backlog grew.
 type AsyncRecorder struct {
+	// provlint:lock-order 20
 	mu          sync.Mutex
 	asserter    core.ActorID
 	clients     []*preserv.Client
@@ -171,6 +172,7 @@ type AsyncRecorder struct {
 	// Close) against each other. Ordered above mu: a shipper takes
 	// shipMu first and mu only in short sections, so Record calls keep
 	// flowing while a ship is on the wire.
+	// provlint:lock-order 10
 	shipMu sync.Mutex
 	// flushRetries counts re-ship attempts of sealed files whose earlier
 	// ship failed (Stats.FlushRetries).
@@ -390,6 +392,8 @@ func (r *AsyncRecorder) AutoFlushErr() error {
 // already in flight. The seal is O(1) (rename + reopen) so the Record
 // call paying for it barely notices; the shipping happens off-lock.
 // Callers hold r.mu.
+//
+// provlint:requires mu
 func (r *AsyncRecorder) maybeAutoFlushLocked() {
 	if r.autoFlushAt <= 0 || r.pending < r.autoFlushAt || r.pending < r.retryAt || r.flushing || r.closed {
 		return
@@ -458,6 +462,8 @@ func (r *AsyncRecorder) Rotate() error {
 // rename the file to <journal>.<seq>.sealed, and start a fresh journal
 // (with a fresh gob stream — each sealed file must decode standalone).
 // No-op when the active journal is empty. Callers hold r.mu.
+//
+// provlint:requires mu
 func (r *AsyncRecorder) sealActiveLocked() error {
 	if r.activeCount == 0 {
 		return nil

@@ -56,7 +56,7 @@ type entryLoc struct {
 
 // DB is an open database.
 type DB struct {
-	mu     sync.RWMutex
+	mu     sync.RWMutex // provlint:lock-order 20
 	dir    string
 	f      *os.File
 	index  map[string]entryLoc
@@ -64,6 +64,7 @@ type DB struct {
 	closed bool
 	// compactMu serialises compactions (incremental or serial) against
 	// each other; db.mu alone still serialises them against writes.
+	// provlint:lock-order 10
 	compactMu sync.Mutex
 	// legacyCompact selects the original stop-the-world Compact, which
 	// holds db.mu for the whole rewrite. Kept for comparison benchmarks

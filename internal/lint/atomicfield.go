@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// AtomicField finds the exact class of the PR 5 CompactRatio and PR 6
+// torn-stats bugs: a field that is ever accessed through sync/atomic
+// must never be read or written plainly, and must never escape by a
+// copy of its enclosing struct. Plain reads get a suggested fix that
+// rewrites them to the matching atomic load. Construction-time plain
+// access goes in functions annotated provlint:atomic-exempt.
+var AtomicField = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "check that fields accessed via sync/atomic are never read/written plainly " +
+		"or copied with their struct",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runAtomicField,
+}
+
+// atomicLoadFunc maps a basic field type to its sync/atomic load
+// function, for the suggested fix.
+func atomicLoadFunc(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "LoadInt32"
+	case types.Int64:
+		return "LoadInt64"
+	case types.Uint32:
+		return "LoadUint32"
+	case types.Uint64:
+		return "LoadUint64"
+	case types.Uintptr:
+		return "LoadUintptr"
+	}
+	return ""
+}
+
+func runAtomicField(pass *analysis.Pass) (interface{}, error) {
+	d := collectDirectives(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: find every `&x` argument to a sync/atomic function. The
+	// pointed-to field/var objects become the atomic set; those exact
+	// operand expressions are the sanctioned uses.
+	marked := map[types.Object]bool{}
+	sanctioned := map[ast.Expr]bool{}
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := typeutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		for _, arg := range call.Args {
+			ue, ok := arg.(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				continue
+			}
+			if obj := lockBaseObj(pass.TypesInfo, ue.X); obj != nil {
+				if v, ok := obj.(*types.Var); ok {
+					marked[v] = true
+					sanctioned[ue.X] = true
+				}
+			}
+		}
+	})
+	if len(marked) == 0 {
+		return nil, nil
+	}
+
+	// Owner structs: named types whose struct contains a marked field,
+	// for the escape-by-copy check.
+	owners := map[*types.TypeName]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if fobj := pass.TypesInfo.Defs[name]; fobj != nil && marked[fobj] {
+						if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+							owners[tn] = fobj.Name()
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// atomicImported reports whether the file at pos imports
+	// sync/atomic — the suggested fix is only safe to attach there.
+	atomicImported := func(pos token.Pos) bool {
+		for _, f := range pass.Files {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				for _, imp := range f.Imports {
+					if imp.Path.Value == `"sync/atomic"` {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	// Pass 2: every other use of a marked field is a violation.
+	ins.WithStack([]ast.Node{(*ast.SelectorExpr)(nil), (*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		var obj types.Object
+		var expr ast.Expr
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj = pass.TypesInfo.Uses[n.Sel]
+			expr = n
+		case *ast.Ident:
+			// Package-level vars only; field selectors are handled via
+			// their SelectorExpr so the whole expression is rewritten.
+			if len(stack) >= 2 {
+				if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == n {
+					return true
+				}
+			}
+			obj = pass.TypesInfo.Uses[n]
+			expr = n
+		}
+		if obj == nil || !marked[obj] || sanctioned[expr] {
+			return true
+		}
+		if fd := enclosingFuncDecl(stack); fd != nil && d.atomicExempt[funcObj(pass, fd)] {
+			return true
+		}
+		diag := analysis.Diagnostic{Pos: expr.Pos()}
+		if isWriteContext(stack, expr) {
+			diag.Message = fmt.Sprintf(
+				"plain write to atomic field %s: every access must go through sync/atomic (or annotate the function provlint:atomic-exempt)",
+				obj.Name())
+		} else {
+			diag.Message = fmt.Sprintf(
+				"plain read of atomic field %s: every access must go through sync/atomic (or annotate the function provlint:atomic-exempt)",
+				obj.Name())
+			if load := atomicLoadFunc(obj.Type()); load != "" && atomicImported(expr.Pos()) {
+				diag.SuggestedFixes = []analysis.SuggestedFix{{
+					Message: fmt.Sprintf("rewrite to atomic.%s", load),
+					TextEdits: []analysis.TextEdit{{
+						Pos:     expr.Pos(),
+						End:     expr.End(),
+						NewText: []byte(fmt.Sprintf("atomic.%s(&%s)", load, types.ExprString(expr))),
+					}},
+				}}
+			}
+		}
+		d.report(pass, diag)
+		return true
+	})
+
+	// Pass 3: escape by struct copy — copying a live value of a struct
+	// that owns an atomic field tears it.
+	checkCopy := func(expr ast.Expr) {
+		src := expr
+		if star, ok := src.(*ast.StarExpr); ok {
+			src = star.X
+		} else {
+			switch src.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+			default:
+				return // composite literals, calls, &x: not a copy of a live value
+			}
+		}
+		t := pass.TypesInfo.TypeOf(expr)
+		if t == nil {
+			return
+		}
+		named, ok := types.Unalias(t).(*types.Named)
+		if !ok {
+			return
+		}
+		if field, ok := owners[named.Obj()]; ok {
+			d.report(pass, analysis.Diagnostic{
+				Pos: expr.Pos(),
+				Message: fmt.Sprintf(
+					"copies struct %s, tearing its atomic field %s: pass *%s instead",
+					named.Obj().Name(), field, named.Obj().Name()),
+			})
+		}
+	}
+	ins.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.ValueSpec)(nil), (*ast.CallExpr)(nil), (*ast.ReturnStmt)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				checkCopy(rhs)
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				checkCopy(v)
+			}
+		case *ast.CallExpr:
+			if fn := typeutil.Callee(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				return
+			}
+			for _, arg := range n.Args {
+				checkCopy(arg)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				checkCopy(r)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// enclosingFuncDecl returns the nearest FuncDecl on the stack.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// isWriteContext reports whether expr is being assigned to (including
+// ++/--), as opposed to read.
+func isWriteContext(stack []ast.Node, expr ast.Expr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if lhs == expr {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return parent.X == expr
+	case *ast.UnaryExpr:
+		return parent.Op == token.AND // address escape counts as a write hazard
+	}
+	return false
+}

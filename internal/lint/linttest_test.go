@@ -1,0 +1,267 @@
+package lint
+
+// This file is a minimal stand-in for golang.org/x/tools/go/analysis/
+// analysistest, which the build environment cannot vendor (it is not
+// part of the toolchain's own vendored x/tools subset). It loads a
+// fixture package from testdata/src/<dir>, type-checks it with the
+// stdlib source importer (no compiled export data needed), runs one
+// analyzer over a hand-built analysis.Pass, and matches the emitted
+// diagnostics against `// want `+"`substring`"+` comments on the
+// offending lines. Each fixture seeds deliberate violations, so these
+// tests prove the analyzers still CATCH the bug classes they exist
+// for — a provlint that silently stopped firing would fail here, not
+// pass CI quietly.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// fixturePkg is one loaded-and-checked fixture package.
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// fixtureLoader resolves imports first against testdata/src (so
+// fixtures can import stub packages like "obs"), then against the
+// standard library compiled from GOROOT source.
+type fixtureLoader struct {
+	fset     *token.FileSet
+	base     string
+	cache    map[string]*fixturePkg
+	fallback types.Importer
+}
+
+func newFixtureLoader() *fixtureLoader {
+	fset := token.NewFileSet()
+	return &fixtureLoader{
+		fset:     fset,
+		base:     filepath.Join("testdata", "src"),
+		cache:    make(map[string]*fixturePkg),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(l.base, path)); err == nil && fi.IsDir() {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+func (l *fixtureLoader) load(dir string) (*fixturePkg, error) {
+	if fp, ok := l.cache[dir]; ok {
+		return fp, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(l.base, dir))
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(l.base, dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(dir, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{pkg: pkg, files: files, info: info}
+	l.cache[dir] = fp
+	return fp, nil
+}
+
+// runFixture runs one analyzer over a fixture package and returns the
+// diagnostics it reported, alongside the loader (for positions).
+func runFixture(t *testing.T, a *analysis.Analyzer, dir string) ([]analysis.Diagnostic, *fixtureLoader) {
+	t.Helper()
+	l := newFixtureLoader()
+	fp, err := l.load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       l.fset,
+		Files:      fp.files,
+		Pkg:        fp.pkg,
+		TypesInfo:  fp.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf: map[*analysis.Analyzer]interface{}{
+			inspect.Analyzer: inspector.New(fp.files),
+		},
+		Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	checkWants(t, l, dir, diags)
+	return diags, l
+}
+
+// wantKey identifies one expectation site.
+type wantKey struct {
+	file string
+	line int
+}
+
+// checkWants matches reported diagnostics against the fixture's
+// `// want` comments: every diagnostic must land on a line carrying a
+// matching expectation (substring match), and every expectation must
+// be consumed by exactly one diagnostic.
+func checkWants(t *testing.T, l *fixtureLoader, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
+	fp := l.cache[dir]
+	type want struct {
+		text string
+		used bool
+	}
+	wants := map[wantKey][]*want{}
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want `")
+				if i < 0 {
+					continue
+				}
+				rest := text[i+len("// want `"):]
+				j := strings.Index(rest, "`")
+				if j < 0 {
+					t.Fatalf("%s: unterminated want expectation: %s", l.fset.Position(c.Pos()), text)
+				}
+				posn := l.fset.Position(c.Pos())
+				k := wantKey{posn.Filename, posn.Line}
+				wants[k] = append(wants[k], &want{text: rest[:j]})
+			}
+		}
+	}
+	for _, d := range diags {
+		posn := l.fset.Position(d.Pos)
+		k := wantKey{posn.Filename, posn.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.used && strings.Contains(d.Message, w.text) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", posn, d.Message)
+		}
+	}
+	var missed []string
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				missed = append(missed, k.file+":"+itoa(k.line)+": "+w.text)
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Errorf("expected diagnostic not reported: %s", m)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, LockOrder, "lockorderfix")
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	diags, l := runFixture(t, AtomicField, "atomicfix")
+
+	// The plain read must carry a -fix-safe suggested rewrite to the
+	// matching atomic load of the exact source expression.
+	var fixed bool
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "plain read of atomic field hits") {
+			continue
+		}
+		if len(d.SuggestedFixes) != 1 || len(d.SuggestedFixes[0].TextEdits) != 1 {
+			t.Fatalf("plain read diagnostic: want exactly one suggested fix with one edit, got %+v", d.SuggestedFixes)
+		}
+		ed := d.SuggestedFixes[0].TextEdits[0]
+		if got, want := string(ed.NewText), "atomic.LoadInt64(&s.hits)"; got != want {
+			t.Errorf("suggested fix text = %q, want %q", got, want)
+		}
+		// The edit must replace exactly the offending expression.
+		start, end := l.fset.Position(ed.Pos), l.fset.Position(ed.End)
+		src, err := os.ReadFile(start.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := string(src[start.Offset:end.Offset]), "s.hits"; got != want {
+			t.Errorf("suggested fix replaces %q, want %q", got, want)
+		}
+		fixed = true
+	}
+	if !fixed {
+		t.Error("plain read diagnostic with suggested fix not reported")
+	}
+}
+
+func TestTypedFaultFixture(t *testing.T) {
+	runFixture(t, TypedFault, "typedfaultfix")
+}
+
+func TestObsHotPathFixture(t *testing.T) {
+	runFixture(t, ObsHotPath, "obsfix")
+}
+
+func TestGenBumpFixture(t *testing.T) {
+	// The directory is storefix but the package is named store: the
+	// analyzer gates on the package NAME, which is what production
+	// internal/store presents.
+	runFixture(t, GenBump, "storefix")
+}

@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// LockOrder enforces the declared lock hierarchy: every mutex carrying
+// a provlint:lock-order rank must be acquired in strictly ascending
+// rank order within a function, and every call to a function annotated
+// provlint:requires must happen with the named lock held. The
+// simulation is linear and intra-procedural — statements are visited
+// in source order, `defer x.Unlock()` keeps x held to the end, and
+// function literals are simulated with their own empty held set (a
+// goroutine or callback starts with no locks of its own).
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "check mutex acquisition order against the declared provlint:lock-order hierarchy " +
+		"and provlint:requires call-site obligations",
+	Run: runLockOrder,
+}
+
+// heldLock is one annotated lock the simulation believes is held.
+type heldLock struct {
+	obj  types.Object
+	rank int
+}
+
+func runLockOrder(pass *analysis.Pass) (interface{}, error) {
+	d := collectDirectives(pass)
+	if len(d.lockRank) == 0 && len(d.requires) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			simulateFunc(pass, d, fd, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// simulateFunc simulates one function body in source order, tracking
+// the held set of annotated locks, and reports rank inversions and
+// unmet `requires` obligations. The model is deliberately simple:
+//
+//   - Straight-line statements mutate the held set (Lock acquires,
+//     Unlock releases, `defer x.Unlock()` keeps x held to the end).
+//   - Branch bodies (if/for/switch/select) are simulated with a COPY
+//     of the held set; their effects do not escape to the fall-through
+//     path. This keeps the early-exit guard idiom
+//     `if done { mu.Unlock(); return nil }` from looking like a
+//     release on the path that continues with mu held.
+//   - Nested function literals are queued and simulated with an empty
+//     held set (a goroutine or callback starts with no locks).
+func simulateFunc(pass *analysis.Pass, d *directives, fd *ast.FuncDecl, body *ast.BlockStmt) {
+	sim := &lockSim{pass: pass, d: d, fnObj: funcObj(pass, fd)}
+	sim.block(body, nil)
+	for i := 0; i < len(sim.lits); i++ { // queue grows while simulating
+		lit := sim.lits[i]
+		litSim := &lockSim{pass: pass, d: d, fnObj: sim.fnObj, lits: sim.lits}
+		litSim.block(lit.Body, nil)
+		sim.lits = litSim.lits
+	}
+}
+
+// lockSim carries the per-function simulation state.
+type lockSim struct {
+	pass  *analysis.Pass
+	d     *directives
+	fnObj types.Object
+	lits  []*ast.FuncLit
+}
+
+// block simulates a statement list and returns the held set at its
+// fall-through exit.
+func (s *lockSim) block(b *ast.BlockStmt, held []heldLock) []heldLock {
+	if b == nil {
+		return held
+	}
+	for _, st := range b.List {
+		held = s.stmt(st, held)
+	}
+	return held
+}
+
+// stmt simulates one statement and returns the updated held set.
+func (s *lockSim) stmt(st ast.Stmt, held []heldLock) []heldLock {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		// An explicit block shares the enclosing path.
+		return s.block(st, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		held = s.expr(st.Cond, held)
+		s.block(st.Body, snapshot(held))
+		if st.Else != nil {
+			s.stmt(st.Else, snapshot(held))
+		}
+		return held
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			held = s.expr(st.Cond, held)
+		}
+		inner := snapshot(held)
+		inner = s.block(st.Body, inner)
+		if st.Post != nil {
+			s.stmt(st.Post, inner)
+		}
+		return held
+	case *ast.RangeStmt:
+		held = s.expr(st.X, held)
+		s.block(st.Body, snapshot(held))
+		return held
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			held = s.expr(st.Tag, held)
+		}
+		s.clauses(st.Body, held)
+		return held
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		held = s.stmt(st.Assign, held)
+		s.clauses(st.Body, held)
+		return held
+	case *ast.SelectStmt:
+		s.clauses(st.Body, held)
+		return held
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end; any
+		// other deferred call is checked against the current held set
+		// (the closest linear approximation of "runs on every exit").
+		if sel, ok := st.Call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Unlock", "RUnlock":
+				return held
+			}
+		}
+		return s.expr(st.Call, held)
+	case *ast.GoStmt:
+		// The goroutine body runs with its own empty held set; its
+		// function-literal operand is queued by expr.
+		return s.expr(st.Call.Fun, held)
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, held)
+	case *ast.ExprStmt:
+		return s.expr(st.X, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			held = s.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			held = s.expr(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			held = s.expr(e, held)
+		}
+		return held
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		var out []heldLock = held
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				out = s.expr(e, out)
+				return false
+			}
+			return true
+		})
+		return out
+	default:
+		return held
+	}
+}
+
+// clauses simulates each case/comm clause body with its own copy of
+// the held set.
+func (s *lockSim) clauses(body *ast.BlockStmt, held []heldLock) {
+	for _, st := range body.List {
+		inner := snapshot(held)
+		switch cc := st.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				inner = s.expr(e, inner)
+			}
+			for _, b := range cc.Body {
+				inner = s.stmt(b, inner)
+			}
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				inner = s.stmt(cc.Comm, inner)
+			}
+			for _, b := range cc.Body {
+				inner = s.stmt(b, inner)
+			}
+		}
+	}
+}
+
+// expr walks an expression in evaluation order, applying Lock/Unlock
+// effects, checking requires obligations, and queueing function
+// literals.
+func (s *lockSim) expr(e ast.Expr, held []heldLock) []heldLock {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.lits = append(s.lits, n)
+			return false
+		case *ast.CallExpr:
+			// Walk arguments (and nested calls in the callee) first so
+			// the effects of inner calls precede the outer one.
+			if n.Fun != nil {
+				held = s.expr(n.Fun, held)
+			}
+			for _, a := range n.Args {
+				held = s.expr(a, held)
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					if obj := lockBaseObj(s.pass.TypesInfo, sel.X); obj != nil {
+						if rank, ok := s.d.lockRank[obj]; ok {
+							checkAcquire(s.pass, s.d, held, obj, rank, n)
+							held = append(held, heldLock{obj, rank})
+						}
+					}
+				case "Unlock", "RUnlock":
+					if obj := lockBaseObj(s.pass.TypesInfo, sel.X); obj != nil {
+						if _, ok := s.d.lockRank[obj]; ok {
+							held = release(held, obj)
+						}
+					}
+				}
+			}
+			checkRequires(s.pass, s.d, held, s.fnObj, n)
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// snapshot copies a held set so a branch cannot mutate its parent's.
+func snapshot(held []heldLock) []heldLock {
+	out := make([]heldLock, len(held))
+	copy(out, held)
+	return out
+}
+
+// checkAcquire reports an inversion when a lock is acquired while a
+// lock of equal or higher rank is already held. Re-acquisition of the
+// same object is skipped: striped lock arrays annotate one field, and
+// their elements are acquired in a fixed index order the per-object
+// model cannot see.
+func checkAcquire(pass *analysis.Pass, d *directives, held []heldLock, obj types.Object, rank int, at ast.Node) {
+	for _, h := range held {
+		if h.obj == obj {
+			return
+		}
+	}
+	for _, h := range held {
+		if h.rank >= rank {
+			d.report(pass, analysis.Diagnostic{
+				Pos: at.Pos(),
+				Message: fmt.Sprintf(
+					"lock order inversion: acquires %s (rank %d) while holding %s (rank %d); the hierarchy requires ascending ranks",
+					obj.Name(), rank, h.obj.Name(), h.rank),
+			})
+			return
+		}
+	}
+}
+
+// checkRequires reports calls to provlint:requires-annotated functions
+// made without the named lock held (and without the caller carrying
+// the same obligation).
+func checkRequires(pass *analysis.Pass, d *directives, held []heldLock, caller types.Object, call *ast.CallExpr) {
+	callee := typeutil.Callee(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	needs := d.requires[callee]
+	if len(needs) == 0 {
+		return
+	}
+outer:
+	for _, name := range needs {
+		for _, h := range held {
+			if h.obj.Name() == name {
+				continue outer
+			}
+		}
+		if caller != nil {
+			for _, n := range d.requires[caller] {
+				if n == name {
+					continue outer
+				}
+			}
+		}
+		d.report(pass, analysis.Diagnostic{
+			Pos: call.Pos(),
+			Message: fmt.Sprintf(
+				"call to %s requires %s held (provlint:requires), but no acquisition is visible on this path",
+				callee.Name(), name),
+		})
+	}
+}
+
+// release removes the most recent held entry for obj.
+func release(held []heldLock, obj types.Object) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].obj == obj {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}

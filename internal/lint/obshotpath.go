@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// ObsHotPath enforces the telemetry hot-path rule established in PR 6:
+// obs registry entries are resolved by name once, at construction —
+// Registry.Counter/Gauge/GaugeFunc/Histogram take the registry lock
+// and probe a map, which per-operation code must never pay. Lookups
+// are legal in constructors (New*/new*), in init, in test files, in
+// package obs itself, and in functions annotated provlint:obs-setup;
+// anywhere else the handle must be a field resolved at construction.
+// (Registry.Tracer is exempt: it is a sync.Once-cached pointer, not a
+// by-name map lookup.)
+var ObsHotPath = &analysis.Analyzer{
+	Name: "obshotpath",
+	Doc: "check that by-name obs registry lookups (Counter/Gauge/GaugeFunc/Histogram) " +
+		"happen only in constructors, init, or provlint:obs-setup functions",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runObsHotPath,
+}
+
+// obsLookupMethods are the by-name, lock-taking registry resolvers.
+var obsLookupMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+func runObsHotPath(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "obs" {
+		return nil, nil // the registry's own implementation
+	}
+	d := collectDirectives(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || !obsLookupMethods[fn.Name()] || !isObsRegistryMethod(fn) {
+			return true
+		}
+		posn := pass.Fset.Position(call.Pos())
+		if strings.HasSuffix(posn.Filename, "_test.go") {
+			return true
+		}
+		fd := enclosingFuncDecl(stack)
+		if fd != nil {
+			name := fd.Name.Name
+			if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "init" {
+				return true
+			}
+			if d.obsSetup[funcObj(pass, fd)] {
+				return true
+			}
+		}
+		where := "package-level code"
+		if fd != nil {
+			where = fd.Name.Name
+		}
+		d.report(pass, analysis.Diagnostic{
+			Pos: call.Pos(),
+			Message: fmt.Sprintf(
+				"obs registry lookup %s(%s) in %s: by-name resolution belongs in a constructor — "+
+					"resolve the handle at construction, or annotate the function provlint:obs-setup",
+				fn.Name(), lookupArg(call), where),
+		})
+		return true
+	})
+	return nil, nil
+}
+
+// isObsRegistryMethod reports whether fn is a method on obs.Registry
+// (matched by type name and package name, so fixture stubs type-check
+// the same way the real package does).
+func isObsRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Registry" && named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "obs"
+}
+
+// lookupArg renders the first (name) argument for the diagnostic.
+func lookupArg(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	s := types.ExprString(call.Args[0])
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+// Package atomicfix seeds the atomicfield bug class: a field accessed
+// through sync/atomic that is also read plainly (fixable), written
+// plainly, and escaped by a struct copy — plus the atomic-exempt
+// constructor idiom that must stay silent.
+package atomicfix
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64
+	name string
+}
+
+func (s *stats) incr() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) plainRead() int64 {
+	return s.hits // want `plain read of atomic field hits`
+}
+
+func (s *stats) plainWrite() {
+	s.hits = 0 // want `plain write to atomic field hits`
+}
+
+func (s *stats) copies() stats {
+	return *s // want `copies struct stats, tearing its atomic field hits`
+}
+
+func (s *stats) label() string {
+	return s.name // non-atomic field: plain access is fine
+}
+
+// newStats touches the field plainly before the value is published,
+// which the annotation sanctions.
+//
+// provlint:atomic-exempt construction-time access before publication
+func newStats() *stats {
+	s := &stats{}
+	s.hits = 0
+	return s
+}

@@ -1,0 +1,77 @@
+// Package lockorderfix seeds lock-hierarchy violations for the
+// lockorder analyzer: a rank inversion, an unmet requires obligation
+// (including from a goroutine, which starts with an empty held set),
+// and the clean idioms — ascending acquisition, deferred release,
+// early-exit guards, obligation-carrying callers — that must stay
+// silent.
+package lockorderfix
+
+import "sync"
+
+type server struct {
+	// provlint:lock-order 10
+	a sync.Mutex
+	// provlint:lock-order 20
+	b sync.RWMutex
+
+	done bool
+}
+
+func (s *server) good() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *server) inverted() {
+	s.b.Lock()
+	s.a.Lock() // want `lock order inversion: acquires a (rank 10) while holding b (rank 20)`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// flushLocked must only run under a.
+//
+// provlint:requires a
+func (s *server) flushLocked() {}
+
+func (s *server) callsWithout() {
+	s.flushLocked() // want `call to flushLocked requires a held`
+}
+
+func (s *server) callsWith() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.flushLocked()
+}
+
+// guard pins the early-exit model: the unlock inside the if-block does
+// not release on the fall-through path, so the flushLocked call below
+// it is still covered.
+func (s *server) guard() {
+	s.a.Lock()
+	if s.done {
+		s.a.Unlock()
+		return
+	}
+	s.flushLocked()
+	s.a.Unlock()
+}
+
+// carrier passes its own obligation down instead of acquiring.
+//
+// provlint:requires a
+func (s *server) carrier() {
+	s.flushLocked()
+}
+
+// goroutine bodies start with no locks of their own: the enclosing
+// deferred unlock does not cover the closure.
+func (s *server) spawns() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	go func() {
+		s.flushLocked() // want `call to flushLocked requires a held`
+	}()
+}

@@ -1,0 +1,30 @@
+// Package obs is a minimal stub of the real internal/obs registry,
+// just enough surface for the obshotpath fixture to type-check the
+// same way production code does: the analyzer matches by package name
+// "obs" and receiver type name "Registry", so findings here prove the
+// production matching.
+package obs
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Add(d int64) { c.n += d }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) { g.v = v }
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(float64) {}
+
+type Tracer struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter   { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge       { return &Gauge{} }
+func (r *Registry) GaugeFunc(name string, fn func() float64) {}
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return &Histogram{}
+}
+func (r *Registry) Tracer() *Tracer { return &Tracer{} }

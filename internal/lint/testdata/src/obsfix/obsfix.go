@@ -1,0 +1,33 @@
+// Package obsfix seeds the obshotpath violation: a by-name registry
+// lookup on a per-operation path, against the sanctioned forms — a
+// constructor, an obs-setup function, a held handle, and the
+// Once-cached Tracer.
+package obsfix
+
+import "obs"
+
+type service struct {
+	reg  *obs.Registry
+	hits *obs.Counter
+}
+
+func NewService(reg *obs.Registry) *service {
+	return &service{reg: reg, hits: reg.Counter("service_hits_total")}
+}
+
+func (s *service) handle() {
+	s.reg.Counter("service_hits_total").Add(1) // want `obs registry lookup Counter`
+	s.hits.Add(1)
+}
+
+// register resolves late-bound instruments after configuration load;
+// the annotation sanctions the lookup outside a constructor.
+//
+// provlint:obs-setup late-bound registration after config load
+func (s *service) register() {
+	s.reg.Histogram("service_seconds", nil)
+}
+
+func (s *service) trace() *obs.Tracer {
+	return s.reg.Tracer() // Once-cached pointer, not a by-name lookup
+}

@@ -1,0 +1,47 @@
+// Package store (directory storefix) seeds the genbump violation: a
+// function that mutates through the Backend interface without bumping
+// the store generation. The analyzer keys on the package being named
+// "store" and the interface being named "Backend", so this fixture
+// deliberately reuses both names.
+package store
+
+// Backend is the fixture's mutable storage interface; the method set
+// mirrors the mutators the analyzer tracks.
+type Backend interface {
+	Put(key string, val []byte) error
+	PutBatch(kv map[string][]byte) error
+	Delete(key string) error
+	DeleteBatch(keys []string) error
+}
+
+type counter struct{ v uint64 }
+
+func (c *counter) Add(d uint64) uint64 { c.v += d; return c.v }
+
+type Store struct {
+	b   Backend
+	gen counter
+}
+
+func (s *Store) putBumped(key string, val []byte) error {
+	err := s.b.Put(key, val)
+	s.gen.Add(1)
+	return err
+}
+
+func (s *Store) putUnbumped(key string, val []byte) error {
+	return s.b.Put(key, val) // want `putUnbumped calls Backend.Put without bumping the store generation`
+}
+
+func (s *Store) deleteDeferredBump(keys []string) error {
+	defer s.gen.Add(1)
+	return s.b.DeleteBatch(keys)
+}
+
+// putRaw's bump lives in its callers, which batch several raw puts
+// under one generation step.
+//
+// provlint:no-genbump callers batch raw puts under one bump
+func (s *Store) putRaw(key string, val []byte) error {
+	return s.b.Put(key, val)
+}

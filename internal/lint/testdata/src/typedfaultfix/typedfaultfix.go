@@ -1,0 +1,47 @@
+// Package typedfaultfix seeds wire-contract violations for the
+// typedfault analyzer: inside a typed-faults function, a bare
+// errors.New and a %w-less fmt.Errorf at the return site strand the
+// remote caller with string matching; sentinels and %w-wraps are the
+// sanctioned forms, and unannotated functions are out of scope.
+package typedfaultfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errNotFound = errors.New("typedfaultfix: not found")
+
+// provlint:typed-faults
+func handleBare() error {
+	return errors.New("boom") // want `untyped fault: errors.New at the return site`
+}
+
+// provlint:typed-faults
+func handleErrorf(id int) error {
+	return fmt.Errorf("bad id %d", id) // want `untyped fault: fmt.Errorf without %w`
+}
+
+// provlint:typed-faults
+func handleWrapped(id int) error {
+	return fmt.Errorf("handling %d: %w", id, errNotFound)
+}
+
+// provlint:typed-faults
+func handleSentinel() error {
+	return errNotFound
+}
+
+// provlint:typed-faults
+func handleClosure() error {
+	// A closure's returns are not the annotated function's returns.
+	check := func() error { return errors.New("internal probe") }
+	if err := check(); err != nil {
+		return fmt.Errorf("probe: %w", errNotFound)
+	}
+	return nil
+}
+
+func unannotated() error {
+	return errors.New("fine outside the contract")
+}

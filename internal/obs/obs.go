@@ -187,7 +187,7 @@ func (s HistogramSnapshot) Mean() float64 {
 // instrument; callers hold the returned handle and never pay the map
 // lookup on the hot path.
 type Registry struct {
-	mu         sync.Mutex
+	mu         sync.Mutex // provlint:lock-order 20
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() float64
@@ -199,6 +199,7 @@ type Registry struct {
 	// CounterSnapshot holds it exclusively — so one snapshot can never
 	// observe half of a grouped update (the Service.Stats torn-read
 	// fix). Counters updated outside Batch are unaffected.
+	// provlint:lock-order 10
 	snapMu sync.RWMutex
 }
 

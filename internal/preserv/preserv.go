@@ -136,7 +136,10 @@ func (p *StorePlugIn) Actions() []string {
 	return []string{prep.ActionRecord, prep.ActionDelete, prep.ActionCompact}
 }
 
-// Handle implements soap.Handler.
+// Handle implements soap.Handler. Errors returned to the soap layer
+// must stay errors.Is-matchable across the wire.
+//
+// provlint:typed-faults
 func (p *StorePlugIn) Handle(action string, body []byte) (interface{}, error) {
 	switch action {
 	case prep.ActionRecord:
@@ -270,7 +273,10 @@ func (p *QueryPlugIn) Actions() []string {
 	return []string{prep.ActionQuery, prep.ActionPlannedQuery, prep.ActionQueryPage, prep.ActionSessions, prep.ActionCount}
 }
 
-// Handle implements soap.Handler.
+// Handle implements soap.Handler. Errors returned to the soap layer
+// must stay errors.Is-matchable across the wire.
+//
+// provlint:typed-faults
 func (p *QueryPlugIn) Handle(action string, body []byte) (interface{}, error) {
 	p.requests.Add(1)
 	switch action {
@@ -342,7 +348,10 @@ type StatsPlugIn struct {
 // Actions implements soap.Handler.
 func (p *StatsPlugIn) Actions() []string { return []string{prep.ActionStats} }
 
-// Handle implements soap.Handler.
+// Handle implements soap.Handler. Errors returned to the soap layer
+// must stay errors.Is-matchable across the wire.
+//
+// provlint:typed-faults
 func (p *StatsPlugIn) Handle(action string, body []byte) (interface{}, error) {
 	var req prep.StatsRequest
 	if err := xml.Unmarshal(body, &req); err != nil {
@@ -374,7 +383,10 @@ func actionShort(action string) string { return strings.TrimPrefix(action, "urn:
 // Actions implements soap.Handler.
 func (th *timedHandler) Actions() []string { return th.inner.Actions() }
 
-// Handle implements soap.Handler.
+// Handle implements soap.Handler. Errors returned to the soap layer
+// must stay errors.Is-matchable across the wire.
+//
+// provlint:typed-faults
 func (th *timedHandler) Handle(action string, body []byte) (interface{}, error) {
 	span := th.reg.Tracer().StartSpan("preserv." + actionShort(action))
 	reply, err := th.inner.Handle(action, body)
@@ -753,13 +765,18 @@ func (c *Client) QueryPage(q *prep.Query, after string, pageSize int) (*prep.Pag
 	var resp prep.PageQueryResponse
 	if err := soap.Post(c.hc, c.url, prep.ActionQueryPage, req, &resp); err != nil {
 		// A sharded server rejects a cursor minted before a drain epoch
-		// bump with a bad-request fault carrying shard.ErrStaleCursor's
-		// message. Re-type it so callers — QueryStream first among them
-		// — can tell "restart the walk" from "the request is broken".
+		// bump (shard.ErrStaleCursor) or one it cannot decode
+		// (shard.ErrBadCursor) with a bad-request fault carrying the
+		// sentinel's message. Re-type both so callers — QueryStream
+		// first among them — can tell "restart the walk" from "the
+		// request is broken" with errors.Is instead of string matching.
 		var fault *soap.Fault
-		if errors.As(err, &fault) && fault.Code == soap.FaultBadRequest &&
-			strings.Contains(fault.Message, shard.ErrStaleCursor.Error()) {
-			return nil, fmt.Errorf("preserv: page query: %w: %s", shard.ErrStaleCursor, fault.Message)
+		if errors.As(err, &fault) && fault.Code == soap.FaultBadRequest {
+			for _, sentinel := range []error{shard.ErrStaleCursor, shard.ErrBadCursor} {
+				if strings.Contains(fault.Message, sentinel.Error()) {
+					return nil, fmt.Errorf("preserv: page query: %w: %s", sentinel, fault.Message)
+				}
+			}
 		}
 		return nil, fmt.Errorf("preserv: page query: %w", err)
 	}

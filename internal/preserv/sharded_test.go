@@ -273,20 +273,19 @@ func TestSetCompactRatioRaceUnderConcurrentDeletes(t *testing.T) {
 
 // TestShardedPageBadCursorFaultsBadRequest pins the wire mapping for an
 // undecodable composite cursor (stale across a topology resize, or
-// corrupted): it is client input and must fault as bad-request, not as
-// an internal server error.
+// corrupted): it is client input, faulted as bad-request by the server
+// and re-typed by the client into shard.ErrBadCursor — so callers
+// distinguish it from an internal server error with errors.Is, never
+// by string matching (faultcontract_test.go pins the same for
+// ErrStaleCursor).
 func TestShardedPageBadCursorFaultsBadRequest(t *testing.T) {
 	client, _, _ := startShardedServer(t, 2)
 	_, err := client.QueryPage(&prep.Query{}, "sc1!3!a!b!c", 10)
 	if err == nil {
 		t.Fatal("mismatched composite cursor should fault")
 	}
-	var fault *soap.Fault
-	if !errors.As(err, &fault) {
-		t.Fatalf("err = %v, want a *soap.Fault", err)
-	}
-	if fault.Code != soap.FaultBadRequest {
-		t.Fatalf("fault code %q, want %q", fault.Code, soap.FaultBadRequest)
+	if !errors.Is(err, shard.ErrBadCursor) {
+		t.Fatalf("err = %v, want errors.Is(err, shard.ErrBadCursor)", err)
 	}
 }
 

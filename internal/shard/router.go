@@ -37,6 +37,7 @@ type Router struct {
 	// cannot complete while any write routed under the old topology is
 	// still in flight — after the flip, no new record can land on the
 	// draining shard, which is what lets Drain terminate.
+	// provlint:lock-order 30
 	topo   sync.RWMutex
 	active []bool
 	// fp fingerprints the shard list's identity AND order (computed
@@ -45,6 +46,7 @@ type Router struct {
 	// — when the endpoint list is reordered between restarts.
 	fp string
 	// drainMu serialises drains: one rebalance at a time.
+	// provlint:lock-order 10
 	drainMu sync.Mutex
 	// reg is the router's own telemetry: per-shard fan-out latency
 	// (fanoutSec[i], resolved at construction so the hot path never
@@ -69,6 +71,7 @@ type Router struct {
 	// full set throughout a drain" true rather than merely likely.
 	// Held per page, it delays readers and (rare, administrative)
 	// deletions by at most one page move; it never blocks writes.
+	// provlint:lock-order 20
 	moveMu sync.RWMutex
 	// moveEpoch counts page moves: bumped (always under moveMu held
 	// exclusively) at every Drain start and finish and after every page a
@@ -85,6 +88,7 @@ type Router struct {
 	// exact; a drain that completes clears its shard's suspicion. All
 	// writes happen on the drain path (serialised by drainMu); overlapN
 	// is the fan-out paths' lock-free read.
+	// provlint:lock-order 40
 	overlapMu sync.Mutex
 	overlaps  map[int]bool
 	overlapN  atomic.Int64
@@ -159,6 +163,8 @@ func (rt *Router) ResultCacheStats() (hits, misses int64) {
 // Callers hold moveMu (shared suffices): the probe and the fan-out it
 // guards must sit under the same fence acquisition, so a drain's page
 // move cannot slip between them.
+//
+// provlint:requires moveMu
 func (rt *Router) probeGenerations() ([]uint64, bool) {
 	gens := make([]uint64, len(rt.shards))
 	for i, s := range rt.shards {
@@ -180,6 +186,8 @@ func (rt *Router) probeGenerations() ([]uint64, bool) {
 // which changes whenever any child's generation does — sufficient for
 // the parent's equality test, since generations only grow.
 func (rt *Router) Generation() (uint64, bool) {
+	rt.moveMu.RLock()
+	defer rt.moveMu.RUnlock()
 	gens, ok := rt.probeGenerations()
 	if !ok {
 		return 0, false
@@ -479,6 +487,7 @@ func mergePlans(plans []*prep.QueryPlan) *prep.QueryPlan {
 // deducts every twin the merge meets, and truncates the returned
 // records to Limit afterwards — presence-only key-union counting, at
 // the cost of the Limit pushdown, only while the suspicion stands.
+// provlint:typed-faults
 func (rt *Router) Query(q *prep.Query) ([]core.Record, int, error) {
 	if err := q.Validate(); err != nil {
 		return nil, 0, err
@@ -513,6 +522,7 @@ func (rt *Router) Query(q *prep.Query) ([]core.Record, int, error) {
 
 // QueryPlanned evaluates q across every shard via each shard's planner
 // and merges records, totals and plans.
+// provlint:typed-faults
 func (rt *Router) QueryPlanned(q *prep.Query) ([]core.Record, int, *prep.QueryPlan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, 0, nil, err
@@ -656,6 +666,11 @@ var ErrBadCursor = errors.New("shard: malformed composite cursor")
 // semantics survive any move.
 var ErrStaleCursor = errors.New("shard: stale page cursor")
 
+// ErrInvalidSession marks a session-scoped request whose session id
+// failed validation. Client input, mapped to a bad-request fault like
+// the cursor sentinels, so callers can errors.Is it across the wire.
+var ErrInvalidSession = errors.New("shard: invalid session id")
+
 // decodeCursor unpacks a composite cursor for n shards under the
 // router's topology fingerprint. A plain (untagged) cursor fans out
 // as-is to every shard (composite=false, epoch meaningless); a tagged
@@ -740,6 +755,7 @@ func decodeCursor(after, fp string, n int) (perShard []string, exhausted []bool,
 // walk even if its key sorts after the walk's position (neither the
 // sharded nor the single-store contract promises mid-walk writes
 // appear; a walker that must be current re-runs).
+// provlint:typed-faults
 func (rt *Router) QueryPage(q *prep.Query, after string, pageSize int) ([]core.Record, string, bool, *prep.QueryPlan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, "", false, nil, err
@@ -895,6 +911,7 @@ func (rt *Router) fanOutJoin(fn func(i int, s Shard) error) error {
 }
 
 // Sessions unions the shards' session listings, sorted and distinct.
+// provlint:typed-faults
 func (rt *Router) Sessions() ([]ids.ID, error) {
 	rt.moveMu.RLock()
 	defer rt.moveMu.RUnlock()
@@ -931,6 +948,7 @@ func (rt *Router) Sessions() ([]ids.ID, error) {
 // moves invisible, so a record counts once — except in the overlap a
 // crashed drain leaves behind (copies landed, source deletion did not),
 // where it counts on both sides until a re-drain absorbs it.
+// provlint:typed-faults
 func (rt *Router) Count() (prep.CountResponse, error) {
 	rt.moveMu.RLock()
 	defer rt.moveMu.RUnlock()
@@ -968,6 +986,7 @@ func (rt *Router) DeleteRecord(key string) (bool, error) {
 // per-shard deletions. It fences against an in-flight drain's page
 // cycle (moveMu), so a deletion observes every record on exactly one
 // consistent side of a move.
+// provlint:typed-faults
 func (rt *Router) DeleteRecords(keys []string) (int, error) {
 	rt.moveMu.Lock()
 	defer rt.moveMu.Unlock()
@@ -986,9 +1005,10 @@ func (rt *Router) DeleteRecords(keys []string) (int, error) {
 // DeleteSession fans the session retraction out to every shard (a
 // rebalance may have left a session's records on a non-home shard) and
 // sums the deletions.
+// provlint:typed-faults
 func (rt *Router) DeleteSession(session ids.ID) (int, error) {
 	if !session.Valid() {
-		return 0, fmt.Errorf("shard: invalid session id")
+		return 0, ErrInvalidSession
 	}
 	rt.moveMu.Lock()
 	defer rt.moveMu.Unlock()

@@ -31,7 +31,7 @@ import (
 // A sidecar index file is unnecessary — the directory itself is the
 // index, rebuilt into memory on open.
 type FileBackend struct {
-	mu  sync.RWMutex
+	mu  sync.RWMutex // provlint:lock-order 20
 	dir string
 	// keys maps storage key -> location; rebuilt on open.
 	keys map[string]fileLoc
@@ -64,6 +64,7 @@ type FileBackend struct {
 	// compactMu serialises compactions against each other; f.mu alone
 	// still serialises the swap section against writers. Ordered above
 	// f.mu: Compact takes compactMu first, then f.mu in short sections.
+	// provlint:lock-order 10
 	compactMu sync.Mutex
 	// compactBoundary is the merged segment's sequence number while an
 	// incremental compaction is in flight (0 = idle). Writers use it to
@@ -84,6 +85,7 @@ type FileBackend struct {
 	// segMu guards the segment handle cache. Ordered below f.mu: it is
 	// only ever acquired with f.mu held or with no lock held, never the
 	// other way around.
+	// provlint:lock-order 30
 	segMu    sync.RWMutex
 	segs     map[string]*segMap
 	segBytes atomic.Int64

@@ -97,7 +97,7 @@ const recordStripes = 64
 // handle — it is not held across backend operations, so readers never
 // wait behind an ingest batch.
 type Store struct {
-	mu sync.RWMutex
+	mu sync.RWMutex // provlint:lock-order 20
 	b  Backend
 	// idx is the secondary index, opened lazily on first use so that New
 	// keeps its error-free signature; a store recorded before indexing
@@ -108,6 +108,9 @@ type Store struct {
 	// on it so cached results are invalidated by new records.
 	gen atomic.Uint64
 	// stripes are the per-key commit locks; seed salts the stripe hash.
+	// Ordered below s.mu: deleteChunk holds a stripe across its commit
+	// and drops the index handle (s.mu) on de-index failure.
+	// provlint:lock-order 10
 	stripes [recordStripes]sync.Mutex
 	seed    maphash.Seed
 
@@ -252,6 +255,8 @@ func (s *Store) Generation() uint64 { return s.gen.Load() }
 // ensureIndexLocked opens (rebuilding if necessary) the secondary index.
 // Callers must hold s.mu. Only success is cached — a failed Open is
 // retried on the next call.
+//
+// provlint:requires mu
 func (s *Store) ensureIndexLocked() (*index.Index, error) {
 	if s.idx != nil {
 		return s.idx, nil
@@ -677,6 +682,11 @@ func (s *Store) deleteKeys(idx *index.Index, keys []string) (int, error) {
 // the index's Open-time consistency check detects and Rebuild's
 // dangling-posting GC repairs; until then queries skip the dangling
 // postings at fetch time.
+//
+// provlint:no-genbump the generation bump lives in every caller
+// (deleteRecord and deleteKeys both bump when any batch was
+// attempted), because a chunk that errors may still have removed
+// records and the bump must cover that case too.
 //
 // A record whose stored bytes no longer decode is deleted anyway —
 // retraction must work on a store with one torn value, the same policy
